@@ -1,0 +1,144 @@
+// Command mpsim runs one MPTCP transfer scenario in the simulated
+// network and reports per-subflow statistics and flow outcomes.
+//
+// Example:
+//
+//	mpsim -scheduler minRTT -send 1048576 \
+//	      -path wifi:3e6:5ms:0:pref -path lte:8e6:20ms:0.01:backup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"progmp"
+)
+
+type pathFlags []progmp.Path
+
+func (p *pathFlags) String() string { return fmt.Sprintf("%d paths", len(*p)) }
+
+// Set parses "name:rateBps:delay:lossProb:pref|backup".
+func (p *pathFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 5 {
+		return fmt.Errorf("path %q: want name:rate:delay:loss:pref|backup", v)
+	}
+	rate, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("path %q: bad rate: %v", v, err)
+	}
+	delay, err := time.ParseDuration(parts[2])
+	if err != nil {
+		return fmt.Errorf("path %q: bad delay: %v", v, err)
+	}
+	loss, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return fmt.Errorf("path %q: bad loss: %v", v, err)
+	}
+	backup := false
+	switch parts[4] {
+	case "backup":
+		backup = true
+	case "pref":
+	default:
+		return fmt.Errorf("path %q: last field must be pref or backup", v)
+	}
+	*p = append(*p, progmp.Path{
+		Name: parts[0], RateBps: rate, OneWayDelay: delay, LossProb: loss, Backup: backup,
+	})
+	return nil
+}
+
+func main() {
+	var paths pathFlags
+	scheduler := flag.String("scheduler", "minRTT", "built-in scheduler name or a file path")
+	backend := flag.String("backend", "vm", "execution backend: interpreter, compiled, vm")
+	send := flag.Int("send", 1<<20, "bytes to transfer")
+	prop := flag.Int64("prop", 0, "per-packet scheduling intent")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	duration := flag.Duration("duration", 60*time.Second, "simulation horizon")
+	reg1 := flag.Int64("r1", 0, "initial value of register R1")
+	cc := flag.String("cc", "", "congestion control: lia (default), olia, reno")
+	pathmgr := flag.Bool("pathmgr", false, "enable the path manager (failure detection + backup promotion)")
+	flag.Var(&paths, "path", "path spec name:rateBps:delay:loss:pref|backup (repeatable)")
+	flag.Parse()
+
+	if err := run(*scheduler, *backend, *send, *prop, *seed, *duration, *reg1, *cc, *pathmgr, paths); err != nil {
+		fmt.Fprintln(os.Stderr, "mpsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scheduler, backend string, send int, prop, seed int64, duration time.Duration, reg1 int64, cc string, pathmgr bool, paths pathFlags) error {
+	src, ok := progmp.Schedulers[scheduler]
+	if !ok {
+		data, err := os.ReadFile(scheduler)
+		if err != nil {
+			return fmt.Errorf("scheduler %q is neither built-in nor readable: %w", scheduler, err)
+		}
+		src = string(data)
+	}
+	var be progmp.Backend
+	switch backend {
+	case "interpreter":
+		be = progmp.BackendInterpreter
+	case "compiled":
+		be = progmp.BackendCompiled
+	case "vm":
+		be = progmp.BackendVM
+	default:
+		return fmt.Errorf("unknown backend %q", backend)
+	}
+	sched, err := progmp.LoadSchedulerBackend(scheduler, src, be)
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		paths = pathFlags{
+			{Name: "wifi", RateBps: 3e6, OneWayDelay: 5 * time.Millisecond},
+			{Name: "lte", RateBps: 8e6, OneWayDelay: 20 * time.Millisecond, Backup: true},
+		}
+	}
+	net := progmp.NewNetwork(seed)
+	conn, err := net.Dial(progmp.ConnConfig{CongestionControl: cc}, paths...)
+	if err != nil {
+		return err
+	}
+	conn.SetScheduler(sched)
+	if pathmgr {
+		conn.EnablePathManager(progmp.PathManagerConfig{PromoteBackupOnDeath: true})
+	}
+	if reg1 != 0 {
+		conn.SetRegister(progmp.R1, reg1)
+	}
+	var delivered int64
+	var fct time.Duration
+	conn.OnDeliver(func(_ int64, size int, at time.Duration) {
+		delivered += int64(size)
+		if delivered >= int64(send) && fct == 0 {
+			fct = at
+		}
+	})
+	net.At(0, func() { conn.SendWithIntent(send, prop) })
+	net.Run(duration)
+
+	fmt.Printf("scheduler       %s (%s backend)\n", scheduler, backend)
+	fmt.Printf("transferred     %d / %d bytes\n", delivered, send)
+	if fct > 0 {
+		fmt.Printf("completion time %v\n", fct)
+		fmt.Printf("goodput         %.2f MB/s\n", float64(send)/fct.Seconds()/1e6)
+	} else {
+		fmt.Printf("completion time DID NOT COMPLETE within %v\n", duration)
+	}
+	fmt.Printf("%-8s %12s %10s %8s %8s %10s\n", "subflow", "bytes", "packets", "retx", "srtt", "cwnd")
+	for _, s := range conn.Subflows() {
+		fmt.Printf("%-8s %12d %10d %8d %8v %10.1f\n",
+			s.Name, s.BytesSent, s.PktsSent, s.Retransmissions, s.SRTT.Round(time.Millisecond), s.Cwnd)
+	}
+	return nil
+}

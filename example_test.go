@@ -1,0 +1,82 @@
+package progmp_test
+
+import (
+	"fmt"
+	"time"
+
+	"progmp"
+)
+
+// Example shows the quickstart flow: dial a simulated two-path
+// connection, load the default scheduler, transfer data.
+func Example() {
+	net := progmp.NewNetwork(42)
+	conn, err := net.Dial(progmp.ConnConfig{},
+		progmp.Path{Name: "wifi", RateBps: 3e6, OneWayDelay: 5 * time.Millisecond},
+		progmp.Path{Name: "lte", RateBps: 8e6, OneWayDelay: 20 * time.Millisecond, Backup: true},
+	)
+	if err != nil {
+		panic(err)
+	}
+	sched, err := progmp.LoadScheduler("default", progmp.Schedulers["minRTT"])
+	if err != nil {
+		panic(err)
+	}
+	conn.SetScheduler(sched)
+
+	var delivered int64
+	conn.OnDeliver(func(_ int64, size int, _ time.Duration) { delivered += int64(size) })
+	net.At(0, func() { conn.Send(64 << 10) })
+	net.Run(5 * time.Second)
+	fmt.Printf("delivered %d bytes, all acked: %v\n", delivered, conn.AllAcked())
+	// Output: delivered 65536 bytes, all acked: true
+}
+
+// ExampleCheckScheduler shows static checking of a custom scheduler:
+// the type system rejects side effects in predicates before anything
+// reaches the data path.
+func ExampleCheckScheduler() {
+	err := CheckBad()
+	fmt.Println(err != nil)
+	// Output: true
+}
+
+// CheckBad tries to load a scheduler that pops packets inside a
+// condition — the classic mistake the model rules out (§3.3).
+func CheckBad() error {
+	return progmp.CheckScheduler(`IF (Q.POP() != NULL) { RETURN; }`)
+}
+
+// ExampleConn_SetRegister shows application-aware scheduling through
+// registers: the TAP scheduler reads its target throughput from R1.
+func ExampleConn_SetRegister() {
+	net := progmp.NewNetwork(7)
+	conn, err := net.Dial(progmp.ConnConfig{},
+		progmp.Path{Name: "wifi", RateBps: 1e6, OneWayDelay: 5 * time.Millisecond},
+		progmp.Path{Name: "lte", RateBps: 8e6, OneWayDelay: 20 * time.Millisecond, Backup: true},
+	)
+	if err != nil {
+		panic(err)
+	}
+	sched, err := progmp.LoadScheduler("tap", progmp.Schedulers["tap"])
+	if err != nil {
+		panic(err)
+	}
+	conn.SetScheduler(sched)
+	conn.SetRegister(progmp.R1, 4<<20) // require 4 MB/s
+	net.At(0, func() { conn.Send(1 << 20) })
+	net.Run(10 * time.Second)
+	stats := conn.Subflows()
+	fmt.Printf("wifi used: %v, lte used: %v\n", stats[0].BytesSent > 0, stats[1].BytesSent > 0)
+	// Output: wifi used: true, lte used: true
+}
+
+// ExampleDisassemble shows the bytecode view of a one-line scheduler.
+func ExampleDisassemble() {
+	asm, err := progmp.Disassemble(`IF (!Q.EMPTY) { SUBFLOWS.MIN(s => s.RTT).PUSH(Q.POP()); }`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(asm) > 0)
+	// Output: true
+}

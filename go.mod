@@ -1,0 +1,3 @@
+module progmp
+
+go 1.22

@@ -1,0 +1,323 @@
+// Package core assembles the ProgMP runtime environment: it loads
+// scheduler specifications, manages the three execution back-ends
+// (interpreter, compiled closures, bytecode VM), keeps a registry of
+// named schedulers for reuse across connections, caches VM programs
+// specialized for a constant subflow count with generic fallback, and
+// exposes proc-style execution statistics (§4.1 of the paper).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"progmp/internal/compile"
+	"progmp/internal/interp"
+	"progmp/internal/lang"
+	"progmp/internal/lang/types"
+	"progmp/internal/runtime"
+	"progmp/internal/vm"
+)
+
+// Backend selects the execution environment for a scheduler.
+type Backend int
+
+// The three execution back-ends of §4.1.
+const (
+	// BackendInterpreter walks the AST directly (alternative 1).
+	BackendInterpreter Backend = iota
+	// BackendCompiled executes ahead-of-time compiled closures
+	// (alternative 2, the generated-C analogue).
+	BackendCompiled
+	// BackendVM executes eBPF-flavoured bytecode with runtime
+	// specialization (alternative 3).
+	BackendVM
+)
+
+// String names the back-end.
+func (b Backend) String() string {
+	switch b {
+	case BackendInterpreter:
+		return "interpreter"
+	case BackendCompiled:
+		return "compiled"
+	case BackendVM:
+		return "vm"
+	}
+	return fmt.Sprintf("Backend(%d)", int(b))
+}
+
+// Stats are cumulative execution statistics, the analogue of the
+// paper's proc-based debugging and performance interface.
+type Stats struct {
+	Executions int64
+	Pushes     int64
+	Pops       int64
+	Drops      int64
+}
+
+// Scheduler is a loaded, executable scheduler program. It is safe for
+// concurrent use: per-connection state (registers) lives in the
+// environment, not the scheduler.
+type Scheduler struct {
+	name string
+	info *types.Info
+
+	backend  Backend
+	interp   *interp.Interpreter
+	compiled *compile.Compiled
+	vmProg   *vm.Program // generic (unspecialized)
+
+	// Specialization cache: subflow count → compiled program. A miss
+	// runs the generic program and kicks off background compilation,
+	// mirroring the paper's concurrent JIT ("the compilation is
+	// executed concurrently in a separate thread, therefore not
+	// harming network performance").
+	mu          sync.Mutex
+	specialized map[int]*vm.Program
+	compiling   map[int]bool
+	// specializeSync forces synchronous specialization (tests).
+	specializeSync bool
+
+	executions atomic.Int64
+	pushes     atomic.Int64
+	pops       atomic.Int64
+	drops      atomic.Int64
+}
+
+// Load parses, type-checks and compiles a scheduler specification for
+// the given back-end.
+func Load(name, src string, backend Backend) (*Scheduler, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing scheduler %q: %w", name, err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: checking scheduler %q: %w", name, err)
+	}
+	s := &Scheduler{
+		name:        name,
+		info:        info,
+		backend:     backend,
+		specialized: make(map[int]*vm.Program),
+		compiling:   make(map[int]bool),
+	}
+	switch backend {
+	case BackendInterpreter:
+		s.interp = interp.New(info)
+	case BackendCompiled:
+		s.compiled = compile.New(info)
+	case BackendVM:
+		p, err := vm.Compile(info, vm.Options{SubflowCount: -1})
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling scheduler %q to bytecode: %w", name, err)
+		}
+		s.vmProg = p
+	default:
+		return nil, fmt.Errorf("core: unknown backend %d", int(backend))
+	}
+	return s, nil
+}
+
+// MustLoad loads or panics; for embedded specifications.
+func MustLoad(name, src string, backend Backend) *Scheduler {
+	s, err := Load(name, src, backend)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the scheduler's registry name.
+func (s *Scheduler) Name() string { return s.name }
+
+// Backend returns the execution back-end.
+func (s *Scheduler) Backend() Backend { return s.backend }
+
+// Info exposes the type-checked program (for tooling).
+func (s *Scheduler) Info() *types.Info { return s.info }
+
+// Source returns the original specification text.
+func (s *Scheduler) Source() string { return s.info.Prog.Source }
+
+// SetSynchronousSpecialization forces specialization to happen inline
+// rather than in a background goroutine. Used by tests and benchmarks
+// that need deterministic behaviour.
+func (s *Scheduler) SetSynchronousSpecialization(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.specializeSync = on
+}
+
+// Exec runs one scheduler execution against env and updates statistics.
+func (s *Scheduler) Exec(env *runtime.Env) {
+	before := len(env.Actions)
+	switch s.backend {
+	case BackendInterpreter:
+		s.interp.Exec(env)
+	case BackendCompiled:
+		s.compiled.Exec(env)
+	case BackendVM:
+		s.execVM(env)
+	}
+	s.executions.Add(1)
+	for _, a := range env.Actions[before:] {
+		switch a.Kind {
+		case runtime.ActionPush:
+			s.pushes.Add(1)
+		case runtime.ActionPop:
+			s.pops.Add(1)
+		case runtime.ActionDrop:
+			s.drops.Add(1)
+		}
+	}
+}
+
+func (s *Scheduler) execVM(env *runtime.Env) {
+	n := len(env.SubflowViews)
+	s.mu.Lock()
+	sync := s.specializeSync
+	prog := s.specialized[n]
+	if prog == nil && !s.compiling[n] {
+		s.compiling[n] = true
+		if sync {
+			s.mu.Unlock()
+			s.specialize(n)
+			s.mu.Lock()
+			prog = s.specialized[n]
+		} else {
+			go s.specialize(n)
+		}
+	}
+	s.mu.Unlock()
+	if prog == nil {
+		prog = s.vmProg
+	}
+	if err := prog.Exec(env); err != nil {
+		// Specialization mismatch or step-budget overrun: fall back to
+		// the generic program ("returns to the original version").
+		env.Actions = env.Actions[:0]
+		_ = s.vmProg.Exec(env)
+	}
+}
+
+func (s *Scheduler) specialize(n int) {
+	p, err := vm.Compile(s.info, vm.Options{SubflowCount: n})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.compiling, n)
+	if err == nil {
+		s.specialized[n] = p
+	}
+}
+
+// Stats returns a snapshot of the cumulative statistics.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Executions: s.executions.Load(),
+		Pushes:     s.pushes.Load(),
+		Pops:       s.pops.Load(),
+		Drops:      s.drops.Load(),
+	}
+}
+
+// MemoryFootprint estimates the resident bytes of the loaded scheduler
+// program: specification text, bytecode, and compiled structures. The
+// paper reports ~3048 B for the round-robin scheduler program (§4.3).
+func (s *Scheduler) MemoryFootprint() int {
+	total := len(s.info.Prog.Source)
+	total += s.info.NumSlots * 16
+	if s.vmProg != nil {
+		total += len(s.vmProg.Insns) * int(unsafe.Sizeof(vm.Instr{}))
+		s.mu.Lock()
+		for _, p := range s.specialized {
+			total += len(p.Insns) * int(unsafe.Sizeof(vm.Instr{}))
+		}
+		s.mu.Unlock()
+	}
+	// AST and analysis structures, approximated per statement.
+	total += len(s.info.Prog.Stmts) * 96
+	total += len(s.info.ExprTypes) * 24
+	return total
+}
+
+// InstanceFootprint estimates per-connection bytes of one scheduler
+// instantiation: the register file plus per-instance bookkeeping. The
+// paper reports 328 B per instantiation (§4.3).
+func InstanceFootprint() int {
+	return runtime.NumRegisters*8 + 264
+}
+
+// ---- Registry ----
+
+// ErrNotFound reports a lookup of an unknown scheduler name.
+var ErrNotFound = errors.New("core: scheduler not found")
+
+// ErrExists reports loading a scheduler under a name already taken.
+var ErrExists = errors.New("core: scheduler already loaded")
+
+// Registry holds loaded schedulers by name so applications can reuse
+// them across connections "to reduce compilation overhead" (§3.2).
+// The zero value is ready to use.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Scheduler
+}
+
+// Load parses and registers a scheduler under name. Loading an
+// already-registered name fails with ErrExists.
+func (r *Registry) Load(name, src string, backend Backend) (*Scheduler, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	s, err := Load(name, src, backend)
+	if err != nil {
+		return nil, err
+	}
+	if r.m == nil {
+		r.m = make(map[string]*Scheduler)
+	}
+	r.m[name] = s
+	return s, nil
+}
+
+// Get returns the scheduler registered under name.
+func (r *Registry) Get(name string) (*Scheduler, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.m[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return s, nil
+}
+
+// Remove unregisters name. Connections already using the scheduler
+// keep their reference.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(r.m, name)
+	return nil
+}
+
+// Names lists registered scheduler names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

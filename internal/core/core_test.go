@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"progmp/internal/envtest"
+)
+
+const minRTT = `IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {
+	SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+}`
+
+func TestLoadRejectsBadPrograms(t *testing.T) {
+	if _, err := Load("bad", "VAR x = ;", BackendVM); err == nil {
+		t.Error("Load accepted a syntax error")
+	}
+	if _, err := Load("bad", "VAR x = y;", BackendVM); err == nil {
+		t.Error("Load accepted a type error")
+	}
+}
+
+func TestSchedulerExecAndStats(t *testing.T) {
+	for _, backend := range []Backend{BackendInterpreter, BackendCompiled, BackendVM} {
+		s := MustLoad("minRTT", minRTT, backend)
+		s.SetSynchronousSpecialization(true)
+		env := envtest.TwoSubflowEnv(3)
+		s.Exec(env)
+		s.Exec(env)
+		st := s.Stats()
+		if st.Executions != 2 {
+			t.Errorf("%s: executions = %d, want 2", backend, st.Executions)
+		}
+		if st.Pushes != 2 || st.Pops != 2 {
+			t.Errorf("%s: pushes=%d pops=%d, want 2 and 2", backend, st.Pushes, st.Pops)
+		}
+	}
+}
+
+func TestVMSpecializationCacheAndFallback(t *testing.T) {
+	s := MustLoad("minRTT", minRTT, BackendVM)
+	s.SetSynchronousSpecialization(true)
+	// Execute with 2 subflows (specializes for 2), then 0 subflows
+	// (specializes for 0): both must behave correctly.
+	env2 := envtest.TwoSubflowEnv(1)
+	s.Exec(env2)
+	if env2.PushCount() != 1 {
+		t.Errorf("2-subflow exec pushed %d, want 1", env2.PushCount())
+	}
+	env0 := envtest.EnvSpec{Q: []envtest.PktSpec{{Seq: 0}}}.Build()
+	s.Exec(env0)
+	if env0.PushCount() != 0 {
+		t.Errorf("0-subflow exec must not push")
+	}
+	s.mu.Lock()
+	nSpecialized := len(s.specialized)
+	s.mu.Unlock()
+	if nSpecialized != 2 {
+		t.Errorf("specialization cache has %d entries, want 2", nSpecialized)
+	}
+}
+
+func TestMemoryFootprint(t *testing.T) {
+	s := MustLoad("minRTT", minRTT, BackendVM)
+	got := s.MemoryFootprint()
+	if got <= 0 || got > 64<<10 {
+		t.Errorf("MemoryFootprint = %d, want a small positive number", got)
+	}
+	if InstanceFootprint() <= 0 {
+		t.Errorf("InstanceFootprint must be positive")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry
+	if _, err := r.Load("a", minRTT, BackendCompiled); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := r.Load("a", minRTT, BackendCompiled); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Load = %v, want ErrExists", err)
+	}
+	if _, err := r.Get("a"); err != nil {
+		t.Errorf("Get: %v", err)
+	}
+	if _, err := r.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing = %v, want ErrNotFound", err)
+	}
+	if _, err := r.Load("b", minRTT, BackendVM); err != nil {
+		t.Fatalf("Load b: %v", err)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v, want [a b]", names)
+	}
+	if err := r.Remove("a"); err != nil {
+		t.Errorf("Remove: %v", err)
+	}
+	if err := r.Remove("a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double Remove = %v, want ErrNotFound", err)
+	}
+}
+
+func TestConcurrentExecIsSafe(t *testing.T) {
+	s := MustLoad("minRTT", minRTT, BackendVM)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				env := envtest.TwoSubflowEnv(2)
+				s.Exec(env)
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := s.Stats().Executions; got != 1600 {
+		t.Errorf("executions = %d, want 1600", got)
+	}
+}
+
+func TestStatusReport(t *testing.T) {
+	s := MustLoad("rr", `VAR sbfs = SUBFLOWS;
+IF (R1 >= sbfs.COUNT) { SET(R1, 0); }
+IF (!Q.EMPTY) { sbfs.GET(R1).PUSH(Q.POP()); SET(R1, R1 + 1); }`, BackendVM)
+	s.SetSynchronousSpecialization(true)
+	s.Exec(envtest.TwoSubflowEnv(2))
+	rep := s.StatusReport()
+	for _, want := range []string{"scheduler rr", "backend          vm", "executions       1", "R1(rw)", "bytecode", "specialized[2]"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	var reg Registry
+	if _, err := reg.Load("a", minRTT, BackendCompiled); err != nil {
+		t.Fatal(err)
+	}
+	if all := reg.ReportAll(); !strings.Contains(all, "scheduler a") {
+		t.Errorf("ReportAll missing scheduler a:\n%s", all)
+	}
+}

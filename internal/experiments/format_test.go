@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFormatHelpers(t *testing.T) {
+	fct := FormatFCT([]FCTPoint{
+		{Scheduler: "minRTT", FlowKB: 16, MeanFCT: 12 * time.Millisecond},
+		{Scheduler: "redundant", FlowKB: 16, MeanFCT: 8 * time.Millisecond},
+	}, []string{"minRTT", "redundant"})
+	if !strings.Contains(fct, "16") || !strings.Contains(fct, "12.0 ms") {
+		t.Errorf("FormatFCT output wrong:\n%s", fct)
+	}
+	thr := FormatThroughput([]ThroughputPoint{{Scheduler: "x", Workload: "bulk", Normalized: 1.5, GoodputBps: 2e6}})
+	if !strings.Contains(thr, "1.50") || !strings.Contains(thr, "2.00") {
+		t.Errorf("FormatThroughput output wrong:\n%s", thr)
+	}
+	comp := FormatCompensation([]CompensationPoint{
+		{Scheduler: "minRTT", RTTRatio: 2, MeanFCT: 20 * time.Millisecond, OverheadVsDefault: 1},
+		{Scheduler: "compensating", RTTRatio: 2, MeanFCT: 15 * time.Millisecond, OverheadVsDefault: 1.5},
+		{Scheduler: "selectiveCompensation", RTTRatio: 2, MeanFCT: 20 * time.Millisecond, OverheadVsDefault: 1},
+	})
+	if !strings.Contains(comp, "2.0") || !strings.Contains(comp, "1.50x") {
+		t.Errorf("FormatCompensation output wrong:\n%s", comp)
+	}
+	http2 := FormatHTTP2([]HTTP2Point{{
+		Scheduler: "minRTT", WiFiExtraDelay: 40 * time.Millisecond,
+		DependencyRetrieved: 30 * time.Millisecond, InitialPage: 100 * time.Millisecond,
+		FullLoad: 200 * time.Millisecond, LTEBytes: 2048,
+	}})
+	if !strings.Contains(http2, "40ms") || !strings.Contains(http2, "2.0") {
+		t.Errorf("FormatHTTP2 output wrong:\n%s", http2)
+	}
+	stream := FormatStreaming([]StreamingResult{{
+		Variant: StreamingTAP, WiFiBytes: 2e6, LTEBytes: 1e6,
+		LowPhaseLTEShare: 0.05, HighPhaseGoodput: 4e6,
+	}})
+	if !strings.Contains(stream, "tap") || !strings.Contains(stream, "5.0%") {
+		t.Errorf("FormatStreaming output wrong:\n%s", stream)
+	}
+	ov := FormatOverhead([]OverheadResult{{Backend: "vm", Subflows: 2, NsPerOp: 300, RelativeToNative: 3}})
+	if !strings.Contains(ov, "vm") || !strings.Contains(ov, "300") {
+		t.Errorf("FormatOverhead output wrong:\n%s", ov)
+	}
+	par := FormatParity([]ThroughputParityResult{{Backend: "native", GoodputBps: 5e6}})
+	if !strings.Contains(par, "native") || !strings.Contains(par, "5.00") {
+		t.Errorf("FormatParity output wrong:\n%s", par)
+	}
+}

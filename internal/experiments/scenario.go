@@ -1,0 +1,134 @@
+// Package experiments contains the per-figure harnesses that
+// regenerate the paper's evaluation: workload generators, parameter
+// sweeps, baselines, and result tables. Each experiment is a pure
+// function of its parameters and a seed, so runs are reproducible.
+// The mapping from figures/tables to functions is indexed in
+// DESIGN.md; EXPERIMENTS.md records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"progmp/internal/core"
+	"progmp/internal/mptcp"
+	"progmp/internal/netsim"
+	"progmp/internal/schedlib"
+)
+
+// PathSpec describes one simulated path of a scenario.
+type PathSpec struct {
+	Name    string
+	Rate    netsim.RateFunc
+	Delay   time.Duration
+	DelayFn func(time.Duration) time.Duration
+	Loss    float64
+	Backup  bool
+}
+
+// Scenario wires an engine, a connection and its subflows.
+type Scenario struct {
+	Eng   *netsim.Engine
+	Conn  *mptcp.Conn
+	Links []*netsim.Link
+}
+
+// NewScenario builds a connection over the given paths with the named
+// schedlib scheduler.
+func NewScenario(seed int64, cfg mptcp.Config, backend core.Backend, scheduler string, paths ...PathSpec) (*Scenario, error) {
+	src, ok := schedlib.All[scheduler]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", scheduler)
+	}
+	sched, err := core.Load(scheduler, src, backend)
+	if err != nil {
+		return nil, err
+	}
+	return NewScenarioWith(seed, cfg, sched, paths...)
+}
+
+// NewScenarioWith builds a scenario around an already-loaded scheduler
+// (any mptcp.Scheduler, including native ones).
+func NewScenarioWith(seed int64, cfg mptcp.Config, sched mptcp.Scheduler, paths ...PathSpec) (*Scenario, error) {
+	eng := netsim.NewEngine(seed)
+	conn := mptcp.NewConn(eng, cfg)
+	s := &Scenario{Eng: eng, Conn: conn}
+	for _, p := range paths {
+		var loss netsim.LossModel
+		if p.Loss > 0 {
+			loss = netsim.BernoulliLoss{P: p.Loss}
+		}
+		link := netsim.NewLink(eng, netsim.PathConfig{
+			Name:    p.Name,
+			Rate:    p.Rate,
+			Delay:   p.Delay,
+			DelayFn: p.DelayFn,
+			Loss:    loss,
+		})
+		s.Links = append(s.Links, link)
+		if _, err := conn.AddSubflow(mptcp.SubflowConfig{Name: p.Name, Link: link, Backup: p.Backup}); err != nil {
+			return nil, err
+		}
+	}
+	conn.SetScheduler(sched)
+	return s, nil
+}
+
+// WiFi returns the canonical WiFi path of the motivation setup
+// (Fig. 1): ~3 MB/s fluctuating capacity, 5 ms one-way (≈10 ms RTT).
+func WiFi() PathSpec {
+	return PathSpec{
+		Name:  "wifi",
+		Rate:  netsim.FluctuatingRate(3e6, 0.7e6, 2*time.Second, 1.2e6),
+		Delay: 5 * time.Millisecond,
+	}
+}
+
+// LTE returns the canonical LTE path: 8 MB/s, 20 ms one-way
+// (≈40 ms RTT). The backup flag marks it non-preferred (metered).
+func LTE(backup bool) PathSpec {
+	return PathSpec{
+		Name:   "lte",
+		Rate:   netsim.ConstantRate(8e6),
+		Delay:  20 * time.Millisecond,
+		Backup: backup,
+	}
+}
+
+// flowWarmup lets both handshakes complete before a short flow starts,
+// so flows actually see a multipath connection (as in the paper's
+// testbeds, where connections exist before the measured flows).
+const flowWarmup = 500 * time.Millisecond
+
+// runFlow sends size bytes after the warm-up and returns the flow
+// completion time (receiver side, last byte in order, relative to the
+// send time) and the total bytes put on the wire (for overhead
+// accounting). signalFlowEnd sets the Compensating-family end-of-flow
+// register once the data is enqueued. A zero FCT means the flow did
+// not complete within maxTime.
+func runFlow(s *Scenario, size int, signalFlowEnd bool, maxTime time.Duration) (fct time.Duration, wireBytes int64) {
+	var done time.Duration
+	received := int64(0)
+	s.Conn.Receiver().OnDeliver(func(_ int64, sz int, at time.Duration) {
+		received += int64(sz)
+		if received >= int64(size) && done == 0 {
+			done = at - flowWarmup
+		}
+	})
+	var wireBase int64
+	s.Eng.At(flowWarmup, func() {
+		for _, sbf := range s.Conn.Subflows() {
+			wireBase += sbf.BytesSent
+		}
+		s.Conn.Send(size, 0)
+		if signalFlowEnd {
+			s.Conn.SetRegister(schedlib.RegFlowEnd, 1)
+		}
+	})
+	s.Eng.RunUntil(flowWarmup + maxTime)
+	for _, sbf := range s.Conn.Subflows() {
+		wireBytes += sbf.BytesSent
+	}
+	wireBytes -= wireBase
+	return done, wireBytes
+}

@@ -1,0 +1,361 @@
+// Package interp is the tree-walking interpreter back-end for ProgMP
+// scheduler programs — the reference semantics ("alternative 1" in §4.1
+// of the paper). It is the baseline the compiled back-ends are verified
+// against.
+package interp
+
+import (
+	"fmt"
+	"sync"
+
+	"progmp/internal/lang"
+	"progmp/internal/lang/types"
+	"progmp/internal/runtime"
+)
+
+// Interpreter executes a checked program directly over its AST. It is
+// safe for concurrent use with distinct environments; execution frames
+// are pooled so a steady-state execution does not allocate.
+type Interpreter struct {
+	info   *types.Info
+	frames sync.Pool
+}
+
+// New builds an interpreter for a checked program.
+func New(info *types.Info) *Interpreter {
+	it := &Interpreter{info: info}
+	it.frames.New = func() any {
+		return &frame{info: info, slots: make([]value, info.NumSlots)}
+	}
+	return it
+}
+
+// Exec runs one scheduler execution against env.
+func (it *Interpreter) Exec(env *runtime.Env) {
+	f := it.frames.Get().(*frame)
+	f.env = env
+	for _, s := range it.info.Prog.Stmts {
+		if f.execStmt(s) {
+			break
+		}
+	}
+	f.env = nil
+	for i := range f.slots {
+		f.slots[i] = value{}
+	}
+	it.frames.Put(f)
+}
+
+// value is the interpreter's dynamic value. Exactly one representation
+// is active, chosen by the static type of the producing expression.
+type value struct {
+	i    int64
+	b    bool
+	pkt  *runtime.PacketView
+	sbf  *runtime.SubflowView
+	list []*runtime.SubflowView
+	q    queueRef
+}
+
+// queueRef is a (possibly filtered) packet-queue value. Filters are
+// kept as predicates and applied lazily (late materialization, §4.1).
+type queueRef struct {
+	base  *runtime.Queue
+	preds []func(*runtime.PacketView) bool
+}
+
+// each visits visible, predicate-matching packets in queue order until
+// fn returns false.
+func (qr queueRef) each(fn func(*runtime.PacketView) bool) {
+	qr.base.All(func(p *runtime.PacketView) bool {
+		for _, pred := range qr.preds {
+			if !pred(p) {
+				return true // skip, continue walking
+			}
+		}
+		return fn(p)
+	})
+}
+
+// top returns the first matching packet or nil.
+func (qr queueRef) top() *runtime.PacketView {
+	var res *runtime.PacketView
+	qr.each(func(p *runtime.PacketView) bool {
+		res = p
+		return false
+	})
+	return res
+}
+
+// count returns the number of matching packets.
+func (qr queueRef) count() int64 {
+	var n int64
+	qr.each(func(*runtime.PacketView) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+type frame struct {
+	info  *types.Info
+	env   *runtime.Env
+	slots []value
+}
+
+// execStmt executes s; it returns true when a RETURN unwinds.
+func (f *frame) execStmt(s lang.Stmt) bool {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		for _, inner := range s.Stmts {
+			if f.execStmt(inner) {
+				return true
+			}
+		}
+	case *lang.IfStmt:
+		if f.eval(s.Cond).b {
+			for _, inner := range s.Then.Stmts {
+				if f.execStmt(inner) {
+					return true
+				}
+			}
+		} else if s.Else != nil {
+			return f.execStmt(s.Else)
+		}
+	case *lang.VarDecl:
+		sym := f.info.Defs[s]
+		f.slots[sym.Slot] = f.eval(s.Init)
+	case *lang.ForeachStmt:
+		list := f.eval(s.Iter).list
+		sym := f.info.Defs[s]
+		for _, sbf := range list {
+			f.slots[sym.Slot] = value{sbf: sbf}
+			for _, inner := range s.Body.Stmts {
+				if f.execStmt(inner) {
+					return true
+				}
+			}
+		}
+	case *lang.SetStmt:
+		f.env.SetReg(s.Reg, f.eval(s.Value).i)
+	case *lang.PushStmt:
+		target := f.eval(s.Target).sbf
+		pkt := f.eval(s.Arg).pkt
+		f.env.Push(target, pkt)
+	case *lang.DropStmt:
+		f.env.Drop(f.eval(s.Arg).pkt)
+	case *lang.ReturnStmt:
+		return true
+	}
+	return false
+}
+
+func (f *frame) eval(e lang.Expr) value {
+	switch e := e.(type) {
+	case *lang.NumberLit:
+		return value{i: e.Val}
+	case *lang.BoolLit:
+		return value{b: e.Val}
+	case *lang.NullLit:
+		return value{} // nil packet and nil subflow alike
+	case *lang.RegExpr:
+		return value{i: f.env.Reg(e.Index)}
+	case *lang.Ident:
+		return f.slots[f.info.Uses[e].Slot]
+	case *lang.EntityExpr:
+		switch e.Kind {
+		case lang.EntitySubflows:
+			return value{list: f.env.SubflowViews}
+		case lang.EntityQ:
+			return value{q: queueRef{base: f.env.SendQ}}
+		case lang.EntityQU:
+			return value{q: queueRef{base: f.env.UnackedQ}}
+		case lang.EntityRQ:
+			return value{q: queueRef{base: f.env.ReinjectQ}}
+		}
+	case *lang.UnaryExpr:
+		x := f.eval(e.X)
+		if e.Op == lang.NOT {
+			return value{b: !x.b}
+		}
+		return value{i: -x.i}
+	case *lang.BinaryExpr:
+		return f.evalBinary(e)
+	case *lang.MemberExpr:
+		return f.evalMember(e)
+	}
+	panic(fmt.Sprintf("interp: unhandled expression %T", e))
+}
+
+func (f *frame) evalBinary(e *lang.BinaryExpr) value {
+	// Short-circuit boolean operators.
+	switch e.Op {
+	case lang.AND:
+		if !f.eval(e.X).b {
+			return value{b: false}
+		}
+		return value{b: f.eval(e.Y).b}
+	case lang.OR:
+		if f.eval(e.X).b {
+			return value{b: true}
+		}
+		return value{b: f.eval(e.Y).b}
+	}
+	x := f.eval(e.X)
+	y := f.eval(e.Y)
+	switch e.Op {
+	case lang.PLUS:
+		return value{i: x.i + y.i}
+	case lang.MINUS:
+		return value{i: x.i - y.i}
+	case lang.STAR:
+		return value{i: x.i * y.i}
+	case lang.SLASH:
+		// Division by zero yields 0: no exceptions by design (§3.3).
+		if y.i == 0 {
+			return value{i: 0}
+		}
+		return value{i: x.i / y.i}
+	case lang.PERCENT:
+		if y.i == 0 {
+			return value{i: 0}
+		}
+		return value{i: x.i % y.i}
+	case lang.LT:
+		return value{b: x.i < y.i}
+	case lang.LTE:
+		return value{b: x.i <= y.i}
+	case lang.GT:
+		return value{b: x.i > y.i}
+	case lang.GTE:
+		return value{b: x.i >= y.i}
+	case lang.EQ, lang.NEQ:
+		eq := f.valuesEqual(e, x, y)
+		if e.Op == lang.NEQ {
+			eq = !eq
+		}
+		return value{b: eq}
+	}
+	panic(fmt.Sprintf("interp: unhandled binary op %s", e.Op))
+}
+
+func (f *frame) valuesEqual(e *lang.BinaryExpr, x, y value) bool {
+	switch f.info.TypeOf(e.X) {
+	case types.Packet:
+		return x.pkt == y.pkt
+	case types.Subflow:
+		return x.sbf == y.sbf
+	case types.Bool:
+		return x.b == y.b
+	default:
+		return x.i == y.i
+	}
+}
+
+func (f *frame) evalMember(e *lang.MemberExpr) value {
+	m := f.info.Members[e]
+	recv := f.eval(e.Recv)
+	switch m.Kind {
+	case types.MemberSbfInt:
+		if recv.sbf == nil {
+			return value{} // graceful NULL handling
+		}
+		return value{i: recv.sbf.Ints[m.SbfInt]}
+	case types.MemberSbfBool:
+		if recv.sbf == nil {
+			return value{}
+		}
+		return value{b: recv.sbf.Bools[m.SbfBool]}
+	case types.MemberHasWindowFor:
+		arg := f.eval(e.Args[0])
+		return value{b: recv.sbf.HasWindowFor(arg.pkt)}
+	case types.MemberPktInt:
+		if recv.pkt == nil {
+			return value{}
+		}
+		return value{i: recv.pkt.Ints[m.PktInt]}
+	case types.MemberSentOn:
+		arg := f.eval(e.Args[0])
+		return value{b: recv.pkt.SentOn(arg.sbf)}
+	case types.MemberFilter:
+		lam := e.Args[0].(*lang.Lambda)
+		sym := f.info.Defs[lam]
+		if m.RecvType == types.SubflowList {
+			var out []*runtime.SubflowView
+			for _, sbf := range recv.list {
+				f.slots[sym.Slot] = value{sbf: sbf}
+				if f.eval(lam.Body).b {
+					out = append(out, sbf)
+				}
+			}
+			return value{list: out}
+		}
+		qr := recv.q
+		pred := func(p *runtime.PacketView) bool {
+			f.slots[sym.Slot] = value{pkt: p}
+			return f.eval(lam.Body).b
+		}
+		return value{q: queueRef{base: qr.base, preds: append(append([]func(*runtime.PacketView) bool{}, qr.preds...), pred)}}
+	case types.MemberMin, types.MemberMax:
+		return f.evalMinMax(e, m, recv)
+	case types.MemberTop:
+		return value{pkt: recv.q.top()}
+	case types.MemberPop:
+		p := recv.q.top()
+		if p != nil {
+			f.env.Pop(recv.q.base.ID(), p)
+		}
+		return value{pkt: p}
+	case types.MemberEmpty:
+		if m.RecvType == types.SubflowList {
+			return value{b: len(recv.list) == 0}
+		}
+		return value{b: recv.q.top() == nil}
+	case types.MemberCount:
+		if m.RecvType == types.SubflowList {
+			return value{i: int64(len(recv.list))}
+		}
+		return value{i: recv.q.count()}
+	case types.MemberGet:
+		idx := f.eval(e.Args[0]).i
+		n := int64(len(recv.list))
+		if n == 0 {
+			return value{}
+		}
+		// Out-of-range indices wrap: graceful by design.
+		idx = ((idx % n) + n) % n
+		return value{sbf: recv.list[idx]}
+	}
+	panic(fmt.Sprintf("interp: unhandled member %s", e.Name))
+}
+
+// evalMinMax selects the element with minimal (or maximal) key; ties
+// resolve to the earliest element, and empty collections yield NULL.
+func (f *frame) evalMinMax(e *lang.MemberExpr, m *types.Member, recv value) value {
+	lam := e.Args[0].(*lang.Lambda)
+	sym := f.info.Defs[lam]
+	max := m.Kind == types.MemberMax
+	if m.RecvType == types.SubflowList {
+		var best *runtime.SubflowView
+		var bestKey int64
+		for _, sbf := range recv.list {
+			f.slots[sym.Slot] = value{sbf: sbf}
+			key := f.eval(lam.Body).i
+			if best == nil || (max && key > bestKey) || (!max && key < bestKey) {
+				best, bestKey = sbf, key
+			}
+		}
+		return value{sbf: best}
+	}
+	var best *runtime.PacketView
+	var bestKey int64
+	recv.q.each(func(p *runtime.PacketView) bool {
+		f.slots[sym.Slot] = value{pkt: p}
+		key := f.eval(lam.Body).i
+		if best == nil || (max && key > bestKey) || (!max && key < bestKey) {
+			best, bestKey = p, key
+		}
+		return true
+	})
+	return value{pkt: best}
+}

@@ -1,0 +1,361 @@
+package interp
+
+import (
+	"math/rand"
+	"testing"
+
+	"progmp/internal/envtest"
+	"progmp/internal/lang"
+	"progmp/internal/lang/types"
+	"progmp/internal/runtime"
+)
+
+func run(t *testing.T, src string, env *runtime.Env) *runtime.Env {
+	t.Helper()
+	info, err := types.Check(parseHelper(t, src))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	New(info).Exec(env)
+	return env
+}
+
+func parseHelper(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return prog
+}
+
+func parseNoFatal(src string) (*lang.Program, error) {
+	return lang.Parse(src)
+}
+
+func TestMinRTTPushesOnFastSubflow(t *testing.T) {
+	env := envtest.TwoSubflowEnv(3)
+	run(t, `IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {
+		SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+	}`, env)
+	if len(env.Actions) != 2 {
+		t.Fatalf("got %d actions, want 2 (pop+push): %v", len(env.Actions), env.Actions)
+	}
+	if env.Actions[0].Kind != runtime.ActionPop || env.Actions[0].Queue != runtime.QueueSend {
+		t.Errorf("first action = %+v, want POP from Q", env.Actions[0])
+	}
+	push := env.Actions[1]
+	if push.Kind != runtime.ActionPush {
+		t.Fatalf("second action = %+v, want PUSH", push)
+	}
+	if push.Subflow != env.SubflowViews[0].Handle {
+		t.Errorf("pushed on subflow handle %d, want fast subflow %d", push.Subflow, env.SubflowViews[0].Handle)
+	}
+	if push.Packet != runtime.PacketHandle(10000) {
+		t.Errorf("pushed packet %d, want first packet", push.Packet)
+	}
+}
+
+func TestEmptyQueueNoActions(t *testing.T) {
+	env := envtest.TwoSubflowEnv(0)
+	run(t, `IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {
+		SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+	}`, env)
+	if len(env.Actions) != 0 {
+		t.Errorf("got %d actions on empty queue, want 0", len(env.Actions))
+	}
+}
+
+func TestRedundantPushesOnAllSubflows(t *testing.T) {
+	env := envtest.TwoSubflowEnv(2)
+	run(t, `IF (!Q.EMPTY) {
+		VAR skb = Q.POP();
+		FOREACH (VAR sbf IN SUBFLOWS) { sbf.PUSH(skb); }
+	}`, env)
+	var pushes []runtime.Action
+	for _, a := range env.Actions {
+		if a.Kind == runtime.ActionPush {
+			pushes = append(pushes, a)
+		}
+	}
+	if len(pushes) != 2 {
+		t.Fatalf("got %d pushes, want 2", len(pushes))
+	}
+	if pushes[0].Packet != pushes[1].Packet {
+		t.Errorf("redundant pushes must carry the same packet")
+	}
+	if pushes[0].Subflow == pushes[1].Subflow {
+		t.Errorf("redundant pushes must target distinct subflows")
+	}
+}
+
+func TestRoundRobinRegisterState(t *testing.T) {
+	src := `VAR sbfs = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);
+IF (R1 >= sbfs.COUNT) { SET(R1, 0); }
+IF (!Q.EMPTY) {
+	VAR sbf = sbfs.GET(R1);
+	IF (sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED) {
+		sbf.PUSH(Q.POP());
+	}
+	SET(R1, R1 + 1);
+}`
+	env := envtest.TwoSubflowEnv(4)
+	info, err := types.Check(parseHelper(t, src))
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	it := New(info)
+	var firstTargets []runtime.SubflowHandle
+	// Three consecutive executions against fresh snapshots but shared
+	// registers must cycle through the subflows.
+	regs := env.Regs
+	for i := 0; i < 3; i++ {
+		e := envtest.TwoSubflowEnv(4)
+		e.Regs = regs
+		it.Exec(e)
+		for _, a := range e.Actions {
+			if a.Kind == runtime.ActionPush {
+				firstTargets = append(firstTargets, a.Subflow)
+			}
+		}
+	}
+	if len(firstTargets) != 3 {
+		t.Fatalf("got %d pushes over 3 executions, want 3", len(firstTargets))
+	}
+	if firstTargets[0] == firstTargets[1] {
+		t.Errorf("round robin did not alternate: %v", firstTargets)
+	}
+	if firstTargets[0] != firstTargets[2] {
+		t.Errorf("round robin should wrap around: %v", firstTargets)
+	}
+}
+
+func TestPopVisibilityWithinExecution(t *testing.T) {
+	// After POP, TOP must see the next packet.
+	env := envtest.TwoSubflowEnv(3)
+	run(t, `VAR first = Q.POP();
+VAR second = Q.POP();
+SUBFLOWS.GET(0).PUSH(first);
+SUBFLOWS.GET(1).PUSH(second);`, env)
+	var pushes []runtime.Action
+	for _, a := range env.Actions {
+		if a.Kind == runtime.ActionPush {
+			pushes = append(pushes, a)
+		}
+	}
+	if len(pushes) != 2 {
+		t.Fatalf("want 2 pushes, got %d", len(pushes))
+	}
+	if pushes[0].Packet == pushes[1].Packet {
+		t.Errorf("two POPs returned the same packet")
+	}
+}
+
+func TestFilteredQueueTopAndCount(t *testing.T) {
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{{ID: 0, RTT: 10, Cwnd: 10}},
+		QU: []envtest.PktSpec{
+			{Seq: 1, Size: 100, SentOn: []int{0}},
+			{Seq: 2, Size: 200},
+			{Seq: 3, Size: 300},
+		},
+	}.Build()
+	run(t, `VAR sbf = SUBFLOWS.GET(0);
+VAR unsent = QU.FILTER(s => !s.SENT_ON(sbf));
+SET(R1, unsent.COUNT);
+VAR skb = unsent.TOP;
+SET(R2, skb.SEQ);
+sbf.PUSH(skb);`, env)
+	if env.Reg(0) != 2 {
+		t.Errorf("filtered count = %d, want 2", env.Reg(0))
+	}
+	if env.Reg(1) != 2 {
+		t.Errorf("TOP of filtered queue has seq %d, want 2", env.Reg(1))
+	}
+}
+
+func TestMinMaxTiesAndEmpty(t *testing.T) {
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{
+			{ID: 0, RTT: 50}, {ID: 1, RTT: 50}, {ID: 2, RTT: 70},
+		},
+	}.Build()
+	run(t, `SET(R1, SUBFLOWS.MIN(s => s.RTT).ID);
+SET(R2, SUBFLOWS.MAX(s => s.RTT).ID);
+VAR none = SUBFLOWS.FILTER(s => s.RTT > 1000).MIN(s => s.RTT);
+IF (none == NULL) { SET(R3, 1); }
+SET(R4, none.RTT);`, env)
+	if env.Reg(0) != 0 {
+		t.Errorf("MIN tie should pick first element, got ID %d", env.Reg(0))
+	}
+	if env.Reg(1) != 2 {
+		t.Errorf("MAX ID = %d, want 2", env.Reg(1))
+	}
+	if env.Reg(2) != 1 {
+		t.Errorf("empty MIN should be NULL")
+	}
+	if env.Reg(3) != 0 {
+		t.Errorf("property of NULL subflow = %d, want graceful 0", env.Reg(3))
+	}
+}
+
+func TestGetWrapsAndHandlesEmpty(t *testing.T) {
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{{ID: 0, RTT: 1}, {ID: 1, RTT: 2}, {ID: 2, RTT: 3}},
+	}.Build()
+	run(t, `SET(R1, SUBFLOWS.GET(4).ID);
+SET(R2, SUBFLOWS.GET(-1).ID);
+VAR none = SUBFLOWS.FILTER(s => FALSE).GET(0);
+IF (none == NULL) { SET(R3, 1); }`, env)
+	if env.Reg(0) != 1 {
+		t.Errorf("GET(4) of 3 subflows = ID %d, want 1 (wraps)", env.Reg(0))
+	}
+	if env.Reg(1) != 2 {
+		t.Errorf("GET(-1) = ID %d, want 2 (wraps)", env.Reg(1))
+	}
+	if env.Reg(2) != 1 {
+		t.Errorf("GET on empty list should be NULL")
+	}
+}
+
+func TestArithmeticGracefulDivZero(t *testing.T) {
+	env := envtest.TwoSubflowEnv(0)
+	run(t, `SET(R1, 7 / 0);
+SET(R2, 7 % 0);
+SET(R3, 17 / 5);
+SET(R4, 17 % 5);
+SET(R5, 0 - 3);`, env)
+	want := []int64{0, 0, 3, 2, -3}
+	for i, w := range want {
+		if env.Reg(i) != w {
+			t.Errorf("R%d = %d, want %d", i+1, env.Reg(i), w)
+		}
+	}
+}
+
+func TestShortCircuitPreventsNullDeref(t *testing.T) {
+	// AND/OR short-circuit like the kernel runtime; since property access
+	// on NULL is graceful anyway, this test asserts value semantics.
+	env := envtest.EnvSpec{}.Build() // no subflows at all
+	run(t, `VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL AND sbf.RTT < 100) { SET(R1, 1); } ELSE { SET(R1, 2); }
+IF (sbf == NULL OR sbf.CWND == 0) { SET(R2, 1); }`, env)
+	if env.Reg(0) != 2 {
+		t.Errorf("R1 = %d, want 2 (NULL guard)", env.Reg(0))
+	}
+	if env.Reg(1) != 1 {
+		t.Errorf("R2 = %d, want 1", env.Reg(1))
+	}
+}
+
+func TestReturnStopsExecution(t *testing.T) {
+	env := envtest.TwoSubflowEnv(1)
+	run(t, `SET(R1, 1);
+IF (TRUE) { RETURN; }
+SET(R2, 1);`, env)
+	if env.Reg(0) != 1 || env.Reg(1) != 0 {
+		t.Errorf("R1=%d R2=%d, want 1 and 0 (RETURN must stop execution)", env.Reg(0), env.Reg(1))
+	}
+}
+
+func TestReturnInsideForeach(t *testing.T) {
+	env := envtest.TwoSubflowEnv(0)
+	run(t, `FOREACH (VAR s IN SUBFLOWS) {
+	SET(R1, R1 + 1);
+	IF (R1 == 1) { RETURN; }
+}
+SET(R2, 99);`, env)
+	if env.Reg(0) != 1 {
+		t.Errorf("loop ran %d iterations, want 1", env.Reg(0))
+	}
+	if env.Reg(1) != 0 {
+		t.Errorf("statements after RETURN executed")
+	}
+}
+
+func TestPushToNullSubflowIsNoop(t *testing.T) {
+	env := envtest.TwoSubflowEnv(1)
+	run(t, `VAR none = SUBFLOWS.FILTER(s => FALSE).MIN(s => s.RTT);
+none.PUSH(Q.POP());`, env)
+	for _, a := range env.Actions {
+		if a.Kind == runtime.ActionPush {
+			t.Errorf("PUSH to NULL subflow must be a no-op, got %+v", a)
+		}
+	}
+}
+
+func TestDropRecordsAction(t *testing.T) {
+	env := envtest.TwoSubflowEnv(2)
+	run(t, `DROP(Q.POP());`, env)
+	if len(env.Actions) != 2 {
+		t.Fatalf("got %d actions, want pop+drop", len(env.Actions))
+	}
+	if env.Actions[1].Kind != runtime.ActionDrop {
+		t.Errorf("action = %+v, want DROP", env.Actions[1])
+	}
+}
+
+func TestHasWindowFor(t *testing.T) {
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{{ID: 0, RTT: 10, RWndFree: 500}},
+		Q:        []envtest.PktSpec{{Seq: 0, Size: 400}, {Seq: 1, Size: 600}},
+	}.Build()
+	run(t, `VAR sbf = SUBFLOWS.GET(0);
+IF (sbf.HAS_WINDOW_FOR(Q.TOP)) { SET(R1, 1); }
+IF (!sbf.HAS_WINDOW_FOR(Q.FILTER(p => p.SEQ == 1).TOP)) { SET(R2, 1); }`, env)
+	if env.Reg(0) != 1 {
+		t.Errorf("400-byte packet should fit in 500-byte window")
+	}
+	if env.Reg(1) != 1 {
+		t.Errorf("600-byte packet should not fit in 500-byte window")
+	}
+}
+
+func TestBackupFilterSemantics(t *testing.T) {
+	env := envtest.TwoSubflowEnv(1) // subflow 1 is backup
+	run(t, `VAR nonBackup = SUBFLOWS.FILTER(sbf => !sbf.IS_BACKUP);
+IF (!nonBackup.EMPTY) {
+	nonBackup.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+} ELSE {
+	SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+}`, env)
+	for _, a := range env.Actions {
+		if a.Kind == runtime.ActionPush && a.Subflow != env.SubflowViews[0].Handle {
+			t.Errorf("pushed on backup subflow while non-backup available")
+		}
+	}
+}
+
+func TestSentCountAndAgeProperties(t *testing.T) {
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{{ID: 0}},
+		QU:       []envtest.PktSpec{{Seq: 5, SentCount: 2, AgeUS: 1234, Prop: 7}},
+	}.Build()
+	run(t, `VAR p = QU.TOP;
+SET(R1, p.SENT_COUNT);
+SET(R2, p.AGE_US);
+SET(R3, p.PROP);
+SET(R4, p.SEQ);`, env)
+	for i, want := range []int64{2, 1234, 7, 5} {
+		if env.Reg(i) != want {
+			t.Errorf("R%d = %d, want %d", i+1, env.Reg(i), want)
+		}
+	}
+}
+
+func TestRandomProgramsDoNotPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		src := envtest.GenProgram(rng)
+		prog, err := parseNoFatal(src)
+		if err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		}
+		info, err := types.Check(prog)
+		if err != nil {
+			t.Fatalf("generated program does not check: %v\n%s", err, src)
+		}
+		env := envtest.RandomEnv(rng)
+		New(info).Exec(env) // must not panic
+	}
+}

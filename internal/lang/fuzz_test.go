@@ -1,0 +1,45 @@
+package lang
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts the front-end's robustness contract: Parse never
+// panics, and accepted programs reformat to text that parses again to
+// a stable canonical form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) { SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }",
+		"VAR sbfs = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);",
+		"SET(R1, R1 + 1);",
+		"FOREACH (VAR sbf IN SUBFLOWS) { sbf.PUSH(Q.TOP); }",
+		"DROP(RQ.POP());",
+		"IF (Q.TOP != NULL) { RETURN; } ELSE IF (QU.EMPTY) { SET(R8, 0); }",
+		"VAR x = (1 + 2) * -3 / R4 % 7;",
+		"IF (TRUE) {",
+		"))))(((",
+		"VAR VAR VAR",
+		"/* unterminated",
+		"// only a comment",
+		"",
+		"\x00\xff",
+		"R9 R0 R1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		formatted := prog.Format()
+		prog2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\noriginal: %q\nformatted: %q", err, src, formatted)
+		}
+		if again := prog2.Format(); again != formatted {
+			t.Fatalf("formatting is not a fixpoint:\nfirst:  %q\nsecond: %q", formatted, again)
+		}
+	})
+}

@@ -1,0 +1,175 @@
+// Package lang implements the front-end of the ProgMP scheduler
+// specification language: tokens, lexer, abstract syntax tree, and parser.
+//
+// The language follows the programming model of Frömmgen et al.
+// (Middleware 2017): declarative subflow and packet selection over the
+// queues Q, QU, RQ and the subflow set SUBFLOWS, single-assignment
+// variables, and side effects restricted to PUSH, DROP and SET.
+package lang
+
+import "fmt"
+
+// Kind enumerates lexical token kinds.
+type Kind int
+
+// Token kinds. Keyword kinds are recognized case-sensitively (the language
+// uses upper-case keywords, as in the paper's listings).
+const (
+	// Special.
+	EOF Kind = iota
+	ILLEGAL
+
+	// Literals and identifiers.
+	IDENT  // sbf, skb, ...
+	NUMBER // 123
+	REG    // R1 .. R8
+
+	// Punctuation.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	COMMA     // ,
+	SEMICOLON // ;
+	DOT       // .
+	ARROW     // =>
+	ASSIGN    // =
+
+	// Operators.
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	EQ      // ==
+	NEQ     // !=
+	LT      // <
+	LTE     // <=
+	GT      // >
+	GTE     // >=
+	NOT     // !
+
+	// Keyword operators.
+	AND // AND
+	OR  // OR
+
+	// Keywords.
+	IF      // IF
+	ELSE    // ELSE
+	VAR     // VAR
+	FOREACH // FOREACH
+	IN      // IN
+	SET     // SET
+	DROP    // DROP
+	RETURN  // RETURN
+	TRUE    // TRUE
+	FALSE   // FALSE
+	NULL    // NULL
+
+	// Built-in entities.
+	Q        // sending queue
+	QU       // unacknowledged (in-flight) queue
+	RQ       // reinjection queue
+	SUBFLOWS // set of subflows
+)
+
+var kindNames = map[Kind]string{
+	EOF:       "EOF",
+	ILLEGAL:   "ILLEGAL",
+	IDENT:     "IDENT",
+	NUMBER:    "NUMBER",
+	REG:       "REG",
+	LPAREN:    "(",
+	RPAREN:    ")",
+	LBRACE:    "{",
+	RBRACE:    "}",
+	COMMA:     ",",
+	SEMICOLON: ";",
+	DOT:       ".",
+	ARROW:     "=>",
+	ASSIGN:    "=",
+	PLUS:      "+",
+	MINUS:     "-",
+	STAR:      "*",
+	SLASH:     "/",
+	PERCENT:   "%",
+	EQ:        "==",
+	NEQ:       "!=",
+	LT:        "<",
+	LTE:       "<=",
+	GT:        ">",
+	GTE:       ">=",
+	NOT:       "!",
+	AND:       "AND",
+	OR:        "OR",
+	IF:        "IF",
+	ELSE:      "ELSE",
+	VAR:       "VAR",
+	FOREACH:   "FOREACH",
+	IN:        "IN",
+	SET:       "SET",
+	DROP:      "DROP",
+	RETURN:    "RETURN",
+	TRUE:      "TRUE",
+	FALSE:     "FALSE",
+	NULL:      "NULL",
+	Q:         "Q",
+	QU:        "QU",
+	RQ:        "RQ",
+	SUBFLOWS:  "SUBFLOWS",
+}
+
+// String returns the canonical spelling of the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"AND":      AND,
+	"OR":       OR,
+	"NOT":      NOT,
+	"IF":       IF,
+	"ELSE":     ELSE,
+	"VAR":      VAR,
+	"FOREACH":  FOREACH,
+	"IN":       IN,
+	"SET":      SET,
+	"DROP":     DROP,
+	"RETURN":   RETURN,
+	"TRUE":     TRUE,
+	"FALSE":    FALSE,
+	"NULL":     NULL,
+	"Q":        Q,
+	"QU":       QU,
+	"RQ":       RQ,
+	"SUBFLOWS": SUBFLOWS,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token with its source position and literal text.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT, NUMBER, REG
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER, REG, ILLEGAL:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

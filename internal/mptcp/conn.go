@@ -1,0 +1,553 @@
+package mptcp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"progmp/internal/netsim"
+	"progmp/internal/runtime"
+)
+
+// Scheduler is the execution interface of the scheduling block: one
+// run against an environment snapshot. core.Scheduler (ProgMP programs
+// on any back-end) and the native reference schedulers in package
+// sched both implement it.
+type Scheduler interface {
+	Exec(env *runtime.Env)
+}
+
+// Config holds connection parameters.
+type Config struct {
+	// MSS is the maximum segment payload (default 1460).
+	MSS int
+	// CC is the congestion-control algorithm (default LIA).
+	CC CongestionControl
+	// RcvBuf is the receiver buffer bounding the receive window
+	// (default 4 MiB).
+	RcvBuf int
+	// ReceiverMode selects the legacy two-level queue behaviour or the
+	// optimized §4.2 receiver (default optimized).
+	ReceiverMode ReceiverMode
+	// MinRTO floors the retransmission timeout (default 200 ms).
+	MinRTO time.Duration
+	// InitialCwnd in segments (default 10).
+	InitialCwnd float64
+	// TSQLimitBytes is the TCP-small-queues transmit budget per
+	// subflow (default 2 segments).
+	TSQLimitBytes int
+	// MaxSchedIterations bounds compressed executions per trigger
+	// (default 4096). Setting it to 1 disables compressed executions
+	// (ablation of the §4.1 optimization).
+	MaxSchedIterations int
+	// DisableTSQWake suppresses the TSQ-drain scheduler trigger so
+	// scheduling becomes purely ACK-clocked (ablation of the trigger
+	// model, Fig. 4).
+	DisableTSQWake bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.CC == nil {
+		c.CC = LIA{}
+	}
+	if c.RcvBuf == 0 {
+		c.RcvBuf = 4 << 20
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * time.Millisecond
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 10
+	}
+	if c.TSQLimitBytes == 0 {
+		c.TSQLimitBytes = 2 * c.MSS
+	}
+	if c.MaxSchedIterations == 0 {
+		c.MaxSchedIterations = 4096
+	}
+}
+
+// Conn is the sender-side meta socket of one MPTCP connection, wired
+// to its receiver through the subflows' simulated links.
+//
+// Queue invariants presented to schedulers (pairwise disjoint views,
+// §3.1): Q holds never-transmitted segments; QU holds transmitted,
+// unacknowledged segments that are not reinjection candidates; RQ
+// holds suspected-lost segments awaiting reinjection. A successful
+// PUSH moves a segment out of Q (and out of RQ) automatically;
+// cumulative DATA_ACKs remove segments from all queues.
+type Conn struct {
+	eng *netsim.Engine
+	cfg Config
+	cc  CongestionControl
+
+	sched Scheduler
+	regs  [runtime.NumRegisters]int64
+
+	subflows []*Subflow
+	receiver *Receiver
+
+	sendQ     *packetList // Q
+	unackedQ  *packetList // transmitted, un-DATA_ACKed (superset of RQ)
+	reinjectQ *packetList // RQ
+
+	nextSeq  int64
+	cumAcked int64 // meta seq below which everything is acked
+	rwnd     int64 // latest advertised receive window (bytes)
+	// Sequence-space window accounting (bytes): ackedOffset is the
+	// stream offset below which everything is cumulatively acked;
+	// maxSentEnd is the end offset of the highest segment ever
+	// transmitted. New data must satisfy
+	// end - ackedOffset <= rwnd; retransmissions always fit.
+	ackedOffset int64
+	maxSentEnd  int64
+	bytesQueued int64 // total bytes enqueued so far (next Offset)
+	pktBySeq    map[int64]*Packet
+
+	scheduling   bool
+	schedPending bool
+
+	// Stats.
+	SchedulerExecutions int64
+	TotalEnqueued       int64
+	onAllAcked          func()
+}
+
+// NewConn creates a connection with its receiver.
+func NewConn(eng *netsim.Engine, cfg Config) *Conn {
+	cfg.applyDefaults()
+	c := &Conn{
+		eng:       eng,
+		cfg:       cfg,
+		cc:        cfg.CC,
+		sendQ:     newPacketList(),
+		unackedQ:  newPacketList(),
+		reinjectQ: newPacketList(),
+		pktBySeq:  make(map[int64]*Packet),
+		rwnd:      int64(cfg.RcvBuf),
+	}
+	c.receiver = newReceiver(c, cfg.ReceiverMode, cfg.RcvBuf)
+	return c
+}
+
+// Engine returns the simulation engine.
+func (c *Conn) Engine() *netsim.Engine { return c.eng }
+
+// Config returns the connection configuration.
+func (c *Conn) Config() Config { return c.cfg }
+
+// Receiver returns the peer model.
+func (c *Conn) Receiver() *Receiver { return c.receiver }
+
+// SetScheduler installs the scheduling block. Switching schedulers at
+// runtime is disadvised by the paper (§3.2); the API allows it before
+// traffic starts.
+func (c *Conn) SetScheduler(s Scheduler) { c.sched = s }
+
+// SetRegister writes a scheduler register through the extended
+// scheduling API (§3.2) and triggers a scheduling pass so the new
+// intent takes effect immediately.
+func (c *Conn) SetRegister(i int, v int64) {
+	if i >= 0 && i < runtime.NumRegisters {
+		c.regs[i] = v
+		c.schedule()
+	}
+}
+
+// Register reads a scheduler register.
+func (c *Conn) Register(i int) int64 {
+	if i < 0 || i >= runtime.NumRegisters {
+		return 0
+	}
+	return c.regs[i]
+}
+
+// AddSubflow registers a subflow; the path manager establishes it at
+// cfg.StartAt.
+func (c *Conn) AddSubflow(cfg SubflowConfig) (*Subflow, error) {
+	if len(c.subflows) >= runtime.MaxSubflows {
+		return nil, fmt.Errorf("mptcp: subflow limit %d reached", runtime.MaxSubflows)
+	}
+	if cfg.Link == nil {
+		return nil, fmt.Errorf("mptcp: subflow %q has no link", cfg.Name)
+	}
+	initialCwnd := cfg.InitialCwnd
+	if initialCwnd == 0 {
+		initialCwnd = c.cfg.InitialCwnd
+	}
+	s := &Subflow{
+		id:            len(c.subflows),
+		name:          cfg.Name,
+		conn:          c,
+		link:          cfg.Link,
+		backup:        cfg.Backup,
+		cwnd:          initialCwnd,
+		ssthresh:      1 << 20, // effectively unbounded until first loss
+		highestSacked: -1,
+	}
+	c.subflows = append(c.subflows, s)
+	c.receiver.addSubflow()
+	c.eng.At(cfg.StartAt, s.establish)
+	return s, nil
+}
+
+// Subflows returns all subflows (including closed ones; check
+// Established/Closed).
+func (c *Conn) Subflows() []*Subflow { return c.subflows }
+
+// Send enqueues n bytes with the given per-packet scheduling intent
+// (§3.2 packet properties), split into MSS-sized segments, and
+// triggers the scheduler (Fig. 4: packets arrive in Q).
+func (c *Conn) Send(n int, prop int64) {
+	now := c.eng.Now()
+	for n > 0 {
+		size := c.cfg.MSS
+		if n < size {
+			size = n
+		}
+		n -= size
+		pkt := &Packet{
+			Seq:        c.nextSeq,
+			Size:       size,
+			Offset:     c.bytesQueued,
+			Prop:       prop,
+			EnqueuedAt: now,
+		}
+		c.bytesQueued += int64(size)
+		c.nextSeq++
+		c.pktBySeq[pkt.Seq] = pkt
+		c.sendQ.pushBack(pkt)
+		c.TotalEnqueued++
+	}
+	c.schedule()
+}
+
+// QueuedSegments returns the Q length.
+func (c *Conn) QueuedSegments() int { return c.sendQ.len() }
+
+// UnackedSegments returns the number of transmitted, unacked segments.
+func (c *Conn) UnackedSegments() int { return c.unackedQ.len() }
+
+// AllAcked reports whether every enqueued byte has been cumulatively
+// acknowledged.
+func (c *Conn) AllAcked() bool {
+	return c.sendQ.len() == 0 && c.unackedQ.len() == 0 && c.nextSeq > 0
+}
+
+// OnAllAcked registers a callback fired when the send buffer fully
+// drains (used for flow-completion-time measurements).
+func (c *Conn) OnAllAcked(fn func()) { c.onAllAcked = fn }
+
+// rwndFreeBytes is the remaining receive window for new data:
+// advertised window minus the sequence space already in use between
+// the cumulative ACK and the highest transmitted byte.
+func (c *Conn) rwndFreeBytes() int64 {
+	used := c.maxSentEnd - c.ackedOffset
+	free := c.rwnd - used
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// withinWindow reports whether transmitting pkt respects the receive
+// window. Segments at or below the current send frontier are
+// retransmissions of in-window data and always pass (TCP window
+// semantics are sequence space, not bytes in flight).
+func (c *Conn) withinWindow(pkt *Packet) bool {
+	end := pkt.Offset + int64(pkt.Size)
+	if end <= c.maxSentEnd {
+		return true
+	}
+	return end-c.ackedOffset <= c.rwnd
+}
+
+// noteTransmitted advances the send frontier.
+func (c *Conn) noteTransmitted(pkt *Packet) {
+	if end := pkt.Offset + int64(pkt.Size); end > c.maxSentEnd {
+		c.maxSentEnd = end
+	}
+}
+
+// inFlightElsewhere reports whether pkt has an outstanding
+// transmission on a live subflow other than except.
+func (c *Conn) inFlightElsewhere(pkt *Packet, except *Subflow) bool {
+	for _, s := range c.subflows {
+		if s == except || !s.usable() {
+			continue
+		}
+		for _, rec := range s.outstanding {
+			if rec.pkt == pkt {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// returnToSendQ puts a no-longer-in-flight packet back into Q so any
+// scheduler — including ones that never read RQ — will eventually
+// deliver it.
+func (c *Conn) returnToSendQ(pkt *Packet) {
+	c.unackedQ.remove(pkt)
+	c.reinjectQ.remove(pkt)
+	c.insertSendQ(pkt)
+	c.schedule()
+}
+
+// addReinject queues pkt for reinjection (it joins RQ unless already
+// acked) and triggers the scheduler (Fig. 4: loss events).
+func (c *Conn) addReinject(pkt *Packet) {
+	if pkt.MetaAcked {
+		return
+	}
+	c.reinjectQ.pushBack(pkt)
+	c.schedule()
+}
+
+// onSubflowEstablished fires the scheduler (Fig. 4: subflow events).
+func (c *Conn) onSubflowEstablished(*Subflow) { c.schedule() }
+
+// onSubflowClosed fires the scheduler after a subflow teardown.
+func (c *Conn) onSubflowClosed(*Subflow) { c.schedule() }
+
+// onAck processes the meta-level part of an acknowledgement: the
+// cumulative DATA_ACK removes packets from all queues (§3.1), and the
+// advertised window is refreshed. It then triggers the scheduler.
+func (c *Conn) onAck(metaCumAck int64, rwnd int64, _ *Subflow) {
+	c.rwnd = rwnd
+	if metaCumAck > c.cumAcked {
+		for seq := c.cumAcked; seq < metaCumAck; seq++ {
+			pkt := c.pktBySeq[seq]
+			if pkt == nil {
+				continue
+			}
+			pkt.MetaAcked = true
+			if end := pkt.Offset + int64(pkt.Size); end > c.ackedOffset {
+				c.ackedOffset = end
+			}
+			c.unackedQ.remove(pkt)
+			c.reinjectQ.remove(pkt)
+			c.sendQ.remove(pkt)
+		}
+		c.cumAcked = metaCumAck
+		if c.AllAcked() && c.onAllAcked != nil {
+			cb := c.onAllAcked
+			c.onAllAcked = nil
+			cb()
+		}
+	}
+	c.schedule()
+}
+
+// schedule runs the scheduling block: build a snapshot, execute, apply
+// the action queue, and repeat while the scheduler makes progress
+// (compressed executions, §4.1). Reentrant triggers coalesce.
+func (c *Conn) schedule() {
+	if c.sched == nil {
+		return
+	}
+	if c.scheduling {
+		c.schedPending = true
+		return
+	}
+	c.scheduling = true
+	defer func() { c.scheduling = false }()
+	for iter := 0; iter < c.cfg.MaxSchedIterations; iter++ {
+		c.schedPending = false
+		env := c.buildEnv()
+		c.sched.Exec(env)
+		c.SchedulerExecutions++
+		progress := c.applyActions(env)
+		if !progress && !c.schedPending {
+			return
+		}
+	}
+}
+
+// buildEnv snapshots the scheduling environment (§3.1). Properties are
+// immutable for the execution; side effects are collected in the
+// action queue.
+func (c *Conn) buildEnv() *runtime.Env {
+	var views []*runtime.SubflowView
+	rwndFree := c.rwndFreeBytes()
+	now := c.eng.Now()
+	for _, s := range c.subflows {
+		if !s.usable() {
+			continue
+		}
+		v := &runtime.SubflowView{
+			Handle:        runtime.SubflowHandle(s.id + 1),
+			RWndFreeBytes: rwndFree,
+		}
+		v.Ints[runtime.SbfID] = int64(s.id)
+		v.Ints[runtime.SbfRTT] = s.srtt.Microseconds()
+		v.Ints[runtime.SbfRTTAvg] = s.avgRTT().Microseconds()
+		v.Ints[runtime.SbfRTTVar] = s.rttvar.Microseconds()
+		v.Ints[runtime.SbfCwnd] = int64(s.cwnd)
+		v.Ints[runtime.SbfSkbsInFlight] = s.wireInFlight()
+		v.Ints[runtime.SbfQueued] = s.queuedSegments()
+		v.Ints[runtime.SbfThroughput] = s.Throughput()
+		v.Ints[runtime.SbfMSS] = int64(c.cfg.MSS)
+		v.Ints[runtime.SbfLostSkbs] = s.lostPending()
+		v.Ints[runtime.SbfRTO] = s.currentRTO().Microseconds()
+		v.Bools[runtime.SbfLossy] = s.inRecovery
+		v.Bools[runtime.SbfTSQThrottled] = s.tsqThrottled()
+		v.Bools[runtime.SbfIsBackup] = s.backup
+		views = append(views, v)
+	}
+	mkQueue := func(id runtime.QueueID, pkts []*Packet, exclude *packetList) *runtime.Queue {
+		var pvs []*runtime.PacketView
+		for _, p := range pkts {
+			if exclude != nil && exclude.contains(p) {
+				continue
+			}
+			pv := &runtime.PacketView{
+				Handle:     runtime.PacketHandle(p.Seq + 1),
+				SentOnMask: p.SentOnMask,
+			}
+			pv.Ints[runtime.PktSize] = int64(p.Size)
+			pv.Ints[runtime.PktSeq] = p.Seq
+			pv.Ints[runtime.PktProp] = p.Prop
+			pv.Ints[runtime.PktSentCount] = int64(p.SentCount)
+			pv.Ints[runtime.PktAgeUS] = (now - p.EnqueuedAt).Microseconds()
+			if p.SentCount > 0 {
+				pv.Ints[runtime.PktLastSentUS] = (now - p.LastSentAt).Microseconds()
+			} else {
+				pv.Ints[runtime.PktLastSentUS] = -1
+			}
+			pvs = append(pvs, pv)
+		}
+		return runtime.NewQueue(id, pvs)
+	}
+	return runtime.NewEnv(views,
+		mkQueue(runtime.QueueSend, c.sendQ.all(), nil),
+		mkQueue(runtime.QueueUnacked, c.unackedQ.all(), c.reinjectQ),
+		mkQueue(runtime.QueueReinject, c.reinjectQ.all(), nil),
+		&c.regs)
+}
+
+// applyActions commits the execution's action queue to the connection
+// state and reports whether the scheduler made progress (transmitted
+// or deliberately dropped something).
+func (c *Conn) applyActions(env *runtime.Env) bool {
+	type popEntry struct {
+		pkt *Packet
+		q   runtime.QueueID
+	}
+	var pops []popEntry
+	consumed := make(map[*Packet]bool)
+	progress := false
+	for _, a := range env.Actions {
+		switch a.Kind {
+		case runtime.ActionPop:
+			pkt := c.pktOf(a.Packet)
+			if pkt == nil || pkt.MetaAcked {
+				continue
+			}
+			if c.queueList(a.Queue).remove(pkt) {
+				pops = append(pops, popEntry{pkt: pkt, q: a.Queue})
+			}
+		case runtime.ActionPush:
+			pkt := c.pktOf(a.Packet)
+			sbf := c.sbfOf(a.Subflow)
+			if pkt == nil || sbf == nil {
+				continue
+			}
+			if pkt.MetaAcked {
+				consumed[pkt] = true
+				continue
+			}
+			if sbf.transmit(pkt) {
+				progress = true
+				consumed[pkt] = true
+				// A transmitted segment leaves Q and RQ and is
+				// tracked as unacknowledged.
+				c.sendQ.remove(pkt)
+				c.reinjectQ.remove(pkt)
+				c.insertUnacked(pkt)
+			}
+		case runtime.ActionDrop:
+			pkt := c.pktOf(a.Packet)
+			if pkt == nil {
+				continue
+			}
+			consumed[pkt] = true
+			removed := c.sendQ.remove(pkt) || c.reinjectQ.remove(pkt)
+			if pkt.SentCount == 0 && !c.unackedQ.contains(pkt) && !pkt.MetaAcked {
+				// Dropping never-transmitted data would lose bytes of
+				// the stream; reinsert (packets must not be lost by
+				// design, §3.3) and count no progress for it.
+				c.insertSendQ(pkt)
+			} else if removed {
+				progress = true
+			}
+		}
+	}
+	// Popped packets that were neither pushed nor dropped return to
+	// their queue (graceful: no packet loss on scheduler mistakes).
+	for i := len(pops) - 1; i >= 0; i-- {
+		e := pops[i]
+		if consumed[e.pkt] || e.pkt.MetaAcked {
+			continue
+		}
+		if e.q == runtime.QueueSend {
+			c.insertSendQ(e.pkt)
+		} else {
+			c.queueList(e.q).pushFront(e.pkt)
+		}
+	}
+	return progress
+}
+
+// insertUnacked keeps QU ordered by meta sequence number.
+func (c *Conn) insertUnacked(pkt *Packet) {
+	if c.unackedQ.contains(pkt) {
+		return
+	}
+	pkts := c.unackedQ.all()
+	idx := sort.Search(len(pkts), func(i int) bool { return pkts[i].Seq > pkt.Seq })
+	c.unackedQ.pkts = append(c.unackedQ.pkts, nil)
+	copy(c.unackedQ.pkts[idx+1:], c.unackedQ.pkts[idx:])
+	c.unackedQ.pkts[idx] = pkt
+	c.unackedQ.in[pkt] = true
+}
+
+// insertSendQ reinserts pkt into Q in sequence order.
+func (c *Conn) insertSendQ(pkt *Packet) {
+	if c.sendQ.contains(pkt) {
+		return
+	}
+	pkts := c.sendQ.all()
+	idx := sort.Search(len(pkts), func(i int) bool { return pkts[i].Seq > pkt.Seq })
+	c.sendQ.pkts = append(c.sendQ.pkts, nil)
+	copy(c.sendQ.pkts[idx+1:], c.sendQ.pkts[idx:])
+	c.sendQ.pkts[idx] = pkt
+	c.sendQ.in[pkt] = true
+}
+
+func (c *Conn) pktOf(h runtime.PacketHandle) *Packet {
+	return c.pktBySeq[int64(h)-1]
+}
+
+func (c *Conn) sbfOf(h runtime.SubflowHandle) *Subflow {
+	idx := int(h) - 1
+	if idx < 0 || idx >= len(c.subflows) {
+		return nil
+	}
+	return c.subflows[idx]
+}
+
+func (c *Conn) queueList(id runtime.QueueID) *packetList {
+	switch id {
+	case runtime.QueueSend:
+		return c.sendQ
+	case runtime.QueueUnacked:
+		return c.unackedQ
+	default:
+		return c.reinjectQ
+	}
+}

@@ -1,0 +1,102 @@
+// Package mptcp is a userspace model of the Multipath TCP sender and
+// receiver sufficient to host ProgMP schedulers: the meta socket with
+// the queues Q/QU/RQ of §3.1, subflows with Reno/LIA congestion
+// control, RFC 6298 RTT estimation, SACK-style loss detection, RTO
+// handling with mandatory subflow-level retransmission, TSQ throttling,
+// and the two-level receiver queue architecture of §4.2 in both its
+// legacy and optimized ("fastest possible packet handling") variants.
+//
+// It substitutes for the paper's in-kernel runtime (see DESIGN.md);
+// the scheduler decision surface — subflow and packet properties,
+// queue contents, triggering events — matches the programming model.
+package mptcp
+
+import (
+	"time"
+)
+
+// Packet is one meta-level segment. Segments carry a data sequence
+// number at packet granularity; the size is the payload in bytes.
+type Packet struct {
+	Seq  int64
+	Size int
+	// Offset is the packet's first byte's position in the stream;
+	// receive-window accounting works in sequence space, so
+	// retransmissions of old data never consume new window.
+	Offset     int64
+	Prop       int64 // application-set scheduling intent (§3.2)
+	EnqueuedAt time.Duration
+
+	// SentOnMask has bit i set after a transmission on subflow id i.
+	SentOnMask uint64
+	SentCount  int
+	// LastSentAt is the time of the most recent transmission.
+	LastSentAt time.Duration
+	// MetaAcked is set once the cumulative DATA_ACK covers the packet;
+	// acked packets are automatically removed from all queues (§3.1).
+	MetaAcked bool
+}
+
+// sentOn reports a prior transmission on the subflow id.
+func (p *Packet) sentOn(id int) bool { return p.SentOnMask&(1<<uint(id)) != 0 }
+
+// packetList is an ordered packet queue with O(1) membership checks,
+// used for Q, QU and RQ. Queues hold each packet at most once.
+type packetList struct {
+	pkts []*Packet
+	in   map[*Packet]bool
+}
+
+func newPacketList() *packetList {
+	return &packetList{in: make(map[*Packet]bool)}
+}
+
+func (l *packetList) len() int { return len(l.pkts) }
+
+func (l *packetList) contains(p *Packet) bool { return l.in[p] }
+
+// pushBack appends p unless already present.
+func (l *packetList) pushBack(p *Packet) {
+	if l.in[p] {
+		return
+	}
+	l.pkts = append(l.pkts, p)
+	l.in[p] = true
+}
+
+// pushFront prepends p unless already present (used to reinsert popped
+// packets that were neither pushed nor dropped — packets must not be
+// lost by design, §3.3).
+func (l *packetList) pushFront(p *Packet) {
+	if l.in[p] {
+		return
+	}
+	l.pkts = append([]*Packet{p}, l.pkts...)
+	l.in[p] = true
+}
+
+// remove deletes p, reporting whether it was present.
+func (l *packetList) remove(p *Packet) bool {
+	if !l.in[p] {
+		return false
+	}
+	delete(l.in, p)
+	for i, cand := range l.pkts {
+		if cand == p {
+			l.pkts = append(l.pkts[:i], l.pkts[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// front returns the first packet or nil.
+func (l *packetList) front() *Packet {
+	if len(l.pkts) == 0 {
+		return nil
+	}
+	return l.pkts[0]
+}
+
+// all returns the underlying slice (callers must not mutate).
+func (l *packetList) all() []*Packet { return l.pkts }

@@ -1,0 +1,209 @@
+package mptcp
+
+import (
+	"time"
+)
+
+// ReceiverMode selects the receiver-side packet-handling behaviour.
+type ReceiverMode int
+
+const (
+	// ReceiverOptimized applies the §4.2 changes: every arriving
+	// packet is considered for meta-level in-order delivery
+	// immediately, regardless of subflow-level gaps.
+	ReceiverOptimized ReceiverMode = iota
+	// ReceiverLegacy reproduces the pre-paper kernel behaviour: only
+	// in-subflow-order packets are pushed from the subflow to the meta
+	// socket, so a subflow-level gap can delay meta-level in-order
+	// data that has already arrived.
+	ReceiverLegacy
+)
+
+// String names the mode.
+func (m ReceiverMode) String() string {
+	if m == ReceiverLegacy {
+		return "legacy"
+	}
+	return "optimized"
+}
+
+// rxSeg is one received segment held in a reorder queue.
+type rxSeg struct {
+	metaSeq int64
+	size    int
+}
+
+// sbfRx is per-subflow receive state.
+type sbfRx struct {
+	// nextExpected is the lowest sbfSeq not yet received.
+	nextExpected int64
+	// held buffers out-of-subflow-order segments (legacy mode only).
+	held map[int64]rxSeg
+	// receivedHigh tracks sbfSeqs >= nextExpected already seen, for
+	// duplicate filtering in optimized mode.
+	receivedHigh map[int64]bool
+}
+
+// Receiver models the MPTCP receiver: per-subflow receive queues, the
+// meta-level out-of-order queue, in-order delivery to the application,
+// cumulative DATA_ACK generation and receive-window accounting.
+type Receiver struct {
+	conn   *Conn
+	mode   ReceiverMode
+	rcvBuf int
+
+	nextMetaSeq int64
+	oooMeta     map[int64]rxSeg
+	oooBytes    int
+
+	perSbf []*sbfRx
+
+	onDeliver func(seq int64, size int, at time.Duration)
+
+	// Stats.
+	DeliveredBytes    int64
+	DeliveredSegments int64
+	DuplicateSegments int64
+	// HeldByLegacy counts segments buffered behind a subflow-level gap
+	// by the legacy two-level queueing (§4.2); the optimized receiver
+	// never holds such segments back from the meta socket.
+	HeldByLegacy int64
+}
+
+func newReceiver(conn *Conn, mode ReceiverMode, rcvBuf int) *Receiver {
+	return &Receiver{
+		conn:    conn,
+		mode:    mode,
+		rcvBuf:  rcvBuf,
+		oooMeta: make(map[int64]rxSeg),
+	}
+}
+
+// Mode returns the configured receiver mode.
+func (r *Receiver) Mode() ReceiverMode { return r.mode }
+
+// OnDeliver registers the in-order delivery callback (the application
+// read path).
+func (r *Receiver) OnDeliver(fn func(seq int64, size int, at time.Duration)) {
+	r.onDeliver = fn
+}
+
+// NextMetaSeq exposes the in-order delivery frontier.
+func (r *Receiver) NextMetaSeq() int64 { return r.nextMetaSeq }
+
+func (r *Receiver) addSubflow() {
+	r.perSbf = append(r.perSbf, &sbfRx{
+		held:         make(map[int64]rxSeg),
+		receivedHigh: make(map[int64]bool),
+	})
+}
+
+// rwnd is the advertised receive window: buffer minus bytes held in
+// reorder queues (the in-order application consumes immediately).
+func (r *Receiver) rwnd() int64 {
+	held := r.oooBytes
+	for _, srx := range r.perSbf {
+		for _, seg := range srx.held {
+			held += seg.size
+		}
+	}
+	w := int64(r.rcvBuf - held)
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// onData handles one segment arriving on subflow s and returns the
+// acknowledgement through the reverse path.
+func (r *Receiver) onData(s *Subflow, sbfSeq, metaSeq int64, size int) {
+	srx := r.perSbf[s.id]
+	duplicate := sbfSeq < srx.nextExpected || srx.receivedHigh[sbfSeq]
+	if !duplicate {
+		srx.receivedHigh[sbfSeq] = true
+		switch r.mode {
+		case ReceiverOptimized:
+			r.metaProcess(metaSeq, size)
+			r.advanceSbf(srx)
+		case ReceiverLegacy:
+			srx.held[sbfSeq] = rxSeg{metaSeq: metaSeq, size: size}
+			if sbfSeq != srx.nextExpected {
+				// A subflow-level gap keeps this segment in the
+				// subflow out-of-order queue even though the meta
+				// socket might already be able to use it.
+				r.HeldByLegacy++
+			}
+			r.drainLegacy(srx)
+		}
+	} else {
+		r.DuplicateSegments++
+	}
+	// Acknowledge with the (possibly advanced) cumulative DATA_ACK and
+	// the current window.
+	metaCumAck := r.nextMetaSeq
+	rwnd := r.rwnd()
+	s.link.Rev.Send(ackSize, func() {
+		s.handleAck(sbfSeq, metaCumAck, rwnd)
+	})
+}
+
+// advanceSbf advances the subflow contiguity pointer past received
+// segments (bookkeeping shared by both modes).
+func (r *Receiver) advanceSbf(srx *sbfRx) {
+	for srx.receivedHigh[srx.nextExpected] {
+		delete(srx.receivedHigh, srx.nextExpected)
+		srx.nextExpected++
+	}
+}
+
+// drainLegacy pushes in-subflow-order segments up to the meta socket.
+func (r *Receiver) drainLegacy(srx *sbfRx) {
+	for {
+		seg, ok := srx.held[srx.nextExpected]
+		if !ok {
+			return
+		}
+		delete(srx.held, srx.nextExpected)
+		delete(srx.receivedHigh, srx.nextExpected)
+		srx.nextExpected++
+		r.metaProcess(seg.metaSeq, seg.size)
+	}
+}
+
+// metaProcess inserts one segment into the meta-level reorder state
+// and delivers any newly in-order prefix to the application.
+func (r *Receiver) metaProcess(metaSeq int64, size int) {
+	if metaSeq < r.nextMetaSeq {
+		r.DuplicateSegments++
+		return
+	}
+	if _, dup := r.oooMeta[metaSeq]; dup {
+		r.DuplicateSegments++
+		return
+	}
+	if metaSeq == r.nextMetaSeq {
+		r.deliver(metaSeq, size)
+		r.nextMetaSeq++
+		for {
+			seg, ok := r.oooMeta[r.nextMetaSeq]
+			if !ok {
+				break
+			}
+			delete(r.oooMeta, r.nextMetaSeq)
+			r.oooBytes -= seg.size
+			r.deliver(seg.metaSeq, seg.size)
+			r.nextMetaSeq++
+		}
+		return
+	}
+	r.oooMeta[metaSeq] = rxSeg{metaSeq: metaSeq, size: size}
+	r.oooBytes += size
+}
+
+func (r *Receiver) deliver(seq int64, size int) {
+	r.DeliveredBytes += int64(size)
+	r.DeliveredSegments++
+	if r.onDeliver != nil {
+		r.onDeliver(seq, size, r.conn.eng.Now())
+	}
+}

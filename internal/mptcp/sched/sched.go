@@ -1,0 +1,149 @@
+// Package sched provides native Go reference schedulers — the analogue
+// of the kernel's hand-written C schedulers. They implement exactly
+// the same semantics as their schedlib specifications, serving as the
+// baseline for the overhead evaluation (Fig. 9: "We compare the
+// execution times of the C-based default scheduler implementation with
+// a semantically equivalent scheduler specified in our programming
+// model") and as a differential oracle for the substrate tests.
+package sched
+
+import (
+	"progmp/internal/runtime"
+)
+
+// available reports the canonical availability condition: not
+// TSQ-throttled, not in loss state, congestion window not exhausted.
+func available(s *runtime.SubflowView) bool {
+	return !s.Bools[runtime.SbfTSQThrottled] &&
+		!s.Bools[runtime.SbfLossy] &&
+		s.Ints[runtime.SbfCwnd] > s.Ints[runtime.SbfSkbsInFlight]+s.Ints[runtime.SbfQueued]
+}
+
+// minRTTOf returns the view with minimal RTT among those passing keep,
+// or nil.
+func minRTTOf(views []*runtime.SubflowView, keep func(*runtime.SubflowView) bool) *runtime.SubflowView {
+	var best *runtime.SubflowView
+	for _, v := range views {
+		if keep != nil && !keep(v) {
+			continue
+		}
+		if best == nil || v.Ints[runtime.SbfRTT] < best.Ints[runtime.SbfRTT] {
+			best = v
+		}
+	}
+	return best
+}
+
+// reinject performs the reinjection-first behaviour shared by the
+// minRTT-derived schedulers (schedlib.ReinjectPrelude).
+func reinject(env *runtime.Env) {
+	top := env.ReinjectQ.Top()
+	if top == nil {
+		return
+	}
+	best := minRTTOf(env.SubflowViews, func(s *runtime.SubflowView) bool {
+		return available(s) && !top.SentOn(s)
+	})
+	if best == nil {
+		return
+	}
+	env.Pop(runtime.QueueReinject, top)
+	env.Push(best, top)
+}
+
+// MinRTT is the native default scheduler (semantically equivalent to
+// schedlib.MinRTT).
+type MinRTT struct{}
+
+// Exec runs one scheduling decision.
+func (MinRTT) Exec(env *runtime.Env) {
+	reinject(env)
+	if env.SendQ.Empty() {
+		return
+	}
+	anyNonBackup := false
+	for _, s := range env.SubflowViews {
+		if !s.Bools[runtime.SbfIsBackup] {
+			anyNonBackup = true
+			break
+		}
+	}
+	var target *runtime.SubflowView
+	if anyNonBackup {
+		target = minRTTOf(env.SubflowViews, func(s *runtime.SubflowView) bool {
+			return available(s) && !s.Bools[runtime.SbfIsBackup]
+		})
+	} else {
+		target = minRTTOf(env.SubflowViews, available)
+	}
+	if target == nil {
+		return
+	}
+	pkt := env.SendQ.Top()
+	env.Pop(runtime.QueueSend, pkt)
+	env.Push(target, pkt)
+}
+
+// RoundRobin is the native cyclic scheduler (semantically equivalent
+// to schedlib.RoundRobin; the rotating index lives in R8).
+type RoundRobin struct{}
+
+// Exec runs one scheduling decision.
+func (RoundRobin) Exec(env *runtime.Env) {
+	var sbfs []*runtime.SubflowView
+	for _, s := range env.SubflowViews {
+		if !s.Bools[runtime.SbfTSQThrottled] && !s.Bools[runtime.SbfLossy] {
+			sbfs = append(sbfs, s)
+		}
+	}
+	const reg = 7 // R8
+	if env.Reg(reg) >= int64(len(sbfs)) {
+		env.SetReg(reg, 0)
+	}
+	if env.SendQ.Empty() {
+		return
+	}
+	idx := env.Reg(reg)
+	n := int64(len(sbfs))
+	if n > 0 {
+		sbf := sbfs[((idx%n)+n)%n]
+		if sbf.Ints[runtime.SbfCwnd] > sbf.Ints[runtime.SbfSkbsInFlight]+sbf.Ints[runtime.SbfQueued] {
+			pkt := env.SendQ.Top()
+			env.Pop(runtime.QueueSend, pkt)
+			env.Push(sbf, pkt)
+		}
+	}
+	env.SetReg(reg, idx+1)
+}
+
+// Redundant is the native full-redundancy scheduler (semantically
+// equivalent to schedlib.Redundant).
+type Redundant struct{}
+
+// Exec runs one scheduling decision.
+func (Redundant) Exec(env *runtime.Env) {
+	for _, sbf := range env.SubflowViews {
+		// The redundant scheduler gates on the congestion window only
+		// (§5.1); TSQ is a default-scheduler refinement (footnote 2).
+		if sbf.Bools[runtime.SbfLossy] || sbf.Ints[runtime.SbfCwnd] <= sbf.Ints[runtime.SbfSkbsInFlight]+sbf.Ints[runtime.SbfQueued] {
+			continue
+		}
+		var unsent *runtime.PacketView
+		env.UnackedQ.All(func(p *runtime.PacketView) bool {
+			if !p.SentOn(sbf) {
+				unsent = p
+				return false
+			}
+			return true
+		})
+		if unsent != nil {
+			env.Push(sbf, unsent)
+			continue
+		}
+		fresh := env.SendQ.Top()
+		if fresh != nil {
+			env.Pop(runtime.QueueSend, fresh)
+			env.Push(sbf, fresh)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"progmp/internal/core"
+	"progmp/internal/envtest"
+	"progmp/internal/runtime"
+	"progmp/internal/schedlib"
+)
+
+// TestNativeMatchesDSL drives the native reference schedulers and
+// their schedlib specifications through random environments and
+// requires identical actions and registers — the "semantically
+// equivalent" relation the paper's Fig. 9 comparison rests on.
+func TestNativeMatchesDSL(t *testing.T) {
+	pairs := []struct {
+		name   string
+		native interface{ Exec(*runtime.Env) }
+		spec   string
+	}{
+		{"minRTT", MinRTT{}, schedlib.MinRTT},
+		{"roundRobin", RoundRobin{}, schedlib.RoundRobin},
+		{"redundant", Redundant{}, schedlib.Redundant},
+	}
+	for _, backend := range []core.Backend{core.BackendInterpreter, core.BackendCompiled, core.BackendVM} {
+		for _, pair := range pairs {
+			t.Run(pair.name+"/"+backend.String(), func(t *testing.T) {
+				dsl := core.MustLoad(pair.name, pair.spec, backend)
+				for seed := int64(0); seed < 300; seed++ {
+					envN := envtest.RandomEnv(rand.New(rand.NewSource(seed)))
+					envD := envtest.RandomEnv(rand.New(rand.NewSource(seed)))
+					pair.native.Exec(envN)
+					dsl.Exec(envD)
+					if !reflect.DeepEqual(envN.Actions, envD.Actions) {
+						t.Fatalf("seed %d: native and DSL diverge\nnative: %v\ndsl:    %v",
+							seed, envN.Actions, envD.Actions)
+					}
+					if *envN.Regs != *envD.Regs {
+						t.Fatalf("seed %d: register divergence\nnative: %v\ndsl:    %v",
+							seed, *envN.Regs, *envD.Regs)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestNativeMinRTTPicksFastAvailable(t *testing.T) {
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{
+			{ID: 0, RTT: 10000, Cwnd: 2, InFlight: 2}, // exhausted
+			{ID: 1, RTT: 30000, Cwnd: 10},
+			{ID: 2, RTT: 20000, Cwnd: 10, TSQ: true}, // throttled
+		},
+		Q: []envtest.PktSpec{{Seq: 0}},
+	}.Build()
+	MinRTT{}.Exec(env)
+	if env.PushCount() != 1 {
+		t.Fatalf("pushes = %d, want 1", env.PushCount())
+	}
+	if env.Actions[1].Subflow != env.SubflowViews[1].Handle {
+		t.Errorf("picked wrong subflow")
+	}
+}
+
+func TestNativeMinRTTServicesReinjectFirst(t *testing.T) {
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{
+			{ID: 0, RTT: 10000, Cwnd: 10},
+			{ID: 1, RTT: 30000, Cwnd: 10},
+		},
+		Q:  []envtest.PktSpec{{Seq: 5}},
+		RQ: []envtest.PktSpec{{Seq: 2, SentOn: []int{0}}},
+	}.Build()
+	MinRTT{}.Exec(env)
+	// First push must be the reinjection of seq 2 on subflow 1 (the
+	// packet was lost on subflow 0).
+	var pushes []runtime.Action
+	for _, a := range env.Actions {
+		if a.Kind == runtime.ActionPush {
+			pushes = append(pushes, a)
+		}
+	}
+	if len(pushes) != 2 {
+		t.Fatalf("pushes = %d, want reinject + fresh", len(pushes))
+	}
+	if pushes[0].Packet != runtime.PacketHandle(10002) || pushes[0].Subflow != env.SubflowViews[1].Handle {
+		t.Errorf("reinjection wrong: %+v", pushes[0])
+	}
+}
+
+func TestNativeRoundRobinCycles(t *testing.T) {
+	var regs [runtime.NumRegisters]int64
+	var targets []runtime.SubflowHandle
+	for i := 0; i < 4; i++ {
+		env := envtest.TwoSubflowEnv(1)
+		*env.Regs = regs
+		RoundRobin{}.Exec(env)
+		regs = *env.Regs
+		for _, a := range env.Actions {
+			if a.Kind == runtime.ActionPush {
+				targets = append(targets, a.Subflow)
+			}
+		}
+	}
+	if len(targets) != 4 {
+		t.Fatalf("pushes = %d, want 4", len(targets))
+	}
+	if targets[0] == targets[1] || targets[0] != targets[2] || targets[1] != targets[3] {
+		t.Errorf("round robin did not cycle: %v", targets)
+	}
+}

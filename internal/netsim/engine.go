@@ -1,0 +1,128 @@
+// Package netsim is a deterministic discrete-event network simulator:
+// virtual time, an event loop, and path models with serialization
+// delay, propagation delay, jitter, drop-tail queueing, time-varying
+// capacity and configurable loss processes. It substitutes for the
+// paper's Mininet emulations and "in the wild" WiFi/LTE measurements
+// (see DESIGN.md for the substitution rationale).
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker for stable ordering
+	fn  func()
+	// cancelled events stay in the heap but do not fire.
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer handles a scheduled event and allows cancellation.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer; firing a stopped timer is a no-op. Stop is
+// idempotent and safe on an already-fired timer.
+func (t *Timer) Stop() {
+	if t != nil && t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// Engine is a single-threaded discrete-event loop over virtual time.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now time.Duration
+	seq uint64
+	pq  eventHeap
+	rng *rand.Rand
+}
+
+// NewEngine returns an engine whose randomness is seeded for
+// reproducible runs.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand exposes the engine's deterministic randomness source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (e *Engine) At(t time.Duration, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn d after the current time.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Step fires the next event; it reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline and then advances
+// the clock to the deadline.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for {
+		// Peek for the next non-cancelled event.
+		for len(e.pq) > 0 && e.pq[0].cancelled {
+			heap.Pop(&e.pq)
+		}
+		if len(e.pq) == 0 || e.pq[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}

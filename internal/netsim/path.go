@@ -1,0 +1,296 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// RateFunc yields the path capacity in bytes per second at a virtual
+// time. Rates must be positive; Path treats non-positive rates as a
+// dead path (infinite serialization delay → tail drop).
+type RateFunc func(at time.Duration) float64
+
+// ConstantRate returns a fixed-capacity rate function.
+func ConstantRate(bytesPerSec float64) RateFunc {
+	return func(time.Duration) float64 { return bytesPerSec }
+}
+
+// Step is one segment of a piecewise-constant rate trace.
+type Step struct {
+	From time.Duration
+	Rate float64 // bytes/s from From (inclusive) onward
+}
+
+// SteppedRate returns a piecewise-constant rate. Steps must be sorted
+// by From; times before the first step use the first step's rate.
+func SteppedRate(steps ...Step) RateFunc {
+	return func(at time.Duration) float64 {
+		if len(steps) == 0 {
+			return 0
+		}
+		rate := steps[0].Rate
+		for _, s := range steps {
+			if at < s.From {
+				break
+			}
+			rate = s.Rate
+		}
+		return rate
+	}
+}
+
+// FluctuatingRate models WiFi-like capacity fluctuation: a sinusoid of
+// the given amplitude and period around base, never below floor.
+func FluctuatingRate(base, amplitude float64, period time.Duration, floor float64) RateFunc {
+	return func(at time.Duration) float64 {
+		phase := 2 * math.Pi * float64(at) / float64(period)
+		r := base + amplitude*math.Sin(phase)
+		if r < floor {
+			r = floor
+		}
+		return r
+	}
+}
+
+// LossModel decides per-packet loss. Implementations may keep state
+// (e.g. Gilbert-Elliott); Lost is called once per transmitted packet in
+// transmission order.
+type LossModel interface {
+	Lost(eng *Engine) bool
+}
+
+// NoLoss never drops packets.
+type NoLoss struct{}
+
+// Lost always reports false.
+func (NoLoss) Lost(*Engine) bool { return false }
+
+// BernoulliLoss drops each packet independently with probability P.
+type BernoulliLoss struct{ P float64 }
+
+// Lost samples the Bernoulli process.
+func (b BernoulliLoss) Lost(eng *Engine) bool { return eng.Rand().Float64() < b.P }
+
+// BlackoutLoss models a silent link death: from From onward every
+// packet is lost while the link still accepts and serializes traffic —
+// the "WiFi association silently gone" failure a path manager must
+// detect from missing acknowledgements.
+type BlackoutLoss struct{ From time.Duration }
+
+// Lost drops everything once the blackout begins.
+func (b BlackoutLoss) Lost(eng *Engine) bool { return eng.Now() >= b.From }
+
+// GilbertElliott is the classic two-state bursty loss model: in the
+// Good state packets drop with probability PGood, in the Bad state with
+// PBad; the chain switches states with the given probabilities per
+// packet.
+type GilbertElliott struct {
+	PGood, PBad            float64
+	PGoodToBad, PBadToGood float64
+	bad                    bool
+}
+
+// Lost advances the chain one packet and samples loss.
+func (g *GilbertElliott) Lost(eng *Engine) bool {
+	rng := eng.Rand()
+	if g.bad {
+		if rng.Float64() < g.PBadToGood {
+			g.bad = false
+		}
+	} else if rng.Float64() < g.PGoodToBad {
+		g.bad = true
+	}
+	p := g.PGood
+	if g.bad {
+		p = g.PBad
+	}
+	return rng.Float64() < p
+}
+
+// PathConfig describes one unidirectional path.
+type PathConfig struct {
+	Name string
+	// Rate is the link capacity; required.
+	Rate RateFunc
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// DelayFn, when set, overrides Delay with a time-varying
+	// propagation delay (e.g. WiFi RTT spikes).
+	DelayFn func(at time.Duration) time.Duration
+	// Jitter adds uniform random [0, Jitter) to each delivery.
+	Jitter time.Duration
+	// Loss drops packets after serialization (nil = no loss).
+	Loss LossModel
+	// QueueBytes bounds the drop-tail buffer ahead of the link
+	// (0 = a generous default of 256 KiB).
+	QueueBytes int
+	// Next, when set, chains this path into another: packets that
+	// survive this hop are re-sent on Next instead of being delivered.
+	// Use it to model a fast access link feeding a shared network
+	// bottleneck the sender's queue accounting cannot observe.
+	Next *Path
+	// RED, when set, applies Random Early Detection ahead of the
+	// drop-tail limit: packets drop with a probability ramping from 0
+	// at MinBytes of backlog to MaxP at MaxBytes. RED de-synchronizes
+	// losses across competing flows, the regime coupled congestion
+	// control is analysed in.
+	RED *REDConfig
+}
+
+// REDConfig parameterizes Random Early Detection.
+type REDConfig struct {
+	MinBytes int
+	MaxBytes int
+	MaxP     float64
+}
+
+// Path is a unidirectional link with serialization, queueing,
+// propagation, jitter and loss. Concurrent sends serialize FIFO.
+type Path struct {
+	eng *Engine
+	cfg PathConfig
+	// busyUntil is when the transmitter finishes its current backlog.
+	busyUntil time.Duration
+
+	// Stats.
+	SentPackets    int
+	SentBytes      int64
+	DroppedQueue   int
+	DroppedLoss    int
+	DeliveredCount int
+}
+
+// NewPath builds a path on the engine.
+func NewPath(eng *Engine, cfg PathConfig) *Path {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = 256 << 10
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = NoLoss{}
+	}
+	return &Path{eng: eng, cfg: cfg}
+}
+
+// Name returns the configured path name.
+func (p *Path) Name() string { return p.cfg.Name }
+
+// Config returns the path configuration.
+func (p *Path) Config() PathConfig { return p.cfg }
+
+// QueuedBytes reports the transmit backlog in bytes at the current
+// rate (an approximation during rate changes).
+func (p *Path) QueuedBytes() int {
+	now := p.eng.Now()
+	if p.busyUntil <= now {
+		return 0
+	}
+	rate := p.cfg.Rate(now)
+	if rate <= 0 {
+		return p.cfg.QueueBytes
+	}
+	return int(float64(p.busyUntil-now) / float64(time.Second) * rate)
+}
+
+// BacklogClearAt estimates the virtual time when the transmit backlog
+// will have drained to at most targetBytes (now when already below).
+func (p *Path) BacklogClearAt(targetBytes int) time.Duration {
+	now := p.eng.Now()
+	excess := p.QueuedBytes() - targetBytes
+	if excess <= 0 {
+		return now
+	}
+	rate := p.cfg.Rate(now)
+	if rate <= 0 {
+		// A dead link never drains; report a distant deadline.
+		return now + time.Hour
+	}
+	return now + time.Duration(float64(excess)/rate*float64(time.Second))
+}
+
+// Send transmits size bytes and calls deliver at the receiver when the
+// packet survives queueing and loss. It returns false when the packet
+// was tail-dropped at the local queue (the caller observes that only
+// through missing ACKs, like a real stack).
+func (p *Path) Send(size int, deliver func()) bool {
+	return p.SendTracked(size, deliver, nil)
+}
+
+// SendTracked is Send with an additional serialized callback fired when
+// the packet finishes serializing onto the wire (regardless of loss).
+// Senders use it for per-flow qdisc accounting — the basis of the
+// TCP-small-queues condition, which counts only the flow's own bytes
+// even on shared links.
+func (p *Path) SendTracked(size int, deliver, serialized func()) bool {
+	now := p.eng.Now()
+	rate := p.cfg.Rate(now)
+	if rate <= 0 {
+		p.DroppedQueue++
+		return false
+	}
+	backlog := p.QueuedBytes()
+	if backlog+size > p.cfg.QueueBytes {
+		p.DroppedQueue++
+		return false
+	}
+	if red := p.cfg.RED; red != nil && backlog > red.MinBytes {
+		prob := red.MaxP
+		if backlog < red.MaxBytes {
+			prob = red.MaxP * float64(backlog-red.MinBytes) / float64(red.MaxBytes-red.MinBytes)
+		}
+		if p.eng.Rand().Float64() < prob {
+			p.DroppedQueue++
+			return false
+		}
+	}
+	start := p.busyUntil
+	if start < now {
+		start = now
+	}
+	txTime := time.Duration(float64(size) / rate * float64(time.Second))
+	if txTime <= 0 {
+		txTime = time.Nanosecond
+	}
+	p.busyUntil = start + txTime
+	p.SentPackets++
+	p.SentBytes += int64(size)
+	if serialized != nil {
+		p.eng.At(p.busyUntil, serialized)
+	}
+	if p.cfg.Loss.Lost(p.eng) {
+		p.DroppedLoss++
+		return true // consumed link time, but never arrives
+	}
+	delay := p.cfg.Delay
+	if p.cfg.DelayFn != nil {
+		delay = p.cfg.DelayFn(now)
+	}
+	arrival := p.busyUntil + delay
+	if p.cfg.Jitter > 0 {
+		arrival += time.Duration(p.eng.Rand().Int63n(int64(p.cfg.Jitter)))
+	}
+	p.eng.At(arrival, func() {
+		p.DeliveredCount++
+		if p.cfg.Next != nil {
+			p.cfg.Next.Send(size, deliver)
+			return
+		}
+		deliver()
+	})
+	return true
+}
+
+// Link couples a forward (data) and reverse (ACK) path.
+type Link struct {
+	Fwd *Path
+	Rev *Path
+}
+
+// NewLink builds a symmetric-delay link with the forward config and a
+// high-capacity reverse path for ACK traffic.
+func NewLink(eng *Engine, cfg PathConfig) *Link {
+	rev := cfg
+	rev.Name = cfg.Name + "-rev"
+	rev.Loss = nil                 // ACK loss is modelled only when configured explicitly
+	rev.Rate = ConstantRate(125e6) // 1 Gb/s ACK path
+	return &Link{Fwd: NewPath(eng, cfg), Rev: NewPath(eng, rev)}
+}

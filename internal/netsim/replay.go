@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ReplayRate builds a capacity function from a recorded trace of
+// (time, bytes/s) samples — the stand-in for the production capacity
+// traces the paper's "in the wild" experiments ran against. Samples
+// must be sorted by time; the rate holds between samples (step
+// interpolation). With loop set, the trace repeats with its last
+// sample's timestamp as the period; otherwise the final rate holds
+// forever.
+func ReplayRate(samples []Sample, loop bool) RateFunc {
+	if len(samples) == 0 {
+		return ConstantRate(0)
+	}
+	period := samples[len(samples)-1].At
+	return func(at time.Duration) float64 {
+		if loop && period > 0 {
+			at = at % period
+		}
+		rate := samples[0].Value
+		for _, s := range samples {
+			if at < s.At {
+				break
+			}
+			rate = s.Value
+		}
+		return rate
+	}
+}
+
+// SyntheticCellularTrace generates a reproducible drive-test-like
+// capacity trace: a bounded random walk around mean with the given
+// per-step deviation, plus occasional deep fades (a few seconds at a
+// small fraction of the mean), the signature shape of cellular
+// throughput traces.
+func SyntheticCellularTrace(seed int64, duration, step time.Duration, mean, dev float64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Sample
+	rate := mean
+	fadeLeft := 0
+	for at := time.Duration(0); at <= duration; at += step {
+		if fadeLeft > 0 {
+			fadeLeft--
+			out = append(out, Sample{At: at, Value: mean * 0.1})
+			continue
+		}
+		if rng.Float64() < 0.02 {
+			// Enter a fade lasting 1–3 seconds.
+			fadeLeft = int(time.Duration(1+rng.Intn(3)) * time.Second / step)
+		}
+		rate += rng.NormFloat64() * dev
+		if rate < mean*0.2 {
+			rate = mean * 0.2
+		}
+		if rate > mean*1.8 {
+			rate = mean * 1.8
+		}
+		out = append(out, Sample{At: at, Value: rate})
+	}
+	return out
+}

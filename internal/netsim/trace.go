@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is one recorded measurement.
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// Recorder collects named time series during a simulation (the
+// measurement half of the experiment harness).
+type Recorder struct {
+	series map[string][]Sample
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string][]Sample)}
+}
+
+// Record appends a sample to the named series.
+func (r *Recorder) Record(name string, at time.Duration, value float64) {
+	r.series[name] = append(r.series[name], Sample{At: at, Value: value})
+}
+
+// Series returns the samples of one series (in recording order).
+func (r *Recorder) Series(name string) []Sample { return r.series[name] }
+
+// Names lists recorded series, sorted.
+func (r *Recorder) Names() []string {
+	names := make([]string, 0, len(r.series))
+	for n := range r.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Sum totals a series' values.
+func (r *Recorder) Sum(name string) float64 {
+	var s float64
+	for _, sample := range r.series[name] {
+		s += sample.Value
+	}
+	return s
+}
+
+// Mean averages a series; it returns 0 for an empty series.
+func (r *Recorder) Mean(name string) float64 {
+	ss := r.series[name]
+	if len(ss) == 0 {
+		return 0
+	}
+	return r.Sum(name) / float64(len(ss))
+}
+
+// Bucket aggregates a series into fixed-width time buckets, summing
+// values per bucket — e.g. bytes per interval for throughput plots.
+// The result has one entry per bucket from 0 through the last sample.
+func (r *Recorder) Bucket(name string, width time.Duration) []float64 {
+	ss := r.series[name]
+	if len(ss) == 0 || width <= 0 {
+		return nil
+	}
+	maxAt := time.Duration(0)
+	for _, s := range ss {
+		if s.At > maxAt {
+			maxAt = s.At
+		}
+	}
+	out := make([]float64, int(maxAt/width)+1)
+	for _, s := range ss {
+		out[int(s.At/width)] += s.Value
+	}
+	return out
+}
+
+// Percentile returns the p-quantile (0..1) of a series' values.
+func (r *Recorder) Percentile(name string, p float64) float64 {
+	ss := r.series[name]
+	if len(ss) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(ss))
+	for i, s := range ss {
+		vals[i] = s.Value
+	}
+	sort.Float64s(vals)
+	idx := int(p * float64(len(vals)-1))
+	return vals[idx]
+}
+
+// Table renders series as an aligned text table of (name, count, mean,
+// sum) rows — the progmp-bench summary format.
+func (r *Recorder) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %8s %14s %14s\n", "series", "n", "mean", "sum")
+	for _, name := range r.Names() {
+		fmt.Fprintf(&b, "%-32s %8d %14.2f %14.2f\n", name, len(r.series[name]), r.Mean(name), r.Sum(name))
+	}
+	return b.String()
+}

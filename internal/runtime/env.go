@@ -1,0 +1,223 @@
+package runtime
+
+// Queue is the snapshot of one packet queue presented to a scheduler
+// execution. The underlying packet slice is ordered by (meta) sequence
+// number, oldest first, exactly as the kernel's sk_write_queue would be
+// walked via the runtime's queue_position pointer (§4.1).
+//
+// POP does not mutate the substrate: it marks the packet consumed within
+// this execution and records an ActionPop, so the queue view stays
+// consistent with the programming model (a popped packet is no longer
+// visible to subsequent TOP/POP/FILTER evaluations).
+type Queue struct {
+	id      QueueID
+	pkts    []*PacketView
+	popped  []bool
+	nPopped int
+}
+
+// NewQueue wraps a packet snapshot slice as a queue view. The slice is
+// not copied; the substrate must not mutate it during execution.
+func NewQueue(id QueueID, pkts []*PacketView) *Queue {
+	return &Queue{id: id, pkts: pkts, popped: make([]bool, len(pkts))}
+}
+
+// ID returns the queue's identity.
+func (q *Queue) ID() QueueID { return q.id }
+
+// Len returns the number of packets still visible in the queue.
+func (q *Queue) Len() int { return len(q.pkts) - q.nPopped }
+
+// Empty reports whether no packets remain visible.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// Top returns the first visible packet, or nil when empty.
+func (q *Queue) Top() *PacketView {
+	for i, p := range q.pkts {
+		if !q.popped[i] {
+			return p
+		}
+	}
+	return nil
+}
+
+// All calls fn for every visible packet in order; fn returning false
+// stops the walk. This is the primitive the declarative operations
+// (FILTER/MIN/MAX) build on, enabling late materialization.
+func (q *Queue) All(fn func(*PacketView) bool) {
+	for i, p := range q.pkts {
+		if q.popped[i] {
+			continue
+		}
+		if !fn(p) {
+			return
+		}
+	}
+}
+
+// Reset clears pop state so the same snapshot can be executed again
+// (used by the overhead benchmarks to time executions without
+// rebuilding the environment).
+func (q *Queue) Reset() {
+	for i := range q.popped {
+		q.popped[i] = false
+	}
+	q.nPopped = 0
+}
+
+// At returns the packet at position i in the underlying snapshot,
+// regardless of pop state, or nil when out of range. Positions are
+// stable for the whole execution; the bytecode VM encodes packet
+// handles as (queue, position) pairs.
+func (q *Queue) At(i int) *PacketView {
+	if i < 0 || i >= len(q.pkts) {
+		return nil
+	}
+	return q.pkts[i]
+}
+
+// NextVisible returns the position of the first not-yet-popped packet
+// strictly after position `after` (start with -1), or -1 when none.
+func (q *Queue) NextVisible(after int) int {
+	for i := after + 1; i < len(q.pkts); i++ {
+		if i >= 0 && !q.popped[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// PopPacket marks p as consumed and returns whether it was visible.
+// It supports popping from the middle of the queue, which the kernel
+// runtime implements with the augmented queue_position pointer.
+func (q *Queue) PopPacket(p *PacketView) bool {
+	if p == nil {
+		return false
+	}
+	for i, cand := range q.pkts {
+		if cand == p && !q.popped[i] {
+			q.popped[i] = true
+			q.nPopped++
+			return true
+		}
+	}
+	return false
+}
+
+// Env is the complete execution environment for one scheduler run:
+// subflow snapshots, queue snapshots, the register file, and the action
+// queue that collects side effects.
+type Env struct {
+	SubflowViews []*SubflowView
+	SendQ        *Queue
+	UnackedQ     *Queue
+	ReinjectQ    *Queue
+	Regs         *[NumRegisters]int64
+	Actions      []Action
+}
+
+// NewEnv assembles an environment. Any nil queue is replaced by an
+// empty one so back-ends never need nil checks.
+func NewEnv(subflows []*SubflowView, sendQ, unackedQ, reinjectQ *Queue, regs *[NumRegisters]int64) *Env {
+	if sendQ == nil {
+		sendQ = NewQueue(QueueSend, nil)
+	}
+	if unackedQ == nil {
+		unackedQ = NewQueue(QueueUnacked, nil)
+	}
+	if reinjectQ == nil {
+		reinjectQ = NewQueue(QueueReinject, nil)
+	}
+	if regs == nil {
+		regs = new([NumRegisters]int64)
+	}
+	return &Env{
+		SubflowViews: subflows,
+		SendQ:        sendQ,
+		UnackedQ:     unackedQ,
+		ReinjectQ:    reinjectQ,
+		Regs:         regs,
+	}
+}
+
+// Reset clears the action queue and pop state for re-execution of the
+// same snapshot (overhead benchmarks). Registers are preserved.
+func (e *Env) Reset() {
+	e.Actions = e.Actions[:0]
+	e.SendQ.Reset()
+	e.UnackedQ.Reset()
+	e.ReinjectQ.Reset()
+}
+
+// Queue returns the view for id.
+func (e *Env) Queue(id QueueID) *Queue {
+	switch id {
+	case QueueSend:
+		return e.SendQ
+	case QueueUnacked:
+		return e.UnackedQ
+	case QueueReinject:
+		return e.ReinjectQ
+	}
+	return nil
+}
+
+// Reg reads register i (0-based). Out-of-range reads yield 0: the model
+// has no exceptions by design.
+func (e *Env) Reg(i int) int64 {
+	if i < 0 || i >= NumRegisters {
+		return 0
+	}
+	return e.Regs[i]
+}
+
+// SetReg writes register i. Register writes take effect immediately and
+// are visible to subsequent reads in the same execution (the round-robin
+// scheduler of §3.4 depends on this).
+func (e *Env) SetReg(i int, v int64) {
+	if i < 0 || i >= NumRegisters {
+		return
+	}
+	e.Regs[i] = v
+}
+
+// Pop marks p consumed from queue id and records the action. Popping a
+// nil or already-consumed packet is a graceful no-op returning false.
+func (e *Env) Pop(id QueueID, p *PacketView) bool {
+	q := e.Queue(id)
+	if q == nil || !q.PopPacket(p) {
+		return false
+	}
+	e.Actions = append(e.Actions, Action{Kind: ActionPop, Queue: id, Packet: p.Handle})
+	return true
+}
+
+// Push records a PUSH of p on sbf. Pushing a nil packet or to a nil
+// subflow is a graceful no-op (stale-reference safety by design).
+func (e *Env) Push(sbf *SubflowView, p *PacketView) {
+	if sbf == nil || p == nil {
+		return
+	}
+	e.Actions = append(e.Actions, Action{Kind: ActionPush, Packet: p.Handle, Subflow: sbf.Handle})
+}
+
+// Drop records discarding p. Dropping nil is a graceful no-op.
+func (e *Env) Drop(p *PacketView) {
+	if p == nil {
+		return
+	}
+	e.Actions = append(e.Actions, Action{Kind: ActionDrop, Packet: p.Handle})
+}
+
+// PushCount returns how many ActionPush entries were recorded. The
+// substrate's calling model uses it to decide whether another execution
+// may make progress (compressed executions, §4.1).
+func (e *Env) PushCount() int {
+	n := 0
+	for _, a := range e.Actions {
+		if a.Kind == ActionPush {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,223 @@
+package runtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func pkts(n int) []*PacketView {
+	out := make([]*PacketView, n)
+	for i := range out {
+		p := &PacketView{Handle: PacketHandle(i + 1)}
+		p.Ints[PktSeq] = int64(i)
+		p.Ints[PktSize] = 100
+		out[i] = p
+	}
+	return out
+}
+
+func TestQueueTopPopOrder(t *testing.T) {
+	q := NewQueue(QueueSend, pkts(3))
+	if q.Len() != 3 || q.Empty() {
+		t.Fatalf("fresh queue: len=%d empty=%v", q.Len(), q.Empty())
+	}
+	first := q.Top()
+	if first.Ints[PktSeq] != 0 {
+		t.Errorf("Top seq = %d, want 0", first.Ints[PktSeq])
+	}
+	if !q.PopPacket(first) {
+		t.Fatal("PopPacket(first) failed")
+	}
+	if q.PopPacket(first) {
+		t.Error("double pop succeeded")
+	}
+	if got := q.Top().Ints[PktSeq]; got != 1 {
+		t.Errorf("Top after pop = %d, want 1", got)
+	}
+	if q.Len() != 2 {
+		t.Errorf("Len = %d, want 2", q.Len())
+	}
+}
+
+func TestQueuePopMiddle(t *testing.T) {
+	q := NewQueue(QueueSend, pkts(3))
+	middle := q.At(1)
+	if !q.PopPacket(middle) {
+		t.Fatal("middle pop failed")
+	}
+	var seen []int64
+	q.All(func(p *PacketView) bool {
+		seen = append(seen, p.Ints[PktSeq])
+		return true
+	})
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 2 {
+		t.Errorf("visible after middle pop = %v, want [0 2]", seen)
+	}
+}
+
+func TestQueueNextVisible(t *testing.T) {
+	q := NewQueue(QueueSend, pkts(4))
+	q.PopPacket(q.At(0))
+	q.PopPacket(q.At(2))
+	var order []int
+	for pos := q.NextVisible(-1); pos >= 0; pos = q.NextVisible(pos) {
+		order = append(order, pos)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Errorf("NextVisible walk = %v, want [1 3]", order)
+	}
+}
+
+func TestQueueReset(t *testing.T) {
+	q := NewQueue(QueueSend, pkts(2))
+	q.PopPacket(q.At(0))
+	q.Reset()
+	if q.Len() != 2 {
+		t.Errorf("Len after reset = %d, want 2", q.Len())
+	}
+}
+
+func TestQueueAllEarlyStop(t *testing.T) {
+	q := NewQueue(QueueSend, pkts(5))
+	count := 0
+	q.All(func(*PacketView) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early-stopped walk visited %d, want 2", count)
+	}
+}
+
+func TestEnvActionsAndRegisters(t *testing.T) {
+	sbf := &SubflowView{Handle: 7}
+	sbf.Ints[SbfID] = 0
+	env := NewEnv([]*SubflowView{sbf}, NewQueue(QueueSend, pkts(2)), nil, nil, nil)
+	p := env.SendQ.Top()
+	if !env.Pop(QueueSend, p) {
+		t.Fatal("Pop failed")
+	}
+	env.Push(sbf, p)
+	env.Drop(nil) // graceful no-op
+	env.Push(nil, p)
+	env.Push(sbf, nil)
+	if len(env.Actions) != 2 {
+		t.Fatalf("actions = %v, want pop+push only", env.Actions)
+	}
+	if env.PushCount() != 1 {
+		t.Errorf("PushCount = %d, want 1", env.PushCount())
+	}
+	env.SetReg(3, 42)
+	if env.Reg(3) != 42 {
+		t.Errorf("register write lost")
+	}
+	env.SetReg(-1, 9)
+	env.SetReg(NumRegisters, 9)
+	if env.Reg(-1) != 0 || env.Reg(NumRegisters) != 0 {
+		t.Errorf("out-of-range registers must read 0")
+	}
+	env.Reset()
+	if len(env.Actions) != 0 || env.SendQ.Len() != 2 {
+		t.Errorf("Reset must clear actions and pops")
+	}
+	if env.Reg(3) != 42 {
+		t.Errorf("Reset must preserve registers")
+	}
+}
+
+func TestSentOnAndWindow(t *testing.T) {
+	sbf := &SubflowView{RWndFreeBytes: 500}
+	sbf.Ints[SbfID] = 3
+	p := &PacketView{SentOnMask: 1 << 3}
+	p.Ints[PktSize] = 400
+	if !p.SentOn(sbf) {
+		t.Error("SentOn lost the bit")
+	}
+	if !sbf.HasWindowFor(p) {
+		t.Error("400 <= 500 must fit")
+	}
+	p.Ints[PktSize] = 600
+	if sbf.HasWindowFor(p) {
+		t.Error("600 > 500 must not fit")
+	}
+	var nilS *SubflowView
+	var nilP *PacketView
+	if nilS.HasWindowFor(p) || sbf.HasWindowFor(nilP) || nilP.SentOn(sbf) || p.SentOn(nil) {
+		t.Error("nil receivers must be graceful")
+	}
+}
+
+// Property: any interleaving of pops keeps Len consistent with the
+// number of distinct successful pops, and Top always returns the first
+// non-popped packet.
+func TestQueuePopProperty(t *testing.T) {
+	f := func(popIdx []uint8) bool {
+		const n = 10
+		q := NewQueue(QueueSend, pkts(n))
+		popped := map[int]bool{}
+		for _, raw := range popIdx {
+			i := int(raw) % n
+			ok := q.PopPacket(q.At(i))
+			if ok == popped[i] {
+				return false // must succeed exactly once per packet
+			}
+			popped[i] = true
+		}
+		if q.Len() != n-len(popped) {
+			return false
+		}
+		top := q.Top()
+		for i := 0; i < n; i++ {
+			if !popped[i] {
+				return top == q.At(i)
+			}
+		}
+		return top == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if QueueSend.String() != "Q" || QueueUnacked.String() != "QU" || QueueReinject.String() != "RQ" {
+		t.Error("queue names wrong")
+	}
+	if SbfRTT.String() != "RTT" || SbfTSQThrottled.String() != "TSQ_THROTTLED" {
+		t.Error("subflow property names wrong")
+	}
+	if PktSize.String() != "SIZE" {
+		t.Error("packet property names wrong")
+	}
+	if ActionPush.String() != "PUSH" || ActionPop.String() != "POP" || ActionDrop.String() != "DROP" {
+		t.Error("action names wrong")
+	}
+}
+
+func TestEnvQueueLookupAndDrop(t *testing.T) {
+	env := NewEnv(nil, NewQueue(QueueSend, pkts(1)), NewQueue(QueueUnacked, nil), NewQueue(QueueReinject, nil), nil)
+	if env.Queue(QueueSend) != env.SendQ || env.Queue(QueueUnacked) != env.UnackedQ || env.Queue(QueueReinject) != env.ReinjectQ {
+		t.Errorf("Queue lookup broken")
+	}
+	if env.Queue(QueueID(9)) != nil {
+		t.Errorf("unknown queue id must be nil")
+	}
+	if env.SendQ.ID() != QueueSend {
+		t.Errorf("queue ID accessor wrong")
+	}
+	env.Drop(env.SendQ.Top())
+	if len(env.Actions) != 1 || env.Actions[0].Kind != ActionDrop {
+		t.Errorf("Drop not recorded: %v", env.Actions)
+	}
+	if env.SendQ.At(5) != nil {
+		t.Errorf("out-of-range At must be nil")
+	}
+}
+
+func TestStringersOutOfRange(t *testing.T) {
+	if QueueID(9).String() == "" || SubflowIntProp(99).String() == "" ||
+		SubflowBoolProp(99).String() == "" || PacketIntProp(99).String() == "" ||
+		ActionKind(9).String() == "" {
+		t.Errorf("out-of-range stringers must still render")
+	}
+}

@@ -1,0 +1,501 @@
+// Package schedlib is the scheduler corpus of the paper, expressed in
+// the ProgMP specification language: the three mainline schedulers
+// revisited in §3.4 (default/minRTT, round-robin, redundant) and the
+// novel schedulers of §5 (OpportunisticRedundant, RedundantIfNoQ,
+// Compensating, SelectiveCompensation, TAP, TargetRTT, HandoverAware,
+// HTTP2Aware) plus the probing feature from the design-space table.
+//
+// Register conventions used by the corpus (set through the extended
+// scheduling API, §3.2):
+//
+//	R1  application target (TAP: target throughput in bytes/s;
+//	    TargetRTT: tolerable RTT in µs; HTTP2Aware: unused)
+//	R2  end-of-flow signal (Compensating family: 1 = flow end)
+//	R3  selective-compensation RTT-ratio threshold ×10 (default 20)
+//	R4  handover signal (HandoverAware: 1 = handover in progress)
+//	R5  id of the subflow being handed over away from
+//	R6  scratch: probing counter
+//	R7  scratch: accumulator (TAP capacity sum)
+//
+// Packet property (PROP) conventions for HTTP2Aware:
+//
+//	1 = initial data carrying external-dependency information
+//	2 = remaining content required for the initial page view
+//	3 = deferrable content not required for the initial view
+package schedlib
+
+// ReinjectPrelude is the kernel's reinjection-first behaviour as an
+// explicit specification fragment: packets in RQ (suspected lost,
+// §3.1) are reinjected on the fastest available subflow that has not
+// carried them, before fresh data is considered. The paper shows
+// scheduler *excerpts*; complete deployable schedulers handle RQ, and
+// the minRTT-derived corpus members prepend this fragment.
+const ReinjectPrelude = `
+IF (!RQ.EMPTY) {
+    VAR reAvail = SUBFLOWS.FILTER(re => !re.TSQ_THROTTLED AND !re.LOSSY
+        AND re.CWND > re.SKBS_IN_FLIGHT + re.QUEUED
+        AND !RQ.TOP.SENT_ON(re));
+    IF (!reAvail.EMPTY) {
+        reAvail.MIN(re => re.RTT).PUSH(RQ.POP());
+    }
+}
+`
+
+// MinRTT is the default scheduler of the MPTCP Linux kernel (§3.4):
+// lowest-RTT subflow with a free congestion window, skipping
+// TSQ-throttled and lossy subflows, with backup subflows used only when
+// no non-backup subflow exists.
+const MinRTT = ReinjectPrelude + `
+VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+    AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY) {
+    IF (SUBFLOWS.FILTER(sbf => !sbf.IS_BACKUP).EMPTY) {
+        IF (!avail.EMPTY) {
+            avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }
+    } ELSE {
+        VAR nb = avail.FILTER(sbf => !sbf.IS_BACKUP);
+        IF (!nb.EMPTY) {
+            nb.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }
+    }
+}
+`
+
+// MinRTTOpportunistic extends MinRTT with the opportunistic
+// retransmission feature (§3.4): when the fastest subflow's receive
+// window cannot accommodate the next packet, an unacknowledged packet
+// not yet sent on the fastest subflow is retransmitted there.
+const MinRTTOpportunistic = ReinjectPrelude + `
+VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+    AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY) {
+    VAR nb = avail.FILTER(sbf => !sbf.IS_BACKUP);
+    IF (!nb.EMPTY) {
+        VAR minRttSbf = nb.MIN(sbf => sbf.RTT);
+        IF (minRttSbf.HAS_WINDOW_FOR(Q.TOP)) {
+            minRttSbf.PUSH(Q.POP());
+        } ELSE {
+            VAR skb = QU.FILTER(p => !p.SENT_ON(minRttSbf)).TOP;
+            IF (skb != NULL) {
+                minRttSbf.PUSH(skb);
+            }
+        }
+    } ELSE {
+        IF (!avail.EMPTY) {
+            avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }
+    }
+}
+`
+
+// RoundRobin is the cyclic scheduler of §3.4 (Fig. 5): register R8
+// keeps the rotating index; subflows with exhausted congestion windows
+// are skipped for work conservation.
+const RoundRobin = `
+VAR sbfs = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY);
+IF (R8 >= sbfs.COUNT) {
+    SET(R8, 0);
+}
+IF (!Q.EMPTY) {
+    VAR sbf = sbfs.GET(R8);
+    IF (sbf != NULL AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED) {
+        sbf.PUSH(Q.POP());
+    }
+    SET(R8, R8 + 1);
+}
+`
+
+// Redundant is the existing redundant scheduler (ReMP-style, §5.1
+// Fig. 10a top): each subflow with a free congestion window first
+// catches up on unacknowledged packets it has not carried yet, and only
+// then takes fresh packets — full redundancy that favours old packets.
+const Redundant = `
+VAR sbfCandidates = SUBFLOWS.FILTER(sbf => !sbf.LOSSY
+    AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+FOREACH (VAR sbf IN sbfCandidates) {
+    VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;
+    IF (skb != NULL) {
+        sbf.PUSH(skb);
+    } ELSE {
+        sbf.PUSH(Q.POP());
+    }
+}
+`
+
+// OpportunisticRedundant (§5.1, novel) sends a fresh packet on every
+// subflow that has congestion window available when the packet is
+// scheduled for the first time; as acknowledgements arrive it favours
+// fresh packets over redundancy when the sending queue fills.
+const OpportunisticRedundant = `
+VAR sbfCandidates = SUBFLOWS.FILTER(sbf => !sbf.LOSSY
+    AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!sbfCandidates.EMPTY AND !Q.EMPTY) {
+    FOREACH (VAR sbf IN sbfCandidates) {
+        sbf.PUSH(Q.TOP);
+    }
+    DROP(Q.POP());
+}
+`
+
+// RedundantIfNoQ (§5.1, novel) always favours new packets and deploys
+// redundancy only when the sending queue is empty, so redundancy never
+// delays fresh data.
+const RedundantIfNoQ = `
+VAR sbfCandidates = SUBFLOWS.FILTER(sbf => !sbf.LOSSY
+    AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY) {
+    IF (!sbfCandidates.EMPTY) {
+        sbfCandidates.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    }
+} ELSE {
+    FOREACH (VAR sbf IN sbfCandidates) {
+        VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).TOP;
+        IF (skb != NULL) {
+            sbf.PUSH(skb);
+        }
+    }
+}
+`
+
+// Compensating (§5.3, Fig. 12 without the highlighted parts) uses the
+// application's end-of-flow signal (R2) to compensate earlier
+// scheduling decisions: at flow end every in-flight packet is
+// retransmitted on each subflow that has not carried it.
+const Compensating = ReinjectPrelude + `
+VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+    AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY) {
+    IF (!avail.EMPTY) {
+        avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    }
+} ELSE {
+    IF (R2 == 1) {
+        FOREACH (VAR sbf IN SUBFLOWS.FILTER(c => !c.LOSSY
+            AND c.CWND > c.SKBS_IN_FLIGHT + c.QUEUED)) {
+            VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).FIRST;
+            IF (skb != NULL) {
+                sbf.PUSH(skb);
+            }
+        }
+    }
+}
+`
+
+// SelectiveCompensation (§5.3, Fig. 12 highlighted parts) compensates
+// only when the subflow RTT ratio exceeds a threshold (R3, ratio ×10,
+// default 20 = ratio 2), balancing FCT gains against the
+// retransmission overhead.
+const SelectiveCompensation = ReinjectPrelude + `
+VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+    AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY) {
+    IF (!avail.EMPTY) {
+        avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    }
+} ELSE {
+    IF (R2 == 1) {
+        VAR fast = SUBFLOWS.MIN(sbf => sbf.RTT);
+        VAR slow = SUBFLOWS.MAX(sbf => sbf.RTT);
+        VAR threshold = R3;
+        IF (fast != NULL AND slow.RTT * 10 > threshold * fast.RTT) {
+            FOREACH (VAR sbf IN SUBFLOWS.FILTER(c => !c.LOSSY
+                AND c.CWND > c.SKBS_IN_FLIGHT + c.QUEUED)) {
+                VAR skb = QU.FILTER(s => !s.SENT_ON(sbf)).FIRST;
+                IF (skb != NULL) {
+                    sbf.PUSH(skb);
+                }
+            }
+        }
+    }
+}
+`
+
+// TAP is the throughput- and preference-aware scheduler of §5.4
+// (Fig. 13): preferred (non-backup) subflows are exhausted first, and
+// non-preferred subflows carry only the leftover fraction of the
+// application's target throughput (R1, bytes/s).
+const TAP = ReinjectPrelude + `
+IF (!Q.EMPTY) {
+    VAR prefAvail = SUBFLOWS.FILTER(sbf => !sbf.IS_BACKUP
+        AND !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!prefAvail.EMPTY) {
+        prefAvail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    } ELSE {
+        SET(R7, 0);
+        FOREACH (VAR p IN SUBFLOWS.FILTER(sbf => !sbf.IS_BACKUP)) {
+            SET(R7, R7 + p.THROUGHPUT);
+        }
+        IF (R7 < R1) {
+            VAR np = SUBFLOWS.FILTER(sbf => sbf.IS_BACKUP AND !sbf.LOSSY
+                AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED).MIN(sbf => sbf.RTT);
+            IF (np != NULL) {
+                IF ((np.SKBS_IN_FLIGHT + np.QUEUED) * np.MSS * 1000000 < (R1 - R7) * np.RTT) {
+                    np.PUSH(Q.POP());
+                }
+            }
+        }
+    }
+}
+`
+
+// TargetRTT (§5.4) retains a maximum tolerable RTT (R1, µs) for
+// interactive request/response traffic: non-preferred subflows are
+// used only when no preferred subflow currently meets the target.
+const TargetRTT = ReinjectPrelude + `
+IF (!Q.EMPTY) {
+    VAR prefFast = SUBFLOWS.FILTER(sbf => !sbf.IS_BACKUP
+        AND !sbf.TSQ_THROTTLED AND !sbf.LOSSY AND sbf.RTT <= R1
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!prefFast.EMPTY) {
+        prefFast.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    } ELSE {
+        VAR any = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+            AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+        IF (!any.EMPTY) {
+            any.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }
+    }
+}
+`
+
+// HandoverAware (§5.2) reacts to the application's handover signal
+// (R4 = 1, R5 = id of the degrading subflow) by aggressively
+// retransmitting that subflow's unacknowledged packets on the freshest
+// alternative, compensating losses during a WiFi→cellular handover.
+const HandoverAware = ReinjectPrelude + `
+IF (R4 == 1) {
+    VAR alt = SUBFLOWS.FILTER(sbf => sbf.ID != R5 AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED).MIN(sbf => sbf.RTT);
+    IF (alt != NULL) {
+        VAR skb = QU.FILTER(p => !p.SENT_ON(alt)).TOP;
+        IF (skb != NULL) {
+            alt.PUSH(skb);
+        }
+    }
+}
+IF (!Q.EMPTY) {
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    VAR usable = avail.FILTER(sbf => R4 == 0 OR sbf.ID != R5);
+    IF (!usable.EMPTY) {
+        usable.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    } ELSE {
+        IF (!avail.EMPTY) {
+            avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }
+    }
+}
+`
+
+// HTTP2Aware is the content-aware scheduler of §5.5 (Fig. 14): packets
+// whose application-set property marks them dependency-critical
+// (PROP = 1) avoid high-RTT subflows and are sent redundantly on all
+// low-RTT subflows; content required for the initial page (PROP = 2)
+// uses the default minimum-RTT strategy; deferrable content (PROP = 3)
+// is preference-aware and stays off non-preferred (metered) subflows.
+const HTTP2Aware = ReinjectPrelude + `
+VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+    AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY AND !avail.EMPTY) {
+    VAR skb = Q.TOP;
+    IF (skb.PROP == 1) {
+        VAR fastest = SUBFLOWS.MIN(sbf => sbf.RTT);
+        VAR lowRtt = avail.FILTER(sbf => sbf.RTT < 2 * fastest.RTT);
+        IF (!lowRtt.EMPTY) {
+            FOREACH (VAR sbf IN lowRtt) {
+                sbf.PUSH(Q.TOP);
+            }
+            DROP(Q.POP());
+        }
+    } ELSE IF (skb.PROP == 3) {
+        VAR pref = avail.FILTER(sbf => !sbf.IS_BACKUP);
+        IF (!pref.EMPTY) {
+            pref.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }
+    } ELSE {
+        avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    }
+}
+`
+
+// ProbingMinRTT augments MinRTT with the probing feature from the
+// design-space table (Table 2): idle subflows are probed with a
+// redundant copy of an in-flight packet every 8 executions, keeping
+// their RTT and capacity estimates fresh for thin flows.
+const ProbingMinRTT = ReinjectPrelude + `
+SET(R6, R6 + 1);
+IF (R6 >= 8) {
+    SET(R6, 0);
+    VAR idle = SUBFLOWS.FILTER(sbf => sbf.SKBS_IN_FLIGHT == 0 AND !sbf.LOSSY
+        AND sbf.CWND > sbf.QUEUED);
+    VAR probe = QU.TOP;
+    IF (probe != NULL) {
+        FOREACH (VAR sbf IN idle) {
+            sbf.PUSH(probe);
+        }
+    }
+}
+VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+    AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+IF (!Q.EMPTY AND !avail.EMPTY) {
+    avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+}
+`
+
+// MinRTTVariance explores the jitter-sensitive design mentioned in
+// §3.4: among subflows whose average RTT stays below the application's
+// bound (R1, µs), it picks the one with the smallest RTT variance.
+const MinRTTVariance = ReinjectPrelude + `
+IF (!Q.EMPTY) {
+    VAR steady = SUBFLOWS.FILTER(sbf => sbf.RTT_AVG < R1 AND !sbf.LOSSY
+        AND !sbf.TSQ_THROTTLED AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!steady.EMPTY) {
+        steady.MIN(sbf => sbf.RTT_VAR).PUSH(Q.POP());
+    } ELSE {
+        VAR avail = SUBFLOWS.FILTER(sbf => !sbf.LOSSY AND !sbf.TSQ_THROTTLED
+            AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+        IF (!avail.EMPTY) {
+            avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }
+    }
+}
+`
+
+// DeadlineAware implements the deadline-driven row of the design-space
+// table (Table 2: "Use backups if deadline would be violated") in the
+// spirit of MP-DASH, but as a first-class scheduler with timely
+// subflow information instead of a control loop above the default
+// scheduler (§5.4, "Target Deadline"). The application keeps R1
+// updated with the remaining time budget (µs) for the data currently
+// queued; non-preferred subflows engage only when the preferred
+// capacity cannot drain Q before the deadline.
+const DeadlineAware = ReinjectPrelude + `
+IF (!Q.EMPTY) {
+    VAR prefAvail = SUBFLOWS.FILTER(sbf => !sbf.IS_BACKUP
+        AND !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!prefAvail.EMPTY) {
+        prefAvail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    } ELSE {
+        SET(R7, 0);
+        FOREACH (VAR p IN SUBFLOWS.FILTER(sbf => !sbf.IS_BACKUP)) {
+            SET(R7, R7 + p.THROUGHPUT);
+        }
+        VAR np = SUBFLOWS.FILTER(sbf => sbf.IS_BACKUP AND !sbf.LOSSY
+            AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED).MIN(sbf => sbf.RTT);
+        IF (np != NULL) {
+            IF (Q.COUNT * np.MSS * 1000000 > R1 * R7) {
+                np.PUSH(Q.POP());
+            }
+        }
+    }
+}
+`
+
+// CwndRelaxTail is the cross-concern optimization sketched in §6
+// ("the scheduler could, for example, relax the congestion window
+// constraint ... for the last few N packets of a flow to save an
+// RTT"): when at most R5 packets remain in Q and every subflow is
+// congestion-window-limited, the tail is pushed anyway on the fastest
+// non-lossy subflow.
+const CwndRelaxTail = ReinjectPrelude + `
+IF (!Q.EMPTY) {
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!avail.EMPTY) {
+        avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+    } ELSE IF (Q.COUNT <= R5) {
+        VAR anySbf = SUBFLOWS.FILTER(sbf => !sbf.LOSSY);
+        IF (!anySbf.EMPTY) {
+            anySbf.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }
+    }
+}
+`
+
+// TLSAware implements the TLS row of the design-space table (Table 2:
+// "TLS-aware — coherence of TLS records"): all packets of one TLS
+// record (identified by the application's per-packet intent, PROP =
+// record id) stay on the subflow that carried the record's first
+// packet, so the receiver can decrypt each record as soon as its
+// subflow delivers it, without waiting for cross-subflow reassembly.
+// R5 remembers the current record id, R6 the subflow carrying it.
+const TLSAware = ReinjectPrelude + `
+IF (!Q.EMPTY) {
+    VAR skb = Q.TOP;
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (skb.PROP == R5) {
+        VAR same = avail.FILTER(sbf => sbf.ID == R6);
+        IF (!same.EMPTY) {
+            same.GET(0).PUSH(Q.POP());
+        } ELSE IF (SUBFLOWS.FILTER(sbf => sbf.ID == R6).EMPTY) {
+            // The record's subflow is gone entirely (not merely
+            // busy): re-pin the record to keep the stream alive.
+            VAR alt = avail.MIN(sbf => sbf.RTT);
+            IF (alt != NULL) {
+                SET(R6, alt.ID);
+                alt.PUSH(Q.POP());
+            }
+        }
+    } ELSE {
+        IF (!avail.EMPTY) {
+            VAR pick = avail.MIN(sbf => sbf.RTT);
+            SET(R5, skb.PROP);
+            SET(R6, pick.ID);
+            pick.PUSH(Q.POP());
+        }
+    }
+}
+`
+
+// All maps registry names to specifications for bulk loading.
+var All = map[string]string{
+	"minRTT":                 MinRTT,
+	"minRTTOpportunistic":    MinRTTOpportunistic,
+	"roundRobin":             RoundRobin,
+	"redundant":              Redundant,
+	"opportunisticRedundant": OpportunisticRedundant,
+	"redundantIfNoQ":         RedundantIfNoQ,
+	"compensating":           Compensating,
+	"selectiveCompensation":  SelectiveCompensation,
+	"tap":                    TAP,
+	"targetRTT":              TargetRTT,
+	"handoverAware":          HandoverAware,
+	"http2Aware":             HTTP2Aware,
+	"probingMinRTT":          ProbingMinRTT,
+	"minRTTVariance":         MinRTTVariance,
+	"deadlineAware":          DeadlineAware,
+	"cwndRelaxTail":          CwndRelaxTail,
+	"tlsAware":               TLSAware,
+}
+
+// Register conventions as named constants for API users.
+const (
+	// RegTarget is R1: the application's performance target (TAP:
+	// bytes/s; TargetRTT and MinRTTVariance: µs).
+	RegTarget = 0
+	// RegFlowEnd is R2: set to 1 when the application signals the end
+	// of the current flow (Compensating family).
+	RegFlowEnd = 1
+	// RegCompRatio is R3: selective-compensation RTT-ratio threshold
+	// ×10.
+	RegCompRatio = 2
+	// RegHandover is R4: set to 1 while a handover is in progress.
+	RegHandover = 3
+	// RegHandoverSbf is R5: the id of the subflow being left.
+	RegHandoverSbf = 4
+)
+
+// Packet property values for HTTP2Aware.
+const (
+	// PropDependency marks initial data carrying external-dependency
+	// information (HTML head, priming resources).
+	PropDependency = 1
+	// PropRequired marks content required for the initial page view.
+	PropRequired = 2
+	// PropDeferrable marks content not required for the initial view.
+	PropDeferrable = 3
+)

@@ -1,0 +1,210 @@
+// Package vm implements the bytecode execution back-end for ProgMP
+// scheduler programs — the Go analogue of the paper's in-kernel eBPF
+// JIT ("alternative 3" in §4.1). The cross-compiler lowers the checked
+// AST to a register-based 64-bit ISA, allocates physical registers with
+// a second-chance-binpacking linear scan (Traub et al., PLDI 1998, as
+// cited by the paper), verifies the result eBPF-style, and executes it
+// in a threaded dispatch loop.
+//
+// All values are int64, as on an eBPF machine. Object references are
+// encoded handles:
+//
+//   - subflow:  index into Env.SubflowViews + 1 (0 is NULL)
+//   - packet:   (queueID+1)<<32 | (position in base queue + 1) (0 is NULL)
+//   - subflow list: 64-bit membership mask over subflow indices
+//   - queue:    filter chains are inlined statically; a queue-typed
+//     variable reduces to its defining chain at compile time (legal
+//     because variables are single-assignment and predicates are pure)
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. Dst/A/B address physical registers; K is an immediate whose
+// meaning depends on the opcode (constant, ProgMP register index,
+// property index, queue id, jump offset, or spill slot).
+const (
+	OpNop Op = iota
+
+	// Moves and ALU.
+	OpMovImm // dst = K
+	OpMov    // dst = a
+	OpAdd    // dst = a + b
+	OpSub    // dst = a - b
+	OpMul    // dst = a * b
+	OpDiv    // dst = a / b (0 when b == 0: no exceptions by design)
+	OpMod    // dst = a % b (0 when b == 0)
+	OpNeg    // dst = -a
+	OpNot    // dst = boolean !a (a is 0/1)
+
+	// Comparisons produce 0/1.
+	OpEq // dst = a == b
+	OpNe // dst = a != b
+	OpLt // dst = a < b
+	OpLe // dst = a <= b
+	OpGt // dst = a > b
+	OpGe // dst = a >= b
+
+	// Bit operations (used for subflow-list masks).
+	OpPopcnt  // dst = popcount(a)
+	OpBitSet  // dst = a | (1 << b)
+	OpBitTest // dst = (a >> b) & 1
+
+	// Control flow. Jump offsets in K are relative to the next
+	// instruction (pc += K after increment).
+	OpJmp    // pc += K
+	OpJz     // if a == 0: pc += K
+	OpJnz    // if a != 0: pc += K
+	OpReturn // halt
+
+	// ProgMP register file (R1..R8).
+	OpLoadReg  // dst = Regs[K]
+	OpStoreReg // Regs[K] = a
+
+	// Environment queries.
+	OpSbfCount    // dst = number of subflows
+	OpSbfRef      // dst = subflow handle for index a (no bounds check; compiler guards)
+	OpSbfIntProp  // dst = subflow(a).Ints[K]; 0 when a is NULL
+	OpSbfBoolProp // dst = subflow(a).Bools[K]; 0 when a is NULL
+	OpHasWnd      // dst = subflow(a).HasWindowFor(packet(b))
+	OpPktProp     // dst = packet(a).Ints[K]; 0 when a is NULL
+	OpSentOn      // dst = packet(a).SentOn(subflow(b))
+	OpQNext       // dst = next visible position in queue K strictly after position a (start with a = -1); -1 when exhausted
+	OpPktRef      // dst = packet handle for queue K, position a
+
+	// Side effects (recorded in the action queue).
+	OpPop  // pop packet(a) from queue K
+	OpPush // push packet(b) on subflow(a)
+	OpDrop // drop packet(a)
+
+	// Spill traffic inserted by the register allocator.
+	OpLoadSlot  // dst = spill[K]
+	OpStoreSlot // spill[K] = a
+
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop:         "nop",
+	OpMovImm:      "movimm",
+	OpMov:         "mov",
+	OpAdd:         "add",
+	OpSub:         "sub",
+	OpMul:         "mul",
+	OpDiv:         "div",
+	OpMod:         "mod",
+	OpNeg:         "neg",
+	OpNot:         "not",
+	OpEq:          "eq",
+	OpNe:          "ne",
+	OpLt:          "lt",
+	OpLe:          "le",
+	OpGt:          "gt",
+	OpGe:          "ge",
+	OpPopcnt:      "popcnt",
+	OpBitSet:      "bitset",
+	OpBitTest:     "bittest",
+	OpJmp:         "jmp",
+	OpJz:          "jz",
+	OpJnz:         "jnz",
+	OpReturn:      "return",
+	OpLoadReg:     "loadreg",
+	OpStoreReg:    "storereg",
+	OpSbfCount:    "sbfcount",
+	OpSbfRef:      "sbfref",
+	OpSbfIntProp:  "sbfprop",
+	OpSbfBoolProp: "sbfbool",
+	OpHasWnd:      "haswnd",
+	OpPktProp:     "pktprop",
+	OpSentOn:      "senton",
+	OpQNext:       "qnext",
+	OpPktRef:      "pktref",
+	OpPop:         "pop",
+	OpPush:        "push",
+	OpDrop:        "drop",
+	OpLoadSlot:    "loadslot",
+	OpStoreSlot:   "storeslot",
+}
+
+// String returns the opcode mnemonic.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Instr is one fixed-width instruction.
+type Instr struct {
+	Op   Op
+	Dst  uint8
+	A, B uint8
+	K    int64
+}
+
+// String disassembles the instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpReturn:
+		return in.Op.String()
+	case OpMovImm:
+		return fmt.Sprintf("%s r%d, %d", in.Op, in.Dst, in.K)
+	case OpMov, OpNeg, OpNot, OpPopcnt:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Dst, in.A)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpBitSet, OpBitTest, OpHasWnd, OpSentOn:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Dst, in.A, in.B)
+	case OpJmp:
+		return fmt.Sprintf("%s %+d", in.Op, in.K)
+	case OpJz, OpJnz:
+		return fmt.Sprintf("%s r%d, %+d", in.Op, in.A, in.K)
+	case OpLoadReg, OpLoadSlot:
+		return fmt.Sprintf("%s r%d, [%d]", in.Op, in.Dst, in.K)
+	case OpStoreReg, OpStoreSlot:
+		return fmt.Sprintf("%s [%d], r%d", in.Op, in.K, in.A)
+	case OpSbfCount:
+		return fmt.Sprintf("%s r%d", in.Op, in.Dst)
+	case OpSbfRef:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.Dst, in.A)
+	case OpSbfIntProp, OpSbfBoolProp, OpPktProp:
+		return fmt.Sprintf("%s r%d, r%d, #%d", in.Op, in.Dst, in.A, in.K)
+	case OpQNext:
+		return fmt.Sprintf("%s r%d, r%d, q%d", in.Op, in.Dst, in.A, in.K)
+	case OpPktRef:
+		return fmt.Sprintf("%s r%d, r%d, q%d", in.Op, in.Dst, in.A, in.K)
+	case OpPop:
+		return fmt.Sprintf("%s r%d, q%d", in.Op, in.A, in.K)
+	case OpPush:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.A, in.B)
+	case OpDrop:
+		return fmt.Sprintf("%s r%d", in.Op, in.A)
+	}
+	return fmt.Sprintf("%s r%d, r%d, r%d, %d", in.Op, in.Dst, in.A, in.B, in.K)
+}
+
+// NumPhysRegs is the size of the physical register file. Two registers
+// are reserved by the allocator as spill scratch.
+const NumPhysRegs = 16
+
+// Program is a verified, executable bytecode program.
+type Program struct {
+	Insns      []Instr
+	SpillSlots int
+	// SpecializedSubflows is the constant subflow count this program
+	// was specialized for, or -1 for the generic version (§4.1,
+	// "constant subflow number" optimization).
+	SpecializedSubflows int
+}
+
+// Disassemble renders the program, one instruction per line.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, in := range p.Insns {
+		fmt.Fprintf(&b, "%4d: %s\n", i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,132 @@
+package vm
+
+// IR-level optimizations run between the cross-compiler and the
+// register allocator (the paper's runtime performs the analogous
+// simplifications on its intermediate representation, §4.1):
+//
+//   - jump threading: a jump whose target is an unconditional jump is
+//     retargeted to the final destination
+//   - dead-code elimination: instructions unreachable from the entry
+//     are removed (with jump offsets remapped)
+//   - trivial-move removal: `mov r, r` becomes a no-op and is dropped
+//
+// All passes preserve semantics exactly; the three-way differential
+// tests exercise them on every randomly generated program.
+
+// optimize applies the IR passes until a fixpoint (bounded).
+func optimize(ir []irIns) []irIns {
+	for round := 0; round < 4; round++ {
+		changed := false
+		ir, changed = threadJumps(ir)
+		ir2, changed2 := eliminateDead(ir)
+		ir = ir2
+		if !changed && !changed2 {
+			break
+		}
+	}
+	return ir
+}
+
+// isJump reports whether the op transfers control via K.
+func isJump(op Op) bool { return op == OpJmp || op == OpJz || op == OpJnz }
+
+// threadJumps retargets jumps that land on unconditional jumps and
+// drops self-moves.
+func threadJumps(ir []irIns) ([]irIns, bool) {
+	changed := false
+	// finalTarget follows OpJmp chains (with a hop bound for safety
+	// against adversarial cycles).
+	finalTarget := func(idx int) int {
+		for hops := 0; hops < len(ir); hops++ {
+			if idx < 0 || idx >= len(ir) {
+				return idx
+			}
+			in := ir[idx]
+			if in.op != OpJmp {
+				return idx
+			}
+			next := idx + 1 + int(in.k)
+			if next == idx { // self-loop: leave it
+				return idx
+			}
+			idx = next
+		}
+		return idx
+	}
+	out := make([]irIns, len(ir))
+	copy(out, ir)
+	for i := range out {
+		in := &out[i]
+		if isJump(in.op) {
+			target := i + 1 + int(in.k)
+			final := finalTarget(target)
+			if final != target {
+				in.k = int64(final - i - 1)
+				changed = true
+			}
+		}
+		if in.op == OpMov && in.dst == in.a {
+			in.op = OpNop
+			changed = true
+		}
+	}
+	return out, changed
+}
+
+// eliminateDead removes instructions that cannot execute (unreachable
+// from entry) plus OpNops, rebuilding jump offsets.
+func eliminateDead(ir []irIns) ([]irIns, bool) {
+	n := len(ir)
+	if n == 0 {
+		return ir, false
+	}
+	reachable := make([]bool, n)
+	stack := []int{0}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if i < 0 || i >= n || reachable[i] {
+			continue
+		}
+		reachable[i] = true
+		in := ir[i]
+		switch {
+		case in.op == OpReturn:
+			// No successors.
+		case in.op == OpJmp:
+			stack = append(stack, i+1+int(in.k))
+		case isJump(in.op):
+			stack = append(stack, i+1, i+1+int(in.k))
+		default:
+			stack = append(stack, i+1)
+		}
+	}
+	// keep[i] reports survival; newIndex[i] is the compacted position.
+	newIndex := make([]int, n+1)
+	kept := 0
+	for i := 0; i < n; i++ {
+		newIndex[i] = kept
+		if reachable[i] && ir[i].op != OpNop {
+			kept++
+		}
+	}
+	newIndex[n] = kept
+	if kept == n {
+		return ir, false
+	}
+	out := make([]irIns, 0, kept)
+	for i := 0; i < n; i++ {
+		if !reachable[i] || ir[i].op == OpNop {
+			continue
+		}
+		in := ir[i]
+		if isJump(in.op) {
+			oldTarget := i + 1 + int(in.k)
+			// A reachable jump's target is reachable; nops at the
+			// target compact to the next surviving instruction.
+			in.k = int64(newIndex[oldTarget] - len(out) - 1)
+		}
+		out = append(out, in)
+	}
+	return out, true
+}

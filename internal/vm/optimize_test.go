@@ -1,0 +1,112 @@
+package vm
+
+import (
+	"testing"
+
+	"progmp/internal/runtime"
+)
+
+func TestOptimizeDropsUnreachableCode(t *testing.T) {
+	ir := []irIns{
+		{op: OpMovImm, dst: 0, k: 1}, // 0
+		{op: OpJmp, k: 2},            // 1 → 4
+		{op: OpMovImm, dst: 0, k: 9}, // 2 unreachable
+		{op: OpStoreReg, a: 0, k: 1}, // 3 unreachable
+		{op: OpStoreReg, a: 0, k: 0}, // 4
+		{op: OpReturn},               // 5
+	}
+	out := optimize(ir)
+	if len(out) >= len(ir) {
+		t.Fatalf("unreachable code not removed: %d -> %d instructions", len(ir), len(out))
+	}
+	regs := allocAndRunIR(t, out, 1)
+	if regs[0] != 1 || regs[1] != 0 {
+		t.Errorf("regs = %v, want R1=1 R2=0", regs[:2])
+	}
+}
+
+func TestOptimizeThreadsJumpChains(t *testing.T) {
+	ir := []irIns{
+		{op: OpMovImm, dst: 0, k: 5}, // 0
+		{op: OpJz, a: 0, k: 1},       // 1 → 3 (jmp) — should thread to 5
+		{op: OpStoreReg, a: 0, k: 0}, // 2
+		{op: OpJmp, k: 1},            // 3 → 5
+		{op: OpStoreReg, a: 0, k: 1}, // 4 unreachable? no: falls from 2... 2 falls to 3, 3 jumps to 5, so 4 unreachable
+		{op: OpReturn},               // 5
+	}
+	out := optimize(ir)
+	regs := allocAndRunIR(t, out, 1)
+	if regs[0] != 5 {
+		t.Errorf("R1 = %d, want 5 (fallthrough path must store)", regs[0])
+	}
+	if regs[1] != 0 {
+		t.Errorf("R2 = %d, want 0 (unreachable store ran)", regs[1])
+	}
+	for _, in := range out {
+		if in.op == OpJz {
+			// The conditional's target must now be the return, not the
+			// intermediate jump.
+			return
+		}
+	}
+}
+
+func TestOptimizeRemovesSelfMoves(t *testing.T) {
+	ir := []irIns{
+		{op: OpMovImm, dst: 0, k: 3},
+		{op: OpMov, dst: 0, a: 0},
+		{op: OpStoreReg, a: 0, k: 0},
+		{op: OpReturn},
+	}
+	out := optimize(ir)
+	for _, in := range out {
+		if in.op == OpMov && in.dst == in.a {
+			t.Errorf("self-move survived optimization")
+		}
+		if in.op == OpNop {
+			t.Errorf("nop survived compaction")
+		}
+	}
+	regs := allocAndRunIR(t, out, 1)
+	if regs[0] != 3 {
+		t.Errorf("R1 = %d, want 3", regs[0])
+	}
+}
+
+func TestOptimizePreservesLoops(t *testing.T) {
+	// while (v0 < 5) { v0++ }; R1 = v0
+	ir := []irIns{
+		{op: OpMovImm, dst: 0, k: 0},    // 0
+		{op: OpMovImm, dst: 1, k: 5},    // 1
+		{op: OpMovImm, dst: 2, k: 1},    // 2
+		{op: OpLt, dst: 3, a: 0, b: 1},  // 3 loop head
+		{op: OpJz, a: 3, k: 2},          // 4 → 7
+		{op: OpAdd, dst: 0, a: 0, b: 2}, // 5
+		{op: OpJmp, k: -4},              // 6 → 3
+		{op: OpStoreReg, a: 0, k: 0},    // 7
+		{op: OpReturn},                  // 8
+	}
+	out := optimize(ir)
+	regs := allocAndRunIR(t, out, 4)
+	if regs[0] != 5 {
+		t.Errorf("R1 = %d, want 5 (loop broken by optimizer)", regs[0])
+	}
+}
+
+func TestOptimizeIdempotentOnCleanCode(t *testing.T) {
+	ir := []irIns{
+		{op: OpMovImm, dst: 0, k: 1},
+		{op: OpStoreReg, a: 0, k: 0},
+		{op: OpReturn},
+	}
+	out := optimize(ir)
+	if len(out) != len(ir) {
+		t.Errorf("optimizer changed already-optimal code: %d -> %d", len(ir), len(out))
+	}
+}
+
+// allocAndRunIR is allocAndRun with a clearer name for optimizer tests.
+func allocAndRunIR(t *testing.T, ir []irIns, nv int) [runtime.NumRegisters]int64 {
+	t.Helper()
+	return allocAndRun(t, ir, nv)
+}

@@ -1,0 +1,213 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"progmp/internal/runtime"
+)
+
+// Profile is the result of a counting execution: per-instruction hit
+// counts over one or more runs — the analogue of the paper's
+// proc-based "performance profiling traces based on the control flow
+// representation of the scheduler specification" (§4.1).
+type Profile struct {
+	prog *Program
+	// Hits[i] counts executions of instruction i.
+	Hits []uint64
+	// Steps is the total number of executed instructions.
+	Steps uint64
+	// Runs counts accumulated executions.
+	Runs int
+}
+
+// NewProfile prepares a profile collector for p.
+func NewProfile(p *Program) *Profile {
+	return &Profile{prog: p, Hits: make([]uint64, len(p.Insns))}
+}
+
+// ExecProfile runs one execution of p against env, accumulating
+// per-instruction counts. It mirrors Program.Exec semantics exactly
+// (same graceful arithmetic, same step budget) but pays the counting
+// overhead, so it is meant for development, not the data path.
+func (pr *Profile) ExecProfile(env *runtime.Env) error {
+	p := pr.prog
+	if p.SpecializedSubflows >= 0 && len(env.SubflowViews) != p.SpecializedSubflows {
+		return ErrSpecializationMismatch
+	}
+	var regs [NumPhysRegs]int64
+	var spills []int64
+	if p.SpillSlots > 0 {
+		spills = make([]int64, p.SpillSlots)
+	}
+	insns := p.Insns
+	steps := uint64(0)
+	for pc := 0; pc < len(insns); pc++ {
+		steps++
+		if steps > MaxSteps {
+			pr.Steps += steps
+			return ErrStepBudget
+		}
+		pr.Hits[pc]++
+		in := &insns[pc]
+		switch in.Op {
+		case OpNop:
+		case OpMovImm:
+			regs[in.Dst] = in.K
+		case OpMov:
+			regs[in.Dst] = regs[in.A]
+		case OpAdd:
+			regs[in.Dst] = regs[in.A] + regs[in.B]
+		case OpSub:
+			regs[in.Dst] = regs[in.A] - regs[in.B]
+		case OpMul:
+			regs[in.Dst] = regs[in.A] * regs[in.B]
+		case OpDiv:
+			if regs[in.B] == 0 {
+				regs[in.Dst] = 0
+			} else {
+				regs[in.Dst] = regs[in.A] / regs[in.B]
+			}
+		case OpMod:
+			if regs[in.B] == 0 {
+				regs[in.Dst] = 0
+			} else {
+				regs[in.Dst] = regs[in.A] % regs[in.B]
+			}
+		case OpNeg:
+			regs[in.Dst] = -regs[in.A]
+		case OpNot:
+			regs[in.Dst] = b2i(regs[in.A] == 0)
+		case OpEq:
+			regs[in.Dst] = b2i(regs[in.A] == regs[in.B])
+		case OpNe:
+			regs[in.Dst] = b2i(regs[in.A] != regs[in.B])
+		case OpLt:
+			regs[in.Dst] = b2i(regs[in.A] < regs[in.B])
+		case OpLe:
+			regs[in.Dst] = b2i(regs[in.A] <= regs[in.B])
+		case OpGt:
+			regs[in.Dst] = b2i(regs[in.A] > regs[in.B])
+		case OpGe:
+			regs[in.Dst] = b2i(regs[in.A] >= regs[in.B])
+		case OpPopcnt:
+			regs[in.Dst] = popcount(regs[in.A])
+		case OpBitSet:
+			regs[in.Dst] = regs[in.A] | int64(uint64(1)<<uint(regs[in.B]&63))
+		case OpBitTest:
+			regs[in.Dst] = (regs[in.A] >> uint(regs[in.B]&63)) & 1
+		case OpJmp:
+			pc += int(in.K)
+		case OpJz:
+			if regs[in.A] == 0 {
+				pc += int(in.K)
+			}
+		case OpJnz:
+			if regs[in.A] != 0 {
+				pc += int(in.K)
+			}
+		case OpReturn:
+			pr.Steps += steps
+			pr.Runs++
+			return nil
+		case OpLoadReg:
+			regs[in.Dst] = env.Reg(int(in.K))
+		case OpStoreReg:
+			env.SetReg(int(in.K), regs[in.A])
+		case OpSbfCount:
+			regs[in.Dst] = int64(len(env.SubflowViews))
+		case OpSbfRef:
+			regs[in.Dst] = regs[in.A] + 1
+		case OpSbfIntProp:
+			if sbf := sbfView(env, regs[in.A]); sbf != nil {
+				regs[in.Dst] = sbf.Ints[in.K]
+			} else {
+				regs[in.Dst] = 0
+			}
+		case OpSbfBoolProp:
+			if sbf := sbfView(env, regs[in.A]); sbf != nil {
+				regs[in.Dst] = b2i(sbf.Bools[in.K])
+			} else {
+				regs[in.Dst] = 0
+			}
+		case OpHasWnd:
+			regs[in.Dst] = b2i(sbfView(env, regs[in.A]).HasWindowFor(pktView(env, regs[in.B])))
+		case OpPktProp:
+			if p := pktView(env, regs[in.A]); p != nil {
+				regs[in.Dst] = p.Ints[in.K]
+			} else {
+				regs[in.Dst] = 0
+			}
+		case OpSentOn:
+			regs[in.Dst] = b2i(pktView(env, regs[in.A]).SentOn(sbfView(env, regs[in.B])))
+		case OpQNext:
+			regs[in.Dst] = int64(env.Queue(runtime.QueueID(in.K)).NextVisible(int(regs[in.A])))
+		case OpPktRef:
+			regs[in.Dst] = (in.K+1)<<32 | (regs[in.A] + 1)
+		case OpPop:
+			env.Pop(runtime.QueueID(in.K), pktView(env, regs[in.A]))
+		case OpPush:
+			env.Push(sbfView(env, regs[in.A]), pktView(env, regs[in.B]))
+		case OpDrop:
+			env.Drop(pktView(env, regs[in.A]))
+		case OpLoadSlot:
+			regs[in.Dst] = spills[in.K]
+		case OpStoreSlot:
+			spills[in.K] = regs[in.A]
+		default:
+			return fmt.Errorf("vm: invalid opcode %d at pc %d", int(in.Op), pc)
+		}
+	}
+	pr.Steps += steps
+	pr.Runs++
+	return nil
+}
+
+func popcount(v int64) int64 {
+	var n int64
+	u := uint64(v)
+	for u != 0 {
+		u &= u - 1
+		n++
+	}
+	return n
+}
+
+// Report renders the profile: every instruction annotated with its hit
+// count, followed by the hottest instructions.
+func (pr *Profile) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d run(s), %d instructions executed (%.1f per run)\n",
+		pr.Runs, pr.Steps, float64(pr.Steps)/float64(max(1, pr.Runs)))
+	for i, in := range pr.prog.Insns {
+		fmt.Fprintf(&b, "%10d  %4d: %s\n", pr.Hits[i], i, in)
+	}
+	type hot struct {
+		idx  int
+		hits uint64
+	}
+	hots := make([]hot, 0, len(pr.Hits))
+	for i, h := range pr.Hits {
+		if h > 0 {
+			hots = append(hots, hot{idx: i, hits: h})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].hits > hots[j].hits })
+	b.WriteString("hottest:\n")
+	for i, h := range hots {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(&b, "  %6.1f%%  %4d: %s\n",
+			100*float64(h.hits)/float64(max(1, int(pr.Steps))), h.idx, pr.prog.Insns[h.idx])
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package vm
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"progmp/internal/envtest"
+)
+
+func TestProfileMatchesExec(t *testing.T) {
+	// The counting loop must be semantically identical to the hot loop
+	// across random programs and environments.
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 100; trial++ {
+		src := envtest.GenProgram(rng)
+		info := mustInfo(t, src)
+		p, err := Compile(info, Options{SubflowCount: -1})
+		if err != nil {
+			t.Fatalf("compile: %v\n%s", err, src)
+		}
+		seed := rng.Int63()
+		envA := envtest.RandomEnv(rand.New(rand.NewSource(seed)))
+		envB := envtest.RandomEnv(rand.New(rand.NewSource(seed)))
+		if err := p.Exec(envA); err != nil {
+			t.Fatal(err)
+		}
+		pr := NewProfile(p)
+		if err := pr.ExecProfile(envB); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(envA.Actions, envB.Actions) {
+			t.Fatalf("profiled execution diverges on:\n%s", src)
+		}
+		if *envA.Regs != *envB.Regs {
+			t.Fatalf("profiled registers diverge on:\n%s", src)
+		}
+		if pr.Steps == 0 || pr.Runs != 1 {
+			t.Fatalf("profile bookkeeping wrong: steps=%d runs=%d", pr.Steps, pr.Runs)
+		}
+	}
+}
+
+func TestProfileCountsLoopBodies(t *testing.T) {
+	p := compileGeneric(t, `FOREACH (VAR sbf IN SUBFLOWS) { SET(R1, R1 + sbf.ID); }`)
+	pr := NewProfile(p)
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}},
+	}.Build()
+	if err := pr.ExecProfile(env); err != nil {
+		t.Fatal(err)
+	}
+	// The StoreReg inside the loop must have executed exactly 4 times.
+	var storeHits uint64
+	for i, in := range p.Insns {
+		if in.Op == OpStoreReg {
+			storeHits += pr.Hits[i]
+		}
+	}
+	if storeHits != 4 {
+		t.Errorf("loop body StoreReg hits = %d, want 4\n%s", storeHits, pr.Report())
+	}
+	rep := pr.Report()
+	if !strings.Contains(rep, "hottest:") || !strings.Contains(rep, "1 run(s)") {
+		t.Errorf("report malformed:\n%s", rep)
+	}
+}
+
+func TestProfileAccumulatesRuns(t *testing.T) {
+	p := compileGeneric(t, `SET(R1, R1 + 1);`)
+	pr := NewProfile(p)
+	env := envtest.TwoSubflowEnv(0)
+	for i := 0; i < 3; i++ {
+		env.Reset()
+		if err := pr.ExecProfile(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pr.Runs != 3 {
+		t.Errorf("runs = %d, want 3", pr.Runs)
+	}
+	if env.Reg(0) != 3 {
+		t.Errorf("R1 = %d, want 3", env.Reg(0))
+	}
+}

@@ -1,0 +1,253 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"progmp/internal/runtime"
+)
+
+// execRaw runs instructions against an empty environment and returns
+// the final ProgMP register file (the only observable state).
+func execRaw(t *testing.T, insns []Instr, spills int) [runtime.NumRegisters]int64 {
+	t.Helper()
+	p := &Program{Insns: insns, SpillSlots: spills, SpecializedSubflows: -1}
+	if err := Verify(p); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	env := runtime.NewEnv(nil, nil, nil, nil, nil)
+	if err := p.Exec(env); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	var regs [runtime.NumRegisters]int64
+	for i := range regs {
+		regs[i] = env.Reg(i)
+	}
+	return regs
+}
+
+// allocAndRun pushes an IR program through the allocator and executes
+// the result.
+func allocAndRun(t *testing.T, ir []irIns, nv int) [runtime.NumRegisters]int64 {
+	t.Helper()
+	insns, spills, err := allocate(ir, nv)
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	return execRaw(t, insns, spills)
+}
+
+func TestAllocateSimpleChain(t *testing.T) {
+	// v0 = 7; v1 = 35; v2 = v0 + v1; R1 = v2
+	ir := []irIns{
+		{op: OpMovImm, dst: 0, k: 7},
+		{op: OpMovImm, dst: 1, k: 35},
+		{op: OpAdd, dst: 2, a: 0, b: 1},
+		{op: OpStoreReg, a: 2, k: 0},
+		{op: OpReturn},
+	}
+	regs := allocAndRun(t, ir, 3)
+	if regs[0] != 42 {
+		t.Errorf("R1 = %d, want 42", regs[0])
+	}
+}
+
+func TestAllocateRegisterReuseAfterDeath(t *testing.T) {
+	// Build a long sequence of short-lived values; the allocator must
+	// reuse registers instead of spilling.
+	var ir []irIns
+	nv := 0
+	for i := 0; i < 100; i++ {
+		v := nv
+		nv++
+		ir = append(ir,
+			irIns{op: OpMovImm, dst: v, k: int64(i)},
+			irIns{op: OpStoreReg, a: v, k: int64(i % runtime.NumRegisters)},
+		)
+	}
+	ir = append(ir, irIns{op: OpReturn})
+	insns, spills, err := allocate(ir, nv)
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	if spills != 0 {
+		t.Errorf("short-lived values forced %d spills; intervals not expiring", spills)
+	}
+	regs := execRaw(t, insns, spills)
+	// The last value stored in each ProgMP register wins: the largest
+	// i <= 99 with i % 8 == r.
+	for r := 0; r < runtime.NumRegisters; r++ {
+		want := int64(99 - ((99 - r) % runtime.NumRegisters))
+		if regs[r] != want {
+			t.Errorf("R%d = %d, want %d", r+1, regs[r], want)
+		}
+	}
+}
+
+func TestAllocateSpillsUnderPressure(t *testing.T) {
+	// More simultaneously-live values than physical registers: define
+	// 30 values first, then consume them all.
+	var ir []irIns
+	const n = 30
+	for i := 0; i < n; i++ {
+		ir = append(ir, irIns{op: OpMovImm, dst: i, k: int64(i + 1)})
+	}
+	// sum = v0 + v1 + ... accumulated into vreg n.
+	ir = append(ir, irIns{op: OpMovImm, dst: n, k: 0})
+	for i := 0; i < n; i++ {
+		ir = append(ir, irIns{op: OpAdd, dst: n, a: n, b: i})
+	}
+	ir = append(ir,
+		irIns{op: OpStoreReg, a: n, k: 0},
+		irIns{op: OpReturn},
+	)
+	insns, spills, err := allocate(ir, n+1)
+	if err != nil {
+		t.Fatalf("allocate: %v", err)
+	}
+	if spills == 0 {
+		t.Fatalf("30 live values across %d registers must spill", numAllocatable)
+	}
+	regs := execRaw(t, insns, spills)
+	if want := int64(n * (n + 1) / 2); regs[0] != want {
+		t.Errorf("R1 = %d, want %d (spilled values corrupted)", regs[0], want)
+	}
+}
+
+func TestAllocateLoopLiveness(t *testing.T) {
+	// A value defined before a loop and used after it must survive the
+	// loop even though its last textual use precedes later intervals.
+	//
+	//   v0 = 99          ; live across the loop
+	//   v1 = 0           ; counter
+	//   v2 = 10          ; bound
+	//   v3 = 1
+	// loop:
+	//   v4 = v1 < v2
+	//   jz v4, done
+	//   v5..v20 = i      ; loop-local pressure trying to steal v0's reg
+	//   v1 = v1 + v3
+	//   jmp loop
+	// done:
+	//   R1 = v0
+	var ir []irIns
+	ir = append(ir,
+		irIns{op: OpMovImm, dst: 0, k: 99},
+		irIns{op: OpMovImm, dst: 1, k: 0},
+		irIns{op: OpMovImm, dst: 2, k: 10},
+		irIns{op: OpMovImm, dst: 3, k: 1},
+	)
+	loopStart := len(ir)
+	ir = append(ir, irIns{op: OpLt, dst: 4, a: 1, b: 2})
+	jzAt := len(ir)
+	ir = append(ir, irIns{op: OpJz, a: 4}) // patched below
+	nv := 5
+	for i := 0; i < 16; i++ {
+		ir = append(ir, irIns{op: OpMovImm, dst: nv, k: int64(i)})
+		ir = append(ir, irIns{op: OpStoreReg, a: nv, k: 7})
+		nv++
+	}
+	ir = append(ir, irIns{op: OpAdd, dst: 1, a: 1, b: 3})
+	jmpAt := len(ir)
+	ir = append(ir, irIns{op: OpJmp})
+	ir[jmpAt].k = int64(loopStart - jmpAt - 1)
+	ir[jzAt].k = int64(len(ir) - jzAt - 1)
+	ir = append(ir,
+		irIns{op: OpStoreReg, a: 0, k: 0},
+		irIns{op: OpReturn},
+	)
+	regs := allocAndRun(t, ir, nv)
+	if regs[0] != 99 {
+		t.Errorf("R1 = %d, want 99 (loop-crossing value clobbered)", regs[0])
+	}
+	if regs[7] != 15 {
+		t.Errorf("R8 = %d, want 15", regs[7])
+	}
+}
+
+// TestAllocatePropertyRandomPrograms: random straight-line IR programs
+// must compute the same result as a direct virtual-register emulation.
+func TestAllocatePropertyRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		nv := 2 + rng.Intn(40)
+		var ir []irIns
+		// Initialize every vreg.
+		for v := 0; v < nv; v++ {
+			ir = append(ir, irIns{op: OpMovImm, dst: v, k: int64(rng.Intn(100))})
+		}
+		// Random ALU soup.
+		ops := []Op{OpAdd, OpSub, OpMul, OpMov, OpNeg, OpEq, OpLt}
+		n := 5 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			op := ops[rng.Intn(len(ops))]
+			ir = append(ir, irIns{
+				op:  op,
+				dst: rng.Intn(nv),
+				a:   rng.Intn(nv),
+				b:   rng.Intn(nv),
+			})
+		}
+		// Store everything observable.
+		for r := 0; r < runtime.NumRegisters; r++ {
+			ir = append(ir, irIns{op: OpStoreReg, a: rng.Intn(nv), k: int64(r)})
+		}
+		ir = append(ir, irIns{op: OpReturn})
+
+		// Reference: emulate over virtual registers directly.
+		vregs := make([]int64, nv)
+		var wantRegs [runtime.NumRegisters]int64
+		for _, in := range ir {
+			switch in.op {
+			case OpMovImm:
+				vregs[in.dst] = in.k
+			case OpMov:
+				vregs[in.dst] = vregs[in.a]
+			case OpAdd:
+				vregs[in.dst] = vregs[in.a] + vregs[in.b]
+			case OpSub:
+				vregs[in.dst] = vregs[in.a] - vregs[in.b]
+			case OpMul:
+				vregs[in.dst] = vregs[in.a] * vregs[in.b]
+			case OpNeg:
+				vregs[in.dst] = -vregs[in.a]
+			case OpEq:
+				if vregs[in.a] == vregs[in.b] {
+					vregs[in.dst] = 1
+				} else {
+					vregs[in.dst] = 0
+				}
+			case OpLt:
+				if vregs[in.a] < vregs[in.b] {
+					vregs[in.dst] = 1
+				} else {
+					vregs[in.dst] = 0
+				}
+			case OpStoreReg:
+				wantRegs[in.k] = vregs[in.a]
+			}
+		}
+		got := allocAndRun(t, ir, nv)
+		if got != wantRegs {
+			t.Fatalf("trial %d: allocation changed semantics\ngot  %v\nwant %v", trial, got, wantRegs)
+		}
+	}
+}
+
+func TestBuildIntervalsBackwardEdgeExtension(t *testing.T) {
+	// v0 defined at 0, used at 1; backward jump from 3 to 1 must extend
+	// v0's interval through 3.
+	ir := []irIns{
+		{op: OpMovImm, dst: 0, k: 1}, // 0
+		{op: OpStoreReg, a: 0, k: 0}, // 1
+		{op: OpMovImm, dst: 1, k: 2}, // 2
+		{op: OpJmp, k: -3},           // 3 → 1
+		{op: OpReturn},               // 4
+	}
+	ivs := buildIntervals(ir, 2)
+	for _, iv := range ivs {
+		if iv.vreg == 0 && iv.end < 3 {
+			t.Errorf("v0 interval ends at %d, want >= 3 (loop extension)", iv.end)
+		}
+	}
+}

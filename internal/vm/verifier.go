@@ -1,0 +1,78 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"progmp/internal/runtime"
+)
+
+// Verification errors.
+var (
+	ErrEmptyProgram = errors.New("empty program")
+	ErrNoReturn     = errors.New("program does not end with return")
+)
+
+// Verify checks a program the way the eBPF loader would before
+// admitting it into the kernel: structural validity of every
+// instruction, jump targets inside the program, register and slot
+// indices in range, and property/queue indices valid. Unlike eBPF,
+// loops are permitted (§6: "While eBPF does not support loops to
+// ensure termination, our programming model allows FOREACH loops");
+// termination is enforced by the interpreter's step budget instead.
+func Verify(p *Program) error {
+	n := len(p.Insns)
+	if n == 0 {
+		return ErrEmptyProgram
+	}
+	if p.Insns[n-1].Op != OpReturn {
+		return ErrNoReturn
+	}
+	for i, in := range p.Insns {
+		r, known := roles[in.Op]
+		if !known {
+			return fmt.Errorf("instruction %d: unknown opcode %d", i, int(in.Op))
+		}
+		if r.readsA && int(in.A) >= NumPhysRegs {
+			return fmt.Errorf("instruction %d (%s): source register A out of range", i, in)
+		}
+		if r.readsB && int(in.B) >= NumPhysRegs {
+			return fmt.Errorf("instruction %d (%s): source register B out of range", i, in)
+		}
+		if r.writesDst && int(in.Dst) >= NumPhysRegs {
+			return fmt.Errorf("instruction %d (%s): destination register out of range", i, in)
+		}
+		switch in.Op {
+		case OpJmp, OpJz, OpJnz:
+			target := i + 1 + int(in.K)
+			if target < 0 || target >= n {
+				return fmt.Errorf("instruction %d (%s): jump target %d out of range", i, in, target)
+			}
+		case OpLoadReg, OpStoreReg:
+			if in.K < 0 || in.K >= runtime.NumRegisters {
+				return fmt.Errorf("instruction %d (%s): ProgMP register index out of range", i, in)
+			}
+		case OpSbfIntProp:
+			if in.K < 0 || int(in.K) >= runtime.NumSubflowIntProps {
+				return fmt.Errorf("instruction %d (%s): subflow property out of range", i, in)
+			}
+		case OpSbfBoolProp:
+			if in.K < 0 || int(in.K) >= runtime.NumSubflowBoolProps {
+				return fmt.Errorf("instruction %d (%s): subflow bool property out of range", i, in)
+			}
+		case OpPktProp:
+			if in.K < 0 || int(in.K) >= runtime.NumPacketIntProps {
+				return fmt.Errorf("instruction %d (%s): packet property out of range", i, in)
+			}
+		case OpQNext, OpPktRef, OpPop:
+			if in.K < 0 || in.K > int64(runtime.QueueReinject) {
+				return fmt.Errorf("instruction %d (%s): queue id out of range", i, in)
+			}
+		case OpLoadSlot, OpStoreSlot:
+			if in.K < 0 || int(in.K) >= p.SpillSlots {
+				return fmt.Errorf("instruction %d (%s): spill slot out of range", i, in)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+// Package progmp is a Go reproduction of ProgMP — the programming
+// model for application-defined Multipath TCP scheduling of Frömmgen
+// et al. (ACM Middleware 2017, https://progmp.net).
+//
+// The package offers the extended scheduling API of §3.2 in the shape
+// of the paper's userspace library (Fig. 8): load scheduler
+// specifications, attach them to connections, set registers, and
+// annotate data with per-packet scheduling intents. Because the kernel
+// data path is replaced by a deterministic userspace MPTCP model (see
+// DESIGN.md), connections run inside a simulated network:
+//
+//	net := progmp.NewNetwork(42)
+//	conn, _ := net.Dial(progmp.ConnConfig{},
+//	    progmp.Path{Name: "wifi", RateBps: 3e6, OneWayDelay: 5 * time.Millisecond},
+//	    progmp.Path{Name: "lte", RateBps: 8e6, OneWayDelay: 20 * time.Millisecond, Backup: true},
+//	)
+//	sched, _ := progmp.LoadScheduler("myTAP", progmp.Schedulers["tap"])
+//	conn.SetScheduler(sched)
+//	conn.SetRegister(progmp.R1, 4<<20) // target 4 MB/s
+//	conn.Send(1<<20, 0)
+//	net.Run(10 * time.Second)
+package progmp
+
+import (
+	"fmt"
+	"time"
+
+	"progmp/internal/core"
+	"progmp/internal/lang"
+	"progmp/internal/lang/types"
+	"progmp/internal/mptcp"
+	"progmp/internal/netsim"
+	"progmp/internal/schedlib"
+	"progmp/internal/vm"
+)
+
+// Backend selects the execution environment for scheduler programs
+// (§4.1 of the paper).
+type Backend = core.Backend
+
+// The three execution back-ends.
+const (
+	BackendInterpreter = core.BackendInterpreter
+	BackendCompiled    = core.BackendCompiled
+	BackendVM          = core.BackendVM
+)
+
+// Scheduler is a loaded, executable scheduler program.
+type Scheduler = core.Scheduler
+
+// Registry holds named schedulers for reuse across connections.
+type Registry = core.Registry
+
+// Register indices for SetRegister (the language spells them R1..R8).
+const (
+	R1 = iota
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+)
+
+// Schedulers is the paper's scheduler corpus: the mainline schedulers
+// of §3.4 and the novel schedulers of §5, as ProgMP source text. See
+// package schedlib for the register and packet-property conventions.
+var Schedulers = schedlib.All
+
+// CheckScheduler parses and type-checks a scheduler specification,
+// returning its static diagnostics without loading it.
+func CheckScheduler(src string) error {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return err
+	}
+	_, err = types.Check(prog)
+	return err
+}
+
+// LoadScheduler compiles a specification on the default back-end (the
+// bytecode VM with runtime specialization, the paper's recommended
+// configuration).
+func LoadScheduler(name, src string) (*Scheduler, error) {
+	return core.Load(name, src, core.BackendVM)
+}
+
+// LoadSchedulerBackend compiles a specification on a chosen back-end.
+func LoadSchedulerBackend(name, src string, backend Backend) (*Scheduler, error) {
+	return core.Load(name, src, backend)
+}
+
+// Disassemble compiles a specification to bytecode and returns its
+// disassembly — the tooling view of the cross-compiler output.
+func Disassemble(src string) (string, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return "", err
+	}
+	p, err := vm.Compile(info, vm.Options{SubflowCount: -1})
+	if err != nil {
+		return "", err
+	}
+	return p.Disassemble(), nil
+}
+
+// FormatScheduler parses a specification and returns it pretty-printed
+// in canonical form.
+func FormatScheduler(src string) (string, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return prog.Format(), nil
+}
+
+// ---- Simulated network and connections ----
+
+// Path describes one subflow path of a connection.
+type Path struct {
+	Name        string
+	RateBps     float64       // link capacity in bytes/s
+	OneWayDelay time.Duration // propagation delay
+	Jitter      time.Duration // uniform extra delay bound
+	LossProb    float64       // Bernoulli loss probability
+	Backup      bool          // mark non-preferred (IS_BACKUP)
+	// EstablishAt delays the subflow handshake (path-manager timing).
+	EstablishAt time.Duration
+	// RateFn optionally overrides RateBps with a time-varying capacity.
+	RateFn func(at time.Duration) float64
+	// DelayFn optionally overrides OneWayDelay with a time-varying
+	// propagation delay.
+	DelayFn func(at time.Duration) time.Duration
+}
+
+// ConnConfig tunes a connection; the zero value uses the defaults of
+// the underlying model (MSS 1460, LIA congestion control, optimized
+// receiver, 4 MiB receive buffer).
+type ConnConfig struct {
+	MSS            int
+	RcvBuf         int
+	UncoupledReno  bool // use per-subflow Reno instead of coupled LIA
+	LegacyReceiver bool // pre-§4.2 receiver behaviour
+	// CongestionControl selects the algorithm by name: "lia"
+	// (default), "olia", or "reno". It overrides UncoupledReno.
+	CongestionControl string
+}
+
+// Network is a deterministic simulated network hosting MPTCP
+// connections.
+type Network struct {
+	eng *netsim.Engine
+}
+
+// NewNetwork creates a network with seeded randomness; equal seeds
+// reproduce runs exactly.
+func NewNetwork(seed int64) *Network {
+	return &Network{eng: netsim.NewEngine(seed)}
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.eng.Now() }
+
+// At schedules fn at the given virtual time (application logic,
+// workload generation, register updates).
+func (n *Network) At(at time.Duration, fn func()) { n.eng.At(at, fn) }
+
+// Run advances the simulation until the given virtual time.
+func (n *Network) Run(until time.Duration) { n.eng.RunUntil(until) }
+
+// RunAll drains every pending event.
+func (n *Network) RunAll() { n.eng.Run() }
+
+// Conn is an MPTCP connection inside a simulated network, exposing the
+// extended scheduling API of §3.2.
+type Conn struct {
+	inner *mptcp.Conn
+	net   *Network
+}
+
+// Dial creates a connection with one subflow per path.
+func (n *Network) Dial(cfg ConnConfig, paths ...Path) (*Conn, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("progmp: a connection needs at least one path")
+	}
+	mcfg := mptcp.Config{MSS: cfg.MSS, RcvBuf: cfg.RcvBuf}
+	if cfg.UncoupledReno {
+		mcfg.CC = mptcp.Reno{}
+	}
+	switch cfg.CongestionControl {
+	case "":
+		// Keep the UncoupledReno choice or the LIA default.
+	case "lia":
+		mcfg.CC = mptcp.LIA{}
+	case "olia":
+		mcfg.CC = mptcp.OLIA{}
+	case "reno":
+		mcfg.CC = mptcp.Reno{}
+	default:
+		return nil, fmt.Errorf("progmp: unknown congestion control %q", cfg.CongestionControl)
+	}
+	if cfg.LegacyReceiver {
+		mcfg.ReceiverMode = mptcp.ReceiverLegacy
+	}
+	conn := mptcp.NewConn(n.eng, mcfg)
+	for _, p := range paths {
+		rate := p.RateFn
+		if rate == nil {
+			rate = netsim.ConstantRate(p.RateBps)
+		}
+		var loss netsim.LossModel
+		if p.LossProb > 0 {
+			loss = netsim.BernoulliLoss{P: p.LossProb}
+		}
+		link := netsim.NewLink(n.eng, netsim.PathConfig{
+			Name:    p.Name,
+			Rate:    rate,
+			Delay:   p.OneWayDelay,
+			DelayFn: p.DelayFn,
+			Jitter:  p.Jitter,
+			Loss:    loss,
+		})
+		if _, err := conn.AddSubflow(mptcp.SubflowConfig{
+			Name:    p.Name,
+			Link:    link,
+			Backup:  p.Backup,
+			StartAt: p.EstablishAt,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &Conn{inner: conn, net: n}, nil
+}
+
+// SetScheduler installs a loaded scheduler on the connection
+// (per-connection scheduler choice, §3.2).
+func (c *Conn) SetScheduler(s *Scheduler) { c.inner.SetScheduler(s) }
+
+// SetRegister writes scheduler register i (R1..R8) — the application's
+// channel for scheduling intents such as target bitrates or
+// end-of-flow signals.
+func (c *Conn) SetRegister(i int, v int64) { c.inner.SetRegister(i, v) }
+
+// Register reads scheduler register i.
+func (c *Conn) Register(i int) int64 { return c.inner.Register(i) }
+
+// Send enqueues n bytes without a scheduling intent.
+func (c *Conn) Send(n int) { c.inner.Send(n, 0) }
+
+// SendWithIntent enqueues n bytes whose packets carry the scheduling
+// intent prop (per-packet packet properties, §3.2).
+func (c *Conn) SendWithIntent(n int, prop int64) { c.inner.Send(n, prop) }
+
+// OnDeliver registers the receiver-side in-order delivery callback.
+func (c *Conn) OnDeliver(fn func(seq int64, size int, at time.Duration)) {
+	c.inner.Receiver().OnDeliver(fn)
+}
+
+// AllAcked reports whether every sent byte has been acknowledged.
+func (c *Conn) AllAcked() bool { return c.inner.AllAcked() }
+
+// SubflowStats describes one subflow for monitoring.
+type SubflowStats struct {
+	Name            string
+	Established     bool
+	Closed          bool
+	Backup          bool
+	SRTT            time.Duration
+	Cwnd            float64
+	BytesSent       int64
+	PktsSent        int64
+	Retransmissions int64
+	ThroughputBps   int64
+}
+
+// Subflows returns a snapshot of the connection's subflows.
+func (c *Conn) Subflows() []SubflowStats {
+	var out []SubflowStats
+	for _, s := range c.inner.Subflows() {
+		out = append(out, SubflowStats{
+			Name:            s.Name(),
+			Established:     s.Established(),
+			Closed:          s.Closed(),
+			SRTT:            s.SRTT(),
+			Cwnd:            s.Cwnd(),
+			BytesSent:       s.BytesSent,
+			PktsSent:        s.PktsSent,
+			Retransmissions: s.Retransmissions,
+			ThroughputBps:   s.Throughput(),
+		})
+	}
+	return out
+}
+
+// CloseSubflow tears down subflow i (path-manager operation, e.g. a
+// WiFi association loss during handover experiments).
+func (c *Conn) CloseSubflow(i int) error {
+	sbfs := c.inner.Subflows()
+	if i < 0 || i >= len(sbfs) {
+		return fmt.Errorf("progmp: no subflow %d", i)
+	}
+	sbfs[i].Close()
+	return nil
+}
+
+// SetSubflowBackup flips the preference flag of subflow i.
+func (c *Conn) SetSubflowBackup(i int, backup bool) error {
+	sbfs := c.inner.Subflows()
+	if i < 0 || i >= len(sbfs) {
+		return fmt.Errorf("progmp: no subflow %d", i)
+	}
+	sbfs[i].SetBackup(backup)
+	return nil
+}
+
+// PathManagerConfig re-exports the path-manager options.
+type PathManagerConfig = mptcp.PathManagerConfig
+
+// PathManager re-exports the path-manager building block.
+type PathManager = mptcp.PathManager
+
+// EnablePathManager attaches a path manager (§2.1 building block) that
+// tears down subflows which stop making acknowledgement progress and
+// optionally promotes a backup when no preferred subflow remains.
+func (c *Conn) EnablePathManager(cfg PathManagerConfig) *PathManager {
+	return mptcp.NewPathManager(c.inner, cfg)
+}
+
+// Inner exposes the underlying model connection for advanced
+// instrumentation (experiments, benchmarks).
+func (c *Conn) Inner() *mptcp.Conn { return c.inner }
