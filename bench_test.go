@@ -20,6 +20,7 @@ import (
 	"progmp/internal/mptcp"
 	"progmp/internal/mptcp/sched"
 	"progmp/internal/netsim"
+	"progmp/internal/obs"
 	"progmp/internal/runtime"
 	"progmp/internal/schedlib"
 	"progmp/internal/vm"
@@ -435,6 +436,45 @@ func BenchmarkAblation_TSQWake(b *testing.B) {
 		b.ReportMetric(float64(run(false).Microseconds())/1000, "tsq-wake-fct-ms")
 		b.ReportMetric(float64(run(true).Microseconds())/1000, "ack-clocked-fct-ms")
 	}
+}
+
+// ---- Observability overhead (docs/OBSERVABILITY.md) ----
+
+// BenchmarkObsOverhead quantifies the observability layer's cost on
+// the hot paths. "exec-off" is the tracing-disabled VM execution path —
+// the configuration that must stay within 2% of the seed's
+// BenchmarkFig09 vm numbers, since uninstrumented code pays only
+// nil checks on the obs handles. "exec-steps" adds the opt-in VM step
+// counter. The transfer variants run a full 128 KiB two-path transfer
+// per iteration with instrumentation off and fully on.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("exec-off", func(b *testing.B) {
+		s := core.MustLoad("minRTT", schedlib.MinRTT, core.BackendVM)
+		s.SetSynchronousSpecialization(true)
+		benchExec(b, s, 2)
+	})
+	b.Run("exec-steps", func(b *testing.B) {
+		s := core.MustLoad("minRTT", schedlib.MinRTT, core.BackendVM)
+		s.SetSynchronousSpecialization(true)
+		s.EnableStepMetrics()
+		benchExec(b, s, 2)
+	})
+	transfer := func(b *testing.B, instrument bool) {
+		for i := 0; i < b.N; i++ {
+			eng := netsimEngine(int64(i + 1))
+			conn := mptcpConn(eng, 0, false)
+			if instrument {
+				conn.Instrument(obs.NewTracer(0), obs.NewRegistry())
+			}
+			eng.After(0, func() { conn.Send(128<<10, 0) })
+			eng.RunUntil(20 * time.Second)
+			if !conn.AllAcked() {
+				b.Fatal("transfer did not complete")
+			}
+		}
+	}
+	b.Run("transfer-off", func(b *testing.B) { transfer(b, false) })
+	b.Run("transfer-traced", func(b *testing.B) { transfer(b, true) })
 }
 
 // netsimEngine and mptcpConn are small fixtures for the substrate

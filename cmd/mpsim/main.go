@@ -65,16 +65,18 @@ func main() {
 	reg1 := flag.Int64("r1", 0, "initial value of register R1")
 	cc := flag.String("cc", "", "congestion control: lia (default), olia, reno")
 	pathmgr := flag.Bool("pathmgr", false, "enable the path manager (failure detection + backup promotion)")
+	trace := flag.String("trace", "", "write a JSONL decision trace of the run to FILE")
+	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
 	flag.Var(&paths, "path", "path spec name:rateBps:delay:loss:pref|backup (repeatable)")
 	flag.Parse()
 
-	if err := run(*scheduler, *backend, *send, *prop, *seed, *duration, *reg1, *cc, *pathmgr, paths); err != nil {
+	if err := run(*scheduler, *backend, *send, *prop, *seed, *duration, *reg1, *cc, *pathmgr, *trace, *metrics, paths); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scheduler, backend string, send int, prop, seed int64, duration time.Duration, reg1 int64, cc string, pathmgr bool, paths pathFlags) error {
+func run(scheduler, backend string, send int, prop, seed int64, duration time.Duration, reg1 int64, cc string, pathmgr bool, trace string, metrics bool, paths pathFlags) error {
 	src, ok := progmp.Schedulers[scheduler]
 	if !ok {
 		data, err := os.ReadFile(scheduler)
@@ -110,6 +112,17 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		return err
 	}
 	conn.SetScheduler(sched)
+	var tracer *progmp.Tracer
+	var reg *progmp.Metrics
+	if trace != "" {
+		tracer = progmp.NewTracer(0)
+	}
+	if metrics {
+		reg = progmp.NewMetrics()
+	}
+	if tracer != nil || reg != nil {
+		conn.Instrument(tracer, reg)
+	}
 	if pathmgr {
 		conn.EnablePathManager(progmp.PathManagerConfig{PromoteBackupOnDeath: true})
 	}
@@ -139,6 +152,23 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 	for _, s := range conn.Subflows() {
 		fmt.Printf("%-8s %12d %10d %8d %8v %10.1f\n",
 			s.Name, s.BytesSent, s.PktsSent, s.Retransmissions, s.SRTT.Round(time.Millisecond), s.Cwnd)
+	}
+	if tracer != nil {
+		f, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		if err := progmp.WriteTraceJSONL(f, tracer.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace           %s (%d events, %d overwritten)\n", trace, len(tracer.Events()), tracer.Dropped())
+	}
+	if reg != nil {
+		fmt.Print(reg.Render())
 	}
 	return nil
 }

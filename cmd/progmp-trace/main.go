@@ -1,0 +1,274 @@
+// Command progmp-trace replays an MPTCP transfer scenario with
+// decision tracing enabled and emits the trace, so that every
+// transmitted packet's subflow choice is attributable to the scheduler
+// execution — and the decision site inside the scheduler program — that
+// produced it.
+//
+// Example:
+//
+//	progmp-trace -scheduler minRTT -send 262144 -format summary
+//	progmp-trace -scheduler redundant -format chrome -o trace.json
+//	progmp-trace -kinds PUSH,DROP -o pushes.jsonl
+//
+// Formats:
+//
+//	jsonl    one JSON object per event (default; see docs/OBSERVABILITY.md)
+//	chrome   Chrome trace_event JSON for chrome://tracing / Perfetto
+//	summary  per-kind counts, per-subflow pushes and attribution stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"progmp"
+	"progmp/internal/obs"
+)
+
+// scenario describes one replay run.
+type scenario struct {
+	scheduler string
+	backend   string
+	send      int
+	prop      int64
+	seed      int64
+	duration  time.Duration
+	reg1      int64
+	cc        string
+	ringCap   int
+	paths     []progmp.Path
+}
+
+type pathFlags []progmp.Path
+
+func (p *pathFlags) String() string { return fmt.Sprintf("%d paths", len(*p)) }
+
+// Set parses "name:rateBps:delay:lossProb:pref|backup" (the mpsim
+// path-spec syntax).
+func (p *pathFlags) Set(v string) error {
+	parts := strings.Split(v, ":")
+	if len(parts) != 5 {
+		return fmt.Errorf("path %q: want name:rate:delay:loss:pref|backup", v)
+	}
+	var rate, loss float64
+	if _, err := fmt.Sscanf(parts[1], "%g", &rate); err != nil {
+		return fmt.Errorf("path %q: bad rate: %v", v, err)
+	}
+	delay, err := time.ParseDuration(parts[2])
+	if err != nil {
+		return fmt.Errorf("path %q: bad delay: %v", v, err)
+	}
+	if _, err := fmt.Sscanf(parts[3], "%g", &loss); err != nil {
+		return fmt.Errorf("path %q: bad loss: %v", v, err)
+	}
+	backup := false
+	switch parts[4] {
+	case "backup":
+		backup = true
+	case "pref":
+	default:
+		return fmt.Errorf("path %q: last field must be pref or backup", v)
+	}
+	*p = append(*p, progmp.Path{
+		Name: parts[0], RateBps: rate, OneWayDelay: delay, LossProb: loss, Backup: backup,
+	})
+	return nil
+}
+
+func main() {
+	var paths pathFlags
+	scheduler := flag.String("scheduler", "minRTT", "built-in scheduler name or a file path")
+	backend := flag.String("backend", "vm", "execution backend: interpreter, compiled, vm")
+	send := flag.Int("send", 1<<18, "bytes to transfer")
+	prop := flag.Int64("prop", 0, "per-packet scheduling intent")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	duration := flag.Duration("duration", 60*time.Second, "simulation horizon")
+	reg1 := flag.Int64("r1", 0, "initial value of register R1")
+	cc := flag.String("cc", "", "congestion control: lia (default), olia, reno")
+	ringCap := flag.Int("cap", 0, "trace ring capacity in events (0 = default 65536)")
+	format := flag.String("format", "jsonl", "output format: jsonl, chrome, summary")
+	out := flag.String("o", "", "output file (default stdout)")
+	kinds := flag.String("kinds", "", "comma-separated event kinds to keep (e.g. PUSH,DROP); empty keeps all")
+	metrics := flag.Bool("metrics", false, "append the metrics registry to stderr")
+	flag.Var(&paths, "path", "path spec name:rateBps:delay:loss:pref|backup (repeatable)")
+	flag.Parse()
+
+	sc := scenario{
+		scheduler: *scheduler, backend: *backend, send: *send, prop: *prop,
+		seed: *seed, duration: *duration, reg1: *reg1, cc: *cc,
+		ringCap: *ringCap, paths: paths,
+	}
+	if err := run(sc, *format, *out, *kinds, *metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "progmp-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sc scenario, format, out, kinds string, metrics bool) error {
+	tracer, reg, err := replay(sc)
+	if err != nil {
+		return err
+	}
+	events := tracer.Events()
+	if kinds != "" {
+		events, err = filterKinds(events, kinds)
+		if err != nil {
+			return err
+		}
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := emit(w, format, events, tracer.Dropped()); err != nil {
+		return err
+	}
+	if metrics {
+		fmt.Fprint(os.Stderr, reg.Render())
+	}
+	return nil
+}
+
+// replay runs the scenario with tracing and metrics attached and
+// returns the instruments after the simulation drains.
+func replay(sc scenario) (*progmp.Tracer, *progmp.Metrics, error) {
+	src, ok := progmp.Schedulers[sc.scheduler]
+	if !ok {
+		data, err := os.ReadFile(sc.scheduler)
+		if err != nil {
+			return nil, nil, fmt.Errorf("scheduler %q is neither built-in nor readable: %w", sc.scheduler, err)
+		}
+		src = string(data)
+	}
+	var be progmp.Backend
+	switch sc.backend {
+	case "interpreter":
+		be = progmp.BackendInterpreter
+	case "compiled":
+		be = progmp.BackendCompiled
+	case "vm":
+		be = progmp.BackendVM
+	default:
+		return nil, nil, fmt.Errorf("unknown backend %q", sc.backend)
+	}
+	sched, err := progmp.LoadSchedulerBackend(sc.scheduler, src, be)
+	if err != nil {
+		return nil, nil, err
+	}
+	paths := sc.paths
+	if len(paths) == 0 {
+		paths = []progmp.Path{
+			{Name: "wifi", RateBps: 3e6, OneWayDelay: 5 * time.Millisecond},
+			{Name: "lte", RateBps: 8e6, OneWayDelay: 20 * time.Millisecond, Backup: true},
+		}
+	}
+	net := progmp.NewNetwork(sc.seed)
+	conn, err := net.Dial(progmp.ConnConfig{CongestionControl: sc.cc}, paths...)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn.SetScheduler(sched)
+	tracer := progmp.NewTracer(sc.ringCap)
+	reg := progmp.NewMetrics()
+	conn.Instrument(tracer, reg)
+	if sc.reg1 != 0 {
+		conn.SetRegister(progmp.R1, sc.reg1)
+	}
+	net.At(0, func() { conn.SendWithIntent(sc.send, sc.prop) })
+	net.Run(sc.duration)
+	return tracer, reg, nil
+}
+
+// filterKinds keeps only events whose kind is in the comma-separated
+// list.
+func filterKinds(events []progmp.TraceEvent, kinds string) ([]progmp.TraceEvent, error) {
+	keep := map[obs.EventKind]bool{}
+	for _, name := range strings.Split(kinds, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, ok := obs.KindFromString(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown event kind %q", name)
+		}
+		keep[k] = true
+	}
+	var out []progmp.TraceEvent
+	for _, ev := range events {
+		if keep[ev.Kind] {
+			out = append(out, ev)
+		}
+	}
+	return out, nil
+}
+
+func emit(w io.Writer, format string, events []progmp.TraceEvent, dropped uint64) error {
+	switch format {
+	case "jsonl":
+		return progmp.WriteTraceJSONL(w, events)
+	case "chrome":
+		return progmp.WriteChromeTrace(w, events)
+	case "summary":
+		return writeSummary(w, events, dropped)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+// writeSummary renders per-kind counts, per-subflow pushes and the
+// attribution statistics: how many transmissions trace back to a
+// scheduler execution event retained in the ring.
+func writeSummary(w io.Writer, events []progmp.TraceEvent, dropped uint64) error {
+	kindCount := map[string]int{}
+	sbfPushes := map[int32]int{}
+	execs := map[uint64]bool{}
+	var pushes, attributed int
+	for _, ev := range events {
+		kindCount[ev.Kind.String()]++
+		if ev.Kind == obs.EvExecStart {
+			execs[ev.Exec] = true
+		}
+	}
+	for _, ev := range events {
+		if ev.Kind != obs.EvPush {
+			continue
+		}
+		pushes++
+		sbfPushes[ev.Sbf]++
+		if ev.Exec != 0 && execs[ev.Exec] {
+			attributed++
+		}
+	}
+	fmt.Fprintf(w, "events    %d retained, %d overwritten\n", len(events), dropped)
+	names := make([]string, 0, len(kindCount))
+	for name := range kindCount {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-12s %d\n", name, kindCount[name])
+	}
+	sbfs := make([]int, 0, len(sbfPushes))
+	for id := range sbfPushes {
+		sbfs = append(sbfs, int(id))
+	}
+	sort.Ints(sbfs)
+	for _, id := range sbfs {
+		fmt.Fprintf(w, "pushes on subflow %d: %d\n", id, sbfPushes[int32(id)])
+	}
+	if pushes > 0 {
+		fmt.Fprintf(w, "attribution: %d/%d transmissions trace to a retained scheduler execution\n", attributed, pushes)
+	}
+	return nil
+}

@@ -201,13 +201,22 @@ func (c *compiler) compileStmt(s lang.Stmt) stmtFn {
 	case *lang.PushStmt:
 		target := c.compileSbf(s.Target)
 		arg := c.compilePkt(s.Arg)
+		site := int32(s.PushAt.Line)
 		return func(st *state) bool {
-			st.env.Push(target(st), arg(st))
+			t, p := target(st), arg(st)
+			st.env.Site = site
+			st.env.Push(t, p)
 			return false
 		}
 	case *lang.DropStmt:
 		arg := c.compilePkt(s.Arg)
-		return func(st *state) bool { st.env.Drop(arg(st)); return false }
+		site := int32(s.DropPos.Line)
+		return func(st *state) bool {
+			p := arg(st)
+			st.env.Site = site
+			st.env.Drop(p)
+			return false
+		}
 	case *lang.ReturnStmt:
 		return func(*state) bool { return true }
 	}
@@ -444,10 +453,12 @@ func (c *compiler) compilePkt(e lang.Expr) pktFn {
 			return func(st *state) *runtime.PacketView { return q(st).top(st) }
 		case types.MemberPop:
 			q := c.compileQueue(e.Recv)
+			site := int32(e.Position().Line)
 			return func(st *state) *runtime.PacketView {
 				qv := q(st)
 				p := qv.top(st)
 				if p != nil {
+					st.env.Site = site
 					st.env.Pop(qv.base.ID(), p)
 				}
 				return p

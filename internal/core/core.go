@@ -18,6 +18,7 @@ import (
 	"progmp/internal/interp"
 	"progmp/internal/lang"
 	"progmp/internal/lang/types"
+	"progmp/internal/obs"
 	"progmp/internal/runtime"
 	"progmp/internal/vm"
 )
@@ -51,13 +52,34 @@ func (b Backend) String() string {
 }
 
 // Stats are cumulative execution statistics, the analogue of the
-// paper's proc-based debugging and performance interface.
+// paper's proc-based debugging and performance interface. They are a
+// snapshot view over the scheduler's metrics registry (package obs),
+// which keeps the authoritative counters.
 type Stats struct {
 	Executions int64
 	Pushes     int64
 	Pops       int64
 	Drops      int64
+	// GenericExecs counts VM executions that ran the generic program
+	// because no specialization was available yet (or specialization
+	// fell back); Executions - GenericExecs is the specialization hit
+	// count. Always 0 on the non-VM back-ends.
+	GenericExecs int64
+	// Steps is the total executed VM instructions, collected only
+	// while step counting is enabled (EnableStepMetrics).
+	Steps int64
 }
+
+// Metric names used by the per-scheduler registry.
+const (
+	MetricExecutions   = "sched.executions"
+	MetricPushes       = "sched.pushes"
+	MetricPops         = "sched.pops"
+	MetricDrops        = "sched.drops"
+	MetricGenericExecs = "vm.generic_execs"
+	MetricSpecCompiled = "vm.specializations"
+	MetricSteps        = "vm.steps"
+)
 
 // Scheduler is a loaded, executable scheduler program. It is safe for
 // concurrent use: per-connection state (registers) lives in the
@@ -82,10 +104,16 @@ type Scheduler struct {
 	// specializeSync forces synchronous specialization (tests).
 	specializeSync bool
 
-	executions atomic.Int64
-	pushes     atomic.Int64
-	pops       atomic.Int64
-	drops      atomic.Int64
+	// metrics is the scheduler's registry (§4.1 proc interface);
+	// the hot path touches only the pre-resolved handles below.
+	metrics      *obs.Registry
+	mExecutions  *obs.Counter
+	mPushes      *obs.Counter
+	mPops        *obs.Counter
+	mDrops       *obs.Counter
+	mGenericExec *obs.Counter
+	mSpecialized *obs.Counter
+	stepCounting atomic.Bool
 }
 
 // Load parses, type-checks and compiles a scheduler specification for
@@ -105,7 +133,14 @@ func Load(name, src string, backend Backend) (*Scheduler, error) {
 		backend:     backend,
 		specialized: make(map[int]*vm.Program),
 		compiling:   make(map[int]bool),
+		metrics:     obs.NewRegistry(),
 	}
+	s.mExecutions = s.metrics.Counter(MetricExecutions)
+	s.mPushes = s.metrics.Counter(MetricPushes)
+	s.mPops = s.metrics.Counter(MetricPops)
+	s.mDrops = s.metrics.Counter(MetricDrops)
+	s.mGenericExec = s.metrics.Counter(MetricGenericExecs)
+	s.mSpecialized = s.metrics.Counter(MetricSpecCompiled)
 	switch backend {
 	case BackendInterpreter:
 		s.interp = interp.New(info)
@@ -164,15 +199,15 @@ func (s *Scheduler) Exec(env *runtime.Env) {
 	case BackendVM:
 		s.execVM(env)
 	}
-	s.executions.Add(1)
+	s.mExecutions.Add(1)
 	for _, a := range env.Actions[before:] {
 		switch a.Kind {
 		case runtime.ActionPush:
-			s.pushes.Add(1)
+			s.mPushes.Add(1)
 		case runtime.ActionPop:
-			s.pops.Add(1)
+			s.mPops.Add(1)
 		case runtime.ActionDrop:
-			s.drops.Add(1)
+			s.mDrops.Add(1)
 		}
 	}
 }
@@ -196,11 +231,18 @@ func (s *Scheduler) execVM(env *runtime.Env) {
 	s.mu.Unlock()
 	if prog == nil {
 		prog = s.vmProg
+		// A generic-program run is a specialization miss; hits are
+		// derived (executions - generic_execs), so the specialized
+		// fast path pays no extra bookkeeping.
+		s.mGenericExec.Add(1)
 	}
 	if err := prog.Exec(env); err != nil {
 		// Specialization mismatch or step-budget overrun: fall back to
 		// the generic program ("returns to the original version").
 		env.Actions = env.Actions[:0]
+		if prog != s.vmProg {
+			s.mGenericExec.Add(1)
+		}
 		_ = s.vmProg.Exec(env)
 	}
 }
@@ -211,17 +253,44 @@ func (s *Scheduler) specialize(n int) {
 	defer s.mu.Unlock()
 	delete(s.compiling, n)
 	if err == nil {
+		if s.stepCounting.Load() {
+			p.StepCounter = s.metrics.Counter(MetricSteps)
+		}
 		s.specialized[n] = p
+		s.mSpecialized.Add(1)
+	}
+}
+
+// Metrics exposes the scheduler's metrics registry (the §4.1
+// proc-style statistics surface).
+func (s *Scheduler) Metrics() *obs.Registry { return s.metrics }
+
+// EnableStepMetrics turns on per-execution VM instruction counting
+// into the MetricSteps counter. Off by default so the VM exit path
+// pays only an inlined nil check. Call it before traffic starts:
+// wiring the counter while executions are in flight is racy.
+func (s *Scheduler) EnableStepMetrics() {
+	s.stepCounting.Store(true)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	steps := s.metrics.Counter(MetricSteps)
+	if s.vmProg != nil {
+		s.vmProg.StepCounter = steps
+	}
+	for _, p := range s.specialized {
+		p.StepCounter = steps
 	}
 }
 
 // Stats returns a snapshot of the cumulative statistics.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Executions: s.executions.Load(),
-		Pushes:     s.pushes.Load(),
-		Pops:       s.pops.Load(),
-		Drops:      s.drops.Load(),
+		Executions:   s.mExecutions.Value(),
+		Pushes:       s.mPushes.Value(),
+		Pops:         s.mPops.Value(),
+		Drops:        s.mDrops.Value(),
+		GenericExecs: s.mGenericExec.Value(),
+		Steps:        s.metrics.Counter(MetricSteps).Value(),
 	}
 }
 

@@ -18,6 +18,12 @@ func (s *Scheduler) StatusReport() string {
 	fmt.Fprintf(&b, "  pushes           %d\n", st.Pushes)
 	fmt.Fprintf(&b, "  pops             %d\n", st.Pops)
 	fmt.Fprintf(&b, "  drops            %d\n", st.Drops)
+	if s.backend == BackendVM {
+		fmt.Fprintf(&b, "  spec hits/misses %d/%d\n", st.Executions-st.GenericExecs, st.GenericExecs)
+		if st.Steps > 0 {
+			fmt.Fprintf(&b, "  vm steps         %d\n", st.Steps)
+		}
+	}
 	fmt.Fprintf(&b, "  memory           %d B program, %d B per instance\n", s.MemoryFootprint(), InstanceFootprint())
 	fmt.Fprintf(&b, "  frame slots      %d\n", s.info.NumSlots)
 
@@ -52,6 +58,12 @@ func (s *Scheduler) StatusReport() string {
 			p := s.specialized[n]
 			s.mu.Unlock()
 			fmt.Fprintf(&b, "  specialized[%d]   %d instructions\n", n, len(p.Insns))
+		}
+	}
+	// The full registry snapshot, indented under the header block.
+	for _, line := range strings.Split(strings.TrimRight(s.metrics.Render(), "\n"), "\n") {
+		if line != "" {
+			fmt.Fprintf(&b, "  %s\n", line)
 		}
 	}
 	return b.String()

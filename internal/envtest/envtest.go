@@ -405,3 +405,33 @@ func (g *progGen) stmt(depth int) {
 		g.depth--
 	}
 }
+
+// StripSites returns a copy of actions with the decision-site metadata
+// zeroed. Sites are intentionally back-end-specific (source lines for
+// the interpreter and compiled closures, bytecode pcs for the VM), so
+// differential tests comparing semantics across back-ends must ignore
+// them.
+func StripSites(actions []runtime.Action) []runtime.Action {
+	out := make([]runtime.Action, len(actions))
+	copy(out, actions)
+	for i := range out {
+		out[i].Site = 0
+	}
+	return out
+}
+
+// SameActions reports semantic action-queue equality, ignoring the
+// back-end-specific decision sites.
+func SameActions(a, b []runtime.Action) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		x.Site, y.Site = 0, 0
+		if x != y {
+			return false
+		}
+	}
+	return true
+}

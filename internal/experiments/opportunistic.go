@@ -17,7 +17,7 @@ type OpportunisticResult struct {
 	// Goodput over the transfer (bytes/s).
 	Goodput float64
 	// FCT of the transfer.
-	FCT time.Duration
+	FCT       time.Duration
 	Completed bool
 }
 

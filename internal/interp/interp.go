@@ -141,9 +141,12 @@ func (f *frame) execStmt(s lang.Stmt) bool {
 	case *lang.PushStmt:
 		target := f.eval(s.Target).sbf
 		pkt := f.eval(s.Arg).pkt
+		f.env.Site = int32(s.PushAt.Line)
 		f.env.Push(target, pkt)
 	case *lang.DropStmt:
-		f.env.Drop(f.eval(s.Arg).pkt)
+		pkt := f.eval(s.Arg).pkt
+		f.env.Site = int32(s.DropPos.Line)
+		f.env.Drop(pkt)
 	case *lang.ReturnStmt:
 		return true
 	}
@@ -303,6 +306,7 @@ func (f *frame) evalMember(e *lang.MemberExpr) value {
 	case types.MemberPop:
 		p := recv.q.top()
 		if p != nil {
+			f.env.Site = int32(e.Position().Line)
 			f.env.Pop(recv.q.base.ID(), p)
 		}
 		return value{pkt: p}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"progmp/internal/netsim"
+	"progmp/internal/obs"
 	"progmp/internal/runtime"
 )
 
@@ -110,6 +111,21 @@ type Conn struct {
 	scheduling   bool
 	schedPending bool
 
+	// Observability (nil when not instrumented; every handle below is
+	// nil-safe, so the uninstrumented data path pays one nil check).
+	tracer  *obs.Tracer
+	connID  int32
+	curExec uint64 // scheduler execution id during schedule(); 0 outside
+
+	metricsReg *obs.Registry
+	mExecs     *obs.Counter
+	mPushes    *obs.Counter
+	mPops      *obs.Counter
+	mDrops     *obs.Counter
+	mReinjects *obs.Counter
+	mAcks      *obs.Counter
+	mEnqueued  *obs.Counter
+
 	// Stats.
 	SchedulerExecutions int64
 	TotalEnqueued       int64
@@ -141,6 +157,57 @@ func (c *Conn) Config() Config { return c.cfg }
 
 // Receiver returns the peer model.
 func (c *Conn) Receiver() *Receiver { return c.receiver }
+
+// Instrument attaches decision tracing and/or a metrics registry to
+// the connection. Either argument may be nil to leave that facility
+// off. Call it before traffic starts; handles are resolved once here
+// (and in AddSubflow for later subflows) so the data path never does
+// registry lookups. Multiple connections may share a tracer and a
+// registry — events carry a per-tracer connection id, and metric
+// names are namespaced per connection when an id is assigned.
+func (c *Conn) Instrument(t *obs.Tracer, reg *obs.Registry) {
+	c.tracer = t
+	c.connID = t.RegisterConn()
+	c.metricsReg = reg
+	if reg != nil {
+		c.mExecs = reg.Counter("conn.sched_execs")
+		c.mPushes = reg.Counter("conn.pushes")
+		c.mPops = reg.Counter("conn.pops")
+		c.mDrops = reg.Counter("conn.drops")
+		c.mReinjects = reg.Counter("conn.reinjects")
+		c.mAcks = reg.Counter("conn.acks")
+		c.mEnqueued = reg.Counter("conn.enqueued_segments")
+		c.receiver.instrument(reg)
+		for _, s := range c.subflows {
+			s.instrument(reg)
+		}
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Conn) Tracer() *obs.Tracer { return c.tracer }
+
+// Metrics returns the attached metrics registry (nil when off).
+func (c *Conn) Metrics() *obs.Registry { return c.metricsReg }
+
+// trace records one event with the connection's identity and the
+// current scheduler execution id. The tracing-off cost is this nil
+// check.
+func (c *Conn) trace(kind obs.EventKind, sbf int32, seq, aux int64, site int32) {
+	if c.tracer == nil {
+		return
+	}
+	c.tracer.Record(obs.Event{
+		At:   c.eng.Now(),
+		Kind: kind,
+		Conn: c.connID,
+		Exec: c.curExec,
+		Sbf:  sbf,
+		Seq:  seq,
+		Aux:  aux,
+		Site: site,
+	})
+}
 
 // SetScheduler installs the scheduling block. Switching schedulers at
 // runtime is disadvised by the paper (§3.2); the API allows it before
@@ -190,6 +257,9 @@ func (c *Conn) AddSubflow(cfg SubflowConfig) (*Subflow, error) {
 	}
 	c.subflows = append(c.subflows, s)
 	c.receiver.addSubflow()
+	if c.metricsReg != nil {
+		s.instrument(c.metricsReg)
+	}
 	c.eng.At(cfg.StartAt, s.establish)
 	return s, nil
 }
@@ -203,6 +273,7 @@ func (c *Conn) Subflows() []*Subflow { return c.subflows }
 // triggers the scheduler (Fig. 4: packets arrive in Q).
 func (c *Conn) Send(n int, prop int64) {
 	now := c.eng.Now()
+	firstSeq, bytes := c.nextSeq, int64(n)
 	for n > 0 {
 		size := c.cfg.MSS
 		if n < size {
@@ -222,6 +293,8 @@ func (c *Conn) Send(n int, prop int64) {
 		c.sendQ.pushBack(pkt)
 		c.TotalEnqueued++
 	}
+	c.mEnqueued.Add(c.nextSeq - firstSeq)
+	c.trace(obs.EvEnqueue, -1, firstSeq, bytes, 0)
 	c.schedule()
 }
 
@@ -304,21 +377,32 @@ func (c *Conn) addReinject(pkt *Packet) {
 	if pkt.MetaAcked {
 		return
 	}
-	c.reinjectQ.pushBack(pkt)
+	if c.reinjectQ.pushBack(pkt) {
+		c.mReinjects.Add(1)
+		c.trace(obs.EvReinject, -1, pkt.Seq, 0, 0)
+	}
 	c.schedule()
 }
 
 // onSubflowEstablished fires the scheduler (Fig. 4: subflow events).
-func (c *Conn) onSubflowEstablished(*Subflow) { c.schedule() }
+func (c *Conn) onSubflowEstablished(s *Subflow) {
+	c.trace(obs.EvSbfUp, int32(s.id), -1, 0, 0)
+	c.schedule()
+}
 
 // onSubflowClosed fires the scheduler after a subflow teardown.
-func (c *Conn) onSubflowClosed(*Subflow) { c.schedule() }
+func (c *Conn) onSubflowClosed(s *Subflow) {
+	c.trace(obs.EvSbfDown, int32(s.id), -1, 0, 0)
+	c.schedule()
+}
 
 // onAck processes the meta-level part of an acknowledgement: the
 // cumulative DATA_ACK removes packets from all queues (§3.1), and the
 // advertised window is refreshed. It then triggers the scheduler.
-func (c *Conn) onAck(metaCumAck int64, rwnd int64, _ *Subflow) {
+func (c *Conn) onAck(metaCumAck int64, rwnd int64, s *Subflow) {
 	c.rwnd = rwnd
+	c.mAcks.Add(1)
+	c.trace(obs.EvAck, int32(s.id), -1, metaCumAck, 0)
 	if metaCumAck > c.cumAcked {
 		for seq := c.cumAcked; seq < metaCumAck; seq++ {
 			pkt := c.pktBySeq[seq]
@@ -359,9 +443,18 @@ func (c *Conn) schedule() {
 	for iter := 0; iter < c.cfg.MaxSchedIterations; iter++ {
 		c.schedPending = false
 		env := c.buildEnv()
+		if c.tracer != nil {
+			c.curExec = c.tracer.NextExecID()
+			c.trace(obs.EvExecStart, -1, -1, int64(iter), 0)
+		}
 		c.sched.Exec(env)
 		c.SchedulerExecutions++
+		c.mExecs.Add(1)
 		progress := c.applyActions(env)
+		if c.tracer != nil {
+			c.trace(obs.EvExecEnd, -1, -1, int64(len(env.Actions)), 0)
+			c.curExec = 0
+		}
 		if !progress && !c.schedPending {
 			return
 		}
@@ -450,6 +543,8 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 			}
 			if c.queueList(a.Queue).remove(pkt) {
 				pops = append(pops, popEntry{pkt: pkt, q: a.Queue})
+				c.mPops.Add(1)
+				c.trace(obs.EvPop, -1, pkt.Seq, int64(a.Queue), a.Site)
 			}
 		case runtime.ActionPush:
 			pkt := c.pktOf(a.Packet)
@@ -469,6 +564,8 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 				c.sendQ.remove(pkt)
 				c.reinjectQ.remove(pkt)
 				c.insertUnacked(pkt)
+				c.mPushes.Add(1)
+				c.trace(obs.EvPush, int32(sbf.id), pkt.Seq, int64(pkt.Size), a.Site)
 			}
 		case runtime.ActionDrop:
 			pkt := c.pktOf(a.Packet)
@@ -484,6 +581,8 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 				c.insertSendQ(pkt)
 			} else if removed {
 				progress = true
+				c.mDrops.Add(1)
+				c.trace(obs.EvDrop, -1, pkt.Seq, 0, a.Site)
 			}
 		}
 	}

@@ -55,13 +55,15 @@ func (l *packetList) len() int { return len(l.pkts) }
 
 func (l *packetList) contains(p *Packet) bool { return l.in[p] }
 
-// pushBack appends p unless already present.
-func (l *packetList) pushBack(p *Packet) {
+// pushBack appends p unless already present, reporting whether it was
+// added.
+func (l *packetList) pushBack(p *Packet) bool {
 	if l.in[p] {
-		return
+		return false
 	}
 	l.pkts = append(l.pkts, p)
 	l.in[p] = true
+	return true
 }
 
 // pushFront prepends p unless already present (used to reinsert popped

@@ -2,6 +2,8 @@ package mptcp
 
 import (
 	"time"
+
+	"progmp/internal/obs"
 )
 
 // ReceiverMode selects the receiver-side packet-handling behaviour.
@@ -68,6 +70,11 @@ type Receiver struct {
 	// by the legacy two-level queueing (§4.2); the optimized receiver
 	// never holds such segments back from the meta socket.
 	HeldByLegacy int64
+
+	// Observability handles (nil-safe no-ops when uninstrumented).
+	mDelivBytes *obs.Counter
+	mDelivSegs  *obs.Counter
+	mOOODepth   *obs.Histogram
 }
 
 func newReceiver(conn *Conn, mode ReceiverMode, rcvBuf int) *Receiver {
@@ -81,6 +88,13 @@ func newReceiver(conn *Conn, mode ReceiverMode, rcvBuf int) *Receiver {
 
 // Mode returns the configured receiver mode.
 func (r *Receiver) Mode() ReceiverMode { return r.mode }
+
+// instrument resolves the receiver's metric handles from reg.
+func (r *Receiver) instrument(reg *obs.Registry) {
+	r.mDelivBytes = reg.Counter("recv.delivered_bytes")
+	r.mDelivSegs = reg.Counter("recv.delivered_segments")
+	r.mOOODepth = reg.Histogram("recv.ooo_depth")
+}
 
 // OnDeliver registers the in-order delivery callback (the application
 // read path).
@@ -198,11 +212,15 @@ func (r *Receiver) metaProcess(metaSeq int64, size int) {
 	}
 	r.oooMeta[metaSeq] = rxSeg{metaSeq: metaSeq, size: size}
 	r.oooBytes += size
+	r.mOOODepth.Observe(int64(len(r.oooMeta)))
 }
 
 func (r *Receiver) deliver(seq int64, size int) {
 	r.DeliveredBytes += int64(size)
 	r.DeliveredSegments++
+	r.mDelivBytes.Add(int64(size))
+	r.mDelivSegs.Add(1)
+	r.conn.trace(obs.EvDeliver, -1, seq, int64(size), 0)
 	if r.onDeliver != nil {
 		r.onDeliver(seq, size, r.conn.eng.Now())
 	}

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"math/rand"
-	"reflect"
 	"testing"
 
 	"progmp/internal/core"
@@ -34,7 +33,7 @@ func TestNativeMatchesDSL(t *testing.T) {
 					envD := envtest.RandomEnv(rand.New(rand.NewSource(seed)))
 					pair.native.Exec(envN)
 					dsl.Exec(envD)
-					if !reflect.DeepEqual(envN.Actions, envD.Actions) {
+					if !envtest.SameActions(envN.Actions, envD.Actions) {
 						t.Fatalf("seed %d: native and DSL diverge\nnative: %v\ndsl:    %v",
 							seed, envN.Actions, envD.Actions)
 					}

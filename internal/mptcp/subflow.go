@@ -1,9 +1,11 @@
 package mptcp
 
 import (
+	"fmt"
 	"time"
 
 	"progmp/internal/netsim"
+	"progmp/internal/obs"
 )
 
 // txRecord tracks one subflow-level segment until acknowledged.
@@ -97,6 +99,12 @@ type Subflow struct {
 	Retransmissions int64
 	LossEpisodes    int64
 	RTOs            int64
+
+	// Observability handles (nil-safe no-ops when uninstrumented).
+	mBytes *obs.Counter
+	mRetx  *obs.Counter
+	mRTOs  *obs.Counter
+	mRTT   *obs.Histogram
 }
 
 type rateSample struct {
@@ -133,6 +141,24 @@ func (s *Subflow) SetBackup(b bool) { s.backup = b }
 
 // usable reports whether the subflow can carry data now.
 func (s *Subflow) usable() bool { return s.established && !s.closed }
+
+// instrument resolves the subflow's metric handles from reg, namespaced
+// by the subflow name (falling back to the numeric id).
+func (s *Subflow) instrument(reg *obs.Registry) {
+	key := s.name
+	if key == "" {
+		key = fmt.Sprintf("%d", s.id)
+	}
+	s.mBytes = reg.Counter("sbf." + key + ".bytes_sent")
+	s.mRetx = reg.Counter("sbf." + key + ".retransmits")
+	s.mRTOs = reg.Counter("sbf." + key + ".rtos")
+	s.mRTT = reg.Histogram("sbf." + key + ".rtt_us")
+}
+
+// trace records a subflow-scoped event through the connection's tracer.
+func (s *Subflow) trace(kind obs.EventKind, seq, aux int64, site int32) {
+	s.conn.trace(kind, int32(s.id), seq, aux, site)
+}
 
 // synRetryBase is the initial SYN retransmission timeout (RFC 6298
 // prescribes 1 s; it doubles per retry).
@@ -238,6 +264,7 @@ func (s *Subflow) transmit(pkt *Packet) bool {
 func (s *Subflow) sendRecord(rec *txRecord) {
 	s.PktsSent++
 	s.BytesSent += int64(rec.size)
+	s.mBytes.Add(int64(rec.size))
 	sbfSeq, metaSeq, size := rec.sbfSeq, rec.pkt.Seq, rec.size
 	wire := int64(size + 40) // 40 bytes of TCP/MPTCP headers
 	accepted := s.link.Fwd.SendTracked(int(wire), func() {
@@ -268,6 +295,7 @@ func (s *Subflow) retransmitRecord(rec *txRecord) {
 	rec.sbfRetx = true
 	rec.sentAt = s.conn.eng.Now()
 	s.Retransmissions++
+	s.mRetx.Add(1)
 	s.sendRecord(rec)
 }
 
@@ -291,7 +319,11 @@ func (s *Subflow) handleAck(sackSbfSeq, metaCumAck int64, rwnd int64) {
 			s.rttSample(s.conn.eng.Now() - rec.sentAt)
 		}
 		if !rec.lost {
+			prev := s.cwnd
 			s.conn.cc.OnAck(s.conn, s)
+			if s.cwnd != prev {
+				s.trace(obs.EvCwnd, -1, int64(s.cwnd*1000), 0)
+			}
 		}
 		s.recordDelivered(rec.size)
 		s.rtoBackoff = 0
@@ -331,16 +363,21 @@ func (s *Subflow) detectLosses() {
 // per subsequent ACK (NewReno-style pacing).
 func (s *Subflow) markLost(rec *txRecord, isRTO bool) {
 	rec.lost = true
+	s.trace(obs.EvLoss, rec.pkt.Seq, rec.sbfSeq, 0)
 	first := false
 	if !s.inRecovery {
 		s.inRecovery = true
 		s.recoverEnd = s.nextSbfSeq
 		s.LossEpisodes++
 		first = true
+		prev := s.cwnd
 		if isRTO {
 			s.conn.cc.OnRTO(s.conn, s)
 		} else {
 			s.conn.cc.OnLoss(s.conn, s)
+		}
+		if s.cwnd != prev {
+			s.trace(obs.EvCwnd, -1, int64(s.cwnd*1000), 0)
 		}
 	}
 	if first || isRTO {
@@ -401,6 +438,8 @@ func (s *Subflow) onRTO() {
 		return
 	}
 	s.RTOs++
+	s.mRTOs.Add(1)
+	s.trace(obs.EvRTO, s.outstanding[0].pkt.Seq, int64(s.rtoBackoff), 0)
 	s.rtoBackoff++
 	s.inRecovery = false // force a fresh congestion response
 	oldest := s.outstanding[0]
@@ -445,6 +484,7 @@ func (s *Subflow) rttSample(sample time.Duration) {
 	}
 	s.rttCount++
 	s.rttSum += sample
+	s.mRTT.Observe(sample.Microseconds())
 	s.rto = s.srtt + 4*s.rttvar
 	if s.rto < s.conn.cfg.MinRTO {
 		s.rto = s.conn.cfg.MinRTO

@@ -10,6 +10,8 @@ import (
 	"container/heap"
 	"math/rand"
 	"time"
+
+	"progmp/internal/obs"
 )
 
 // event is one scheduled callback.
@@ -59,6 +61,10 @@ type Engine struct {
 	seq uint64
 	pq  eventHeap
 	rng *rand.Rand
+
+	// Observability handles (nil-safe no-ops when uninstrumented).
+	mEvents  *obs.Counter
+	mPending *obs.Gauge
 }
 
 // NewEngine returns an engine whose randomness is seeded for
@@ -69,6 +75,13 @@ func NewEngine(seed int64) *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// Instrument resolves engine metric handles from reg: engine.events
+// counts fired events, engine.pending gauges the heap size.
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.mEvents = reg.Counter("engine.events")
+	e.mPending = reg.Gauge("engine.pending")
+}
 
 // Rand exposes the engine's deterministic randomness source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
@@ -97,6 +110,8 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.at
+		e.mEvents.Add(1)
+		e.mPending.Set(int64(len(e.pq)))
 		ev.fn()
 		return true
 	}

@@ -17,6 +17,10 @@ type Sample struct {
 // measurement half of the experiment harness).
 type Recorder struct {
 	series map[string][]Sample
+	// names caches the sorted series names; recording a new series
+	// invalidates it, so hot Record calls on existing series stay
+	// append-only and Names is O(1) between series additions.
+	names []string
 }
 
 // NewRecorder returns an empty recorder.
@@ -26,20 +30,27 @@ func NewRecorder() *Recorder {
 
 // Record appends a sample to the named series.
 func (r *Recorder) Record(name string, at time.Duration, value float64) {
+	if _, ok := r.series[name]; !ok {
+		r.names = nil
+	}
 	r.series[name] = append(r.series[name], Sample{At: at, Value: value})
 }
 
 // Series returns the samples of one series (in recording order).
 func (r *Recorder) Series(name string) []Sample { return r.series[name] }
 
-// Names lists recorded series, sorted.
+// Names lists recorded series, sorted. The list is cached until a new
+// series appears (callers must not mutate it).
 func (r *Recorder) Names() []string {
-	names := make([]string, 0, len(r.series))
-	for n := range r.series {
-		names = append(names, n)
+	if r.names == nil && len(r.series) > 0 {
+		names := make([]string, 0, len(r.series))
+		for n := range r.series {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		r.names = names
 	}
-	sort.Strings(names)
-	return names
+	return r.names
 }
 
 // Sum totals a series' values.

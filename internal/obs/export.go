@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLEvent is the wire form of one event in the JSONL export. Field
+// order (struct order) is the serialization order, so output is
+// deterministic and golden-testable.
+type JSONLEvent struct {
+	AtUS int64  `json:"at_us"`
+	Ev   string `json:"ev"`
+	Conn int32  `json:"conn"`
+	Exec uint64 `json:"exec"`
+	Seq  int64  `json:"seq"`
+	Sbf  int32  `json:"sbf"`
+	Site int32  `json:"site"`
+	Aux  int64  `json:"aux"`
+}
+
+// toJSONL converts an Event to its wire form.
+func toJSONL(ev Event) JSONLEvent {
+	return JSONLEvent{
+		AtUS: ev.At.Microseconds(),
+		Ev:   ev.Kind.String(),
+		Conn: ev.Conn,
+		Exec: ev.Exec,
+		Seq:  ev.Seq,
+		Sbf:  ev.Sbf,
+		Site: ev.Site,
+		Aux:  ev.Aux,
+	}
+}
+
+// WriteJSONL streams events as one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(toJSONL(ev)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseJSONL decodes a JSONL event stream (the inverse of WriteJSONL),
+// for tooling that filters or summarizes saved traces.
+func ParseJSONL(r io.Reader) ([]JSONLEvent, error) {
+	var out []JSONLEvent
+	dec := json.NewDecoder(r)
+	for {
+		var ev JSONLEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array
+// (the "JSON Array Format" consumed by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders events in Chrome trace_event format:
+// scheduler executions become duration (B/E) slices on the
+// connection's track, everything else becomes instant events on the
+// subflow's track. Load the output in chrome://tracing or Perfetto.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	first := true
+	emit := func(ce chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(","); err != nil {
+				return err
+			}
+		}
+		first = false
+		return enc.Encode(ce)
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			TS:   float64(ev.At.Microseconds()),
+			PID:  ev.Conn,
+			TID:  ev.Sbf + 1, // track 0 is the connection itself
+		}
+		switch ev.Kind {
+		case EvExecStart:
+			ce.Name = fmt.Sprintf("exec %d", ev.Exec)
+			ce.Ph = "B"
+			ce.TID = 0
+		case EvExecEnd:
+			ce.Name = fmt.Sprintf("exec %d", ev.Exec)
+			ce.Ph = "E"
+			ce.TID = 0
+		default:
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Args = map[string]any{"seq": ev.Seq, "exec": ev.Exec, "site": ev.Site, "aux": ev.Aux}
+		}
+		if err := emit(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

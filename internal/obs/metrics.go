@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter is a
+// valid no-op, so instrumented code can hold unconditionally-called
+// pointers that are only non-nil when a registry is attached.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. Safe on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. Safe on nil (returns 0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value. A nil *Gauge is a valid no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. Safe on nil.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the last stored value. Safe on nil (returns 0).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket
+// 0 holds values <= 0, bucket i holds values in [2^(i-1), 2^i).
+const histBuckets = 64
+
+// Histogram accumulates int64 observations into power-of-two buckets;
+// enough resolution for latency (µs) and size (bytes) distributions
+// without per-observation allocation. A nil *Histogram is a no-op.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// Observe records one value. Safe on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations. Safe on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations. Safe on nil.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observation, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile approximates the q-quantile (0..1) as the upper bound of
+// the bucket containing it. Safe on nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(q * float64(n-1))
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return 1<<63 - 1
+			}
+			return 1 << uint(i)
+		}
+	}
+	return 1<<63 - 1
+}
+
+// Registry holds named metrics. Metric handles are created on first
+// use and stable thereafter, so hot paths resolve them once and then
+// touch only atomics. The zero value is ready to use; a nil *Registry
+// hands out nil handles, which are themselves no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it if needed. Safe on
+// nil (returns a nil no-op handle).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. Safe on nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed. Safe
+// on nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = make(map[string]*Histogram)
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of the registry's values.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistSnapshot
+}
+
+// HistSnapshot summarizes one histogram.
+type HistSnapshot struct {
+	Count int64
+	Sum   int64
+	Mean  float64
+	P50   int64
+	P99   int64
+}
+
+// Snapshot copies the registry's current values. Safe on nil.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		snap.Hists[name] = HistSnapshot{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return snap
+}
+
+// Render formats the registry as an aligned proc-style text page,
+// sorted by metric name within each section. Safe on nil.
+func (r *Registry) Render() string {
+	snap := r.Snapshot()
+	var b strings.Builder
+	writeSection := func(kind string, names []string, line func(string)) {
+		if len(names) == 0 {
+			return
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%-9s %-40s ", kind, name)
+			line(name)
+		}
+	}
+	counterNames := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		counterNames = append(counterNames, name)
+	}
+	writeSection("counter", counterNames, func(name string) {
+		fmt.Fprintf(&b, "%d\n", snap.Counters[name])
+	})
+	gaugeNames := make([]string, 0, len(snap.Gauges))
+	for name := range snap.Gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	writeSection("gauge", gaugeNames, func(name string) {
+		fmt.Fprintf(&b, "%d\n", snap.Gauges[name])
+	})
+	histNames := make([]string, 0, len(snap.Hists))
+	for name := range snap.Hists {
+		histNames = append(histNames, name)
+	}
+	writeSection("histogram", histNames, func(name string) {
+		h := snap.Hists[name]
+		fmt.Fprintf(&b, "n=%d mean=%.1f p50<%d p99<%d sum=%d\n",
+			h.Count, h.Mean, h.P50, h.P99, h.Sum)
+	})
+	return b.String()
+}

@@ -1,0 +1,232 @@
+// Package obs is the unified observability layer: a fixed-size ring
+// buffer of typed scheduler-decision events (the Tracer) and a registry
+// of named counters/gauges/histograms (the Registry). It is the
+// userspace analogue of the paper's "extensive proc-based interface
+// with debugging and performance statistics" (§4.1), extended with
+// per-decision event traces so that every transmitted packet's subflow
+// choice is attributable to the scheduler execution — and the decision
+// site inside the scheduler program — that produced it.
+//
+// Design constraints:
+//
+//   - Zero allocation on the hot path. Recording an event writes one
+//     fixed-size Event into a preallocated ring; observing a metric is
+//     one atomic add. When tracing is off, instrumented code pays a
+//     single nil check (all obs types are nil-safe no-ops).
+//   - Safe for concurrent use. Multiple connections may share a Tracer
+//     or Registry; the ring is mutex-guarded, metrics are atomics.
+//   - Bounded memory. The ring overwrites its oldest events; nothing
+//     in this package grows with trace length.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind enumerates the typed trace events.
+type EventKind uint8
+
+// The event taxonomy (see docs/OBSERVABILITY.md).
+const (
+	EvNone      EventKind = iota
+	EvExecStart           // scheduler execution begins (Exec = execution id, Aux = iteration within the trigger)
+	EvExecEnd             // scheduler execution ends (Aux = number of recorded actions)
+	EvPush                // packet transmitted (Seq, Sbf, Site; Aux = packet size)
+	EvPop                 // packet popped from a queue (Seq, Site; Aux = queue id)
+	EvDrop                // packet deliberately dropped (Seq, Site)
+	EvEnqueue             // application enqueued data (Seq = first new seq, Aux = bytes)
+	EvReinject            // packet became a reinjection candidate (Seq)
+	EvAck                 // cumulative DATA_ACK processed (Sbf; Aux = meta cum-ack)
+	EvLoss                // segment suspected lost (Seq, Sbf; Aux = subflow seq)
+	EvRTO                 // retransmission timeout fired (Sbf, Seq; Aux = backoff count)
+	EvSbfUp               // subflow established (Sbf)
+	EvSbfDown             // subflow closed (Sbf)
+	EvCwnd                // congestion window changed (Sbf; Aux = cwnd in milli-segments)
+	EvDeliver             // receiver delivered in-order data (Seq; Aux = bytes)
+	numEventKinds
+)
+
+var eventKindNames = [...]string{
+	EvNone:      "NONE",
+	EvExecStart: "EXEC_START",
+	EvExecEnd:   "EXEC_END",
+	EvPush:      "PUSH",
+	EvPop:       "POP",
+	EvDrop:      "DROP",
+	EvEnqueue:   "ENQUEUE",
+	EvReinject:  "REINJECT",
+	EvAck:       "ACK",
+	EvLoss:      "LOSS",
+	EvRTO:       "RTO",
+	EvSbfUp:     "SBF_UP",
+	EvSbfDown:   "SBF_DOWN",
+	EvCwnd:      "CWND",
+	EvDeliver:   "DELIVER",
+}
+
+// String names the event kind as spelled in trace output.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// KindFromString resolves a trace-output spelling back to its kind; it
+// returns EvNone, false for unknown names.
+func KindFromString(s string) (EventKind, bool) {
+	for k, name := range eventKindNames {
+		if name == s && k != int(EvNone) {
+			return EventKind(k), true
+		}
+	}
+	return EvNone, false
+}
+
+// Event is one fixed-size trace record. Field meaning depends on Kind
+// (see the kind constants); unused fields are -1 (Sbf, Seq) or 0.
+type Event struct {
+	// At is the virtual time of the event.
+	At time.Duration
+	// Exec is the scheduler execution id the event belongs to
+	// (0 outside any execution). Execution ids are unique per Tracer.
+	Exec uint64
+	// Seq is the packet meta sequence number, -1 when not applicable.
+	Seq int64
+	// Aux carries kind-specific payload (queue id, byte count, cwnd).
+	Aux int64
+	// Conn identifies the connection (assigned at attach time).
+	Conn int32
+	// Sbf is the subflow id, -1 when not applicable.
+	Sbf int32
+	// Site is the decision site inside the scheduler program that
+	// recorded the action: the source line for the interpreter and
+	// compiled back-ends, the bytecode pc for the VM, 0 for native
+	// schedulers. Only PUSH/POP/DROP events carry a site.
+	Site int32
+	Kind EventKind
+}
+
+// Tracer records events into a fixed-size ring buffer. The zero value
+// is not usable; construct with NewTracer. A nil *Tracer is a valid
+// no-op sink: Record on nil returns immediately, so instrumented code
+// needs no explicit enable flag.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever recorded; buf[total%len] is the next slot
+
+	execSeq atomic.Uint64
+	connSeq atomic.Int32
+}
+
+// DefaultTracerCapacity is the ring size used when a non-positive
+// capacity is requested (§4.1-style debugging wants history, not
+// completeness).
+const DefaultTracerCapacity = 1 << 16
+
+// NewTracer allocates a tracer with capacity ring slots.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Record appends ev to the ring, overwriting the oldest event when
+// full. It is safe for concurrent use and allocates nothing.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.total%uint64(len(t.buf))] = ev
+	t.total++
+	t.mu.Unlock()
+}
+
+// NextExecID returns a fresh scheduler-execution id (ids start at 1;
+// 0 means "outside any execution"). Safe on nil.
+func (t *Tracer) NextExecID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.execSeq.Add(1)
+}
+
+// RegisterConn returns a fresh connection id for event labelling.
+// Safe on nil (returns 0).
+func (t *Tracer) RegisterConn() int32 {
+	if t == nil {
+		return 0
+	}
+	return t.connSeq.Add(1)
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Total returns how many events were ever recorded, including ones the
+// ring has since overwritten.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.total - uint64(len(t.buf))
+}
+
+// Events returns the retained events, oldest first. The result is a
+// copy; the tracer may keep recording concurrently.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.total
+	cap64 := uint64(len(t.buf))
+	if n <= cap64 {
+		out := make([]Event, n)
+		copy(out, t.buf[:n])
+		return out
+	}
+	// Wrapped: oldest retained event is at total%cap.
+	out := make([]Event, cap64)
+	start := n % cap64
+	copy(out, t.buf[start:])
+	copy(out[cap64-start:], t.buf[:start])
+	return out
+}
+
+// Reset discards all retained events (capacity is kept).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total = 0
+}

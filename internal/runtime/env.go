@@ -114,6 +114,10 @@ type Env struct {
 	ReinjectQ    *Queue
 	Regs         *[NumRegisters]int64
 	Actions      []Action
+	// Site is the current decision site; back-ends set it immediately
+	// before emitting an action so the recorded Action carries the
+	// program location (source line or bytecode pc) that decided it.
+	Site int32
 }
 
 // NewEnv assembles an environment. Any nil queue is replaced by an
@@ -144,6 +148,7 @@ func NewEnv(subflows []*SubflowView, sendQ, unackedQ, reinjectQ *Queue, regs *[N
 // same snapshot (overhead benchmarks). Registers are preserved.
 func (e *Env) Reset() {
 	e.Actions = e.Actions[:0]
+	e.Site = 0
 	e.SendQ.Reset()
 	e.UnackedQ.Reset()
 	e.ReinjectQ.Reset()
@@ -188,7 +193,7 @@ func (e *Env) Pop(id QueueID, p *PacketView) bool {
 	if q == nil || !q.PopPacket(p) {
 		return false
 	}
-	e.Actions = append(e.Actions, Action{Kind: ActionPop, Queue: id, Packet: p.Handle})
+	e.Actions = append(e.Actions, Action{Kind: ActionPop, Queue: id, Packet: p.Handle, Site: e.Site})
 	return true
 }
 
@@ -198,7 +203,7 @@ func (e *Env) Push(sbf *SubflowView, p *PacketView) {
 	if sbf == nil || p == nil {
 		return
 	}
-	e.Actions = append(e.Actions, Action{Kind: ActionPush, Packet: p.Handle, Subflow: sbf.Handle})
+	e.Actions = append(e.Actions, Action{Kind: ActionPush, Packet: p.Handle, Subflow: sbf.Handle, Site: e.Site})
 }
 
 // Drop records discarding p. Dropping nil is a graceful no-op.
@@ -206,7 +211,7 @@ func (e *Env) Drop(p *PacketView) {
 	if p == nil {
 		return
 	}
-	e.Actions = append(e.Actions, Action{Kind: ActionDrop, Packet: p.Handle})
+	e.Actions = append(e.Actions, Action{Kind: ActionDrop, Packet: p.Handle, Site: e.Site})
 }
 
 // PushCount returns how many ActionPush entries were recorded. The

@@ -1,7 +1,6 @@
 package schedlib
 
 import (
-	"reflect"
 	"strings"
 	"testing"
 
@@ -62,7 +61,7 @@ func TestCorpusBackendAgreement(t *testing.T) {
 			it.Exec(envI)
 			cc.Exec(envC)
 			bc.Exec(envV)
-			if !reflect.DeepEqual(envI.Actions, envC.Actions) || !reflect.DeepEqual(envI.Actions, envV.Actions) {
+			if !envtest.SameActions(envI.Actions, envC.Actions) || !envtest.SameActions(envI.Actions, envV.Actions) {
 				t.Errorf("%s env %d: backend divergence\ninterp:   %v\ncompiled: %v\nvm:       %v",
 					name, i, envI.Actions, envC.Actions, envV.Actions)
 			}

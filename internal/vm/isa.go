@@ -20,6 +20,8 @@ package vm
 import (
 	"fmt"
 	"strings"
+
+	"progmp/internal/obs"
 )
 
 // Op is a bytecode opcode.
@@ -198,6 +200,10 @@ type Program struct {
 	// was specialized for, or -1 for the generic version (§4.1,
 	// "constant subflow number" optimization).
 	SpecializedSubflows int
+	// StepCounter, when non-nil, accumulates executed instruction
+	// counts (the "steps" metric). Left nil by default so the hot path
+	// pays only an inlined nil check at exit.
+	StepCounter *obs.Counter
 }
 
 // Disassemble renders the program, one instruction per line.

@@ -146,10 +146,13 @@ func (pr *Profile) ExecProfile(env *runtime.Env) error {
 		case OpPktRef:
 			regs[in.Dst] = (in.K+1)<<32 | (regs[in.A] + 1)
 		case OpPop:
+			env.Site = int32(pc)
 			env.Pop(runtime.QueueID(in.K), pktView(env, regs[in.A]))
 		case OpPush:
+			env.Site = int32(pc)
 			env.Push(sbfView(env, regs[in.A]), pktView(env, regs[in.B]))
 		case OpDrop:
+			env.Site = int32(pc)
 			env.Drop(pktView(env, regs[in.A]))
 		case OpLoadSlot:
 			regs[in.Dst] = spills[in.K]

@@ -43,6 +43,7 @@ func (p *Program) Exec(env *runtime.Env) error {
 	for pc := 0; pc < len(insns); pc++ {
 		steps++
 		if steps > MaxSteps {
+			p.StepCounter.Add(int64(steps))
 			return ErrStepBudget
 		}
 		in := &insns[pc]
@@ -103,6 +104,7 @@ func (p *Program) Exec(env *runtime.Env) error {
 				pc += int(in.K)
 			}
 		case OpReturn:
+			p.StepCounter.Add(int64(steps))
 			return nil
 		case OpLoadReg:
 			regs[in.Dst] = env.Reg(int(in.K))
@@ -139,10 +141,13 @@ func (p *Program) Exec(env *runtime.Env) error {
 		case OpPktRef:
 			regs[in.Dst] = (in.K+1)<<32 | (regs[in.A] + 1)
 		case OpPop:
+			env.Site = int32(pc)
 			env.Pop(runtime.QueueID(in.K), pktView(env, regs[in.A]))
 		case OpPush:
+			env.Site = int32(pc)
 			env.Push(sbfView(env, regs[in.A]), pktView(env, regs[in.B]))
 		case OpDrop:
+			env.Site = int32(pc)
 			env.Drop(pktView(env, regs[in.A]))
 		case OpLoadSlot:
 			regs[in.Dst] = spills[in.K]
@@ -152,6 +157,7 @@ func (p *Program) Exec(env *runtime.Env) error {
 			return fmt.Errorf("vm: invalid opcode %d at pc %d", int(in.Op), pc)
 		}
 	}
+	p.StepCounter.Add(int64(steps))
 	return nil
 }
 

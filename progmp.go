@@ -23,6 +23,7 @@ package progmp
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"progmp/internal/core"
@@ -30,6 +31,7 @@ import (
 	"progmp/internal/lang/types"
 	"progmp/internal/mptcp"
 	"progmp/internal/netsim"
+	"progmp/internal/obs"
 	"progmp/internal/schedlib"
 	"progmp/internal/vm"
 )
@@ -334,3 +336,57 @@ func (c *Conn) EnablePathManager(cfg PathManagerConfig) *PathManager {
 // Inner exposes the underlying model connection for advanced
 // instrumentation (experiments, benchmarks).
 func (c *Conn) Inner() *mptcp.Conn { return c.inner }
+
+// ---- Observability ----
+
+// Tracer records scheduler-decision events into a fixed-size ring
+// buffer (see internal/obs and docs/OBSERVABILITY.md). A nil *Tracer is
+// a valid no-op sink.
+type Tracer = obs.Tracer
+
+// TraceEvent is one recorded trace event.
+type TraceEvent = obs.Event
+
+// Metrics is a registry of named counters, gauges and histograms.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry's values.
+type MetricsSnapshot = obs.Snapshot
+
+// NewTracer allocates a tracer with the given ring capacity (<= 0
+// selects the default of 65536 events).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WriteTraceJSONL streams events as one JSON object per line.
+func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
+	return obs.WriteJSONL(w, events)
+}
+
+// WriteChromeTrace renders events in Chrome trace_event format for
+// chrome://tracing / Perfetto.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// Instrument attaches a tracer and/or a metrics registry to the
+// connection. Either may be nil; call it before traffic starts. The
+// registry also receives the simulation engine's event metrics.
+func (c *Conn) Instrument(t *Tracer, m *Metrics) {
+	c.inner.Instrument(t, m)
+	if m != nil {
+		c.net.eng.Instrument(m)
+	}
+}
+
+// Tracer returns the connection's tracer (nil when tracing is off).
+func (c *Conn) Tracer() *Tracer { return c.inner.Tracer() }
+
+// Metrics returns the connection's metrics registry (nil when off).
+func (c *Conn) Metrics() *Metrics { return c.inner.Metrics() }
+
+// MetricsReport renders the connection's metrics registry as a
+// proc-style text page ("" when no registry is attached).
+func (c *Conn) MetricsReport() string { return c.inner.Metrics().Render() }
