@@ -5,6 +5,14 @@
 //
 //	mpsim -scheduler minRTT -send 1048576 \
 //	      -path wifi:3e6:5ms:0:pref -path lte:8e6:20ms:0.01:backup
+//
+// With -guard the scheduler runs under supervision (panic recovery,
+// action validation, stall detection, graceful degradation to native
+// MinRTT). With -chaos the normal scenario is replaced by a seeded
+// fault-injection soak:
+//
+//	mpsim -chaos meltdown -seed 7 -scheduler redundant
+//	mpsim -chaos all -seed 42
 package main
 
 import (
@@ -67,21 +75,32 @@ func main() {
 	pathmgr := flag.Bool("pathmgr", false, "enable the path manager (failure detection + backup promotion)")
 	trace := flag.String("trace", "", "write a JSONL decision trace of the run to FILE")
 	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
+	guard := flag.Bool("guard", false, "supervise the scheduler (panic recovery, validation, degradation)")
+	chaos := flag.String("chaos", "", "run a chaos soak instead: scenario name or \"all\" (see -chaos list)")
 	flag.Var(&paths, "path", "path spec name:rateBps:delay:loss:pref|backup (repeatable)")
 	flag.Parse()
 
-	if err := run(*scheduler, *backend, *send, *prop, *seed, *duration, *reg1, *cc, *pathmgr, *trace, *metrics, paths); err != nil {
+	if *chaos != "" {
+		if err := runChaos(*chaos, *seed, *scheduler, *backend); err != nil {
+			fmt.Fprintln(os.Stderr, "mpsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*scheduler, *backend, *send, *prop, *seed, *duration, *reg1, *cc, *pathmgr, *trace, *metrics, *guard, paths); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scheduler, backend string, send int, prop, seed int64, duration time.Duration, reg1 int64, cc string, pathmgr bool, trace string, metrics bool, paths pathFlags) error {
+// loadScheduler resolves a built-in name or a source file on the
+// chosen backend.
+func loadScheduler(scheduler, backend string) (*progmp.Scheduler, error) {
 	src, ok := progmp.Schedulers[scheduler]
 	if !ok {
 		data, err := os.ReadFile(scheduler)
 		if err != nil {
-			return fmt.Errorf("scheduler %q is neither built-in nor readable: %w", scheduler, err)
+			return nil, fmt.Errorf("scheduler %q is neither built-in nor readable: %w", scheduler, err)
 		}
 		src = string(data)
 	}
@@ -94,9 +113,48 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 	case "vm":
 		be = progmp.BackendVM
 	default:
-		return fmt.Errorf("unknown backend %q", backend)
+		return nil, fmt.Errorf("unknown backend %q", backend)
 	}
-	sched, err := progmp.LoadSchedulerBackend(scheduler, src, be)
+	return progmp.LoadSchedulerBackend(scheduler, src, be)
+}
+
+// runChaos soaks the scheduler through one (or every) chaos scenario
+// and verifies conservation: every byte delivered exactly once, in
+// order, fully acknowledged.
+func runChaos(scenario string, seed int64, scheduler, backend string) error {
+	names := []string{scenario}
+	if scenario == "all" {
+		names = progmp.ChaosScenarioNames()
+	} else if scenario == "list" {
+		for _, name := range progmp.ChaosScenarioNames() {
+			fmt.Printf("%-10s %s\n", name, progmp.ChaosScenarioDesc(name))
+		}
+		return nil
+	}
+	sched, err := loadScheduler(scheduler, backend)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, name := range names {
+		res, err := progmp.RunChaos(name, seed, sched)
+		if err != nil {
+			failed++
+			fmt.Printf("FAIL %-10s seed=%d: %v\n", name, seed, err)
+			continue
+		}
+		fmt.Printf("PASS %-10s seed=%d delivered=%d segments=%d fct=%v closed=%d promoted=%d\n",
+			name, res.Seed, res.DeliveredBytes, res.Segments, res.FCT.Round(time.Millisecond),
+			res.ClosedByManager, res.Promotions)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d chaos scenarios failed conservation", failed, len(names))
+	}
+	return nil
+}
+
+func run(scheduler, backend string, send int, prop, seed int64, duration time.Duration, reg1 int64, cc string, pathmgr bool, trace string, metrics, guard bool, paths pathFlags) error {
+	sched, err := loadScheduler(scheduler, backend)
 	if err != nil {
 		return err
 	}
@@ -111,7 +169,12 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 	if err != nil {
 		return err
 	}
-	conn.SetScheduler(sched)
+	var sup *progmp.Supervisor
+	if guard {
+		sup = conn.Supervise(sched, progmp.SupervisorConfig{})
+	} else {
+		conn.SetScheduler(sched)
+	}
 	var tracer *progmp.Tracer
 	var reg *progmp.Metrics
 	if trace != "" {
@@ -152,6 +215,10 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 	for _, s := range conn.Subflows() {
 		fmt.Printf("%-8s %12d %10d %8d %8v %10.1f\n",
 			s.Name, s.BytesSent, s.PktsSent, s.Retransmissions, s.SRTT.Round(time.Millisecond), s.Cwnd)
+	}
+	if sup != nil {
+		fmt.Printf("guard           state=%v strikes=%d panics=%d violations=%d stalls=%d quarantines=%d restores=%d\n",
+			sup.State(), sup.Strikes(), sup.Panics, sup.Violations, sup.Stalls, sup.Quarantines, sup.Restores)
 	}
 	if tracer != nil {
 		f, err := os.Create(trace)

@@ -41,6 +41,7 @@ type scenario struct {
 	reg1      int64
 	cc        string
 	ringCap   int
+	guard     bool
 	paths     []progmp.Path
 }
 
@@ -95,13 +96,14 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	kinds := flag.String("kinds", "", "comma-separated event kinds to keep (e.g. PUSH,DROP); empty keeps all")
 	metrics := flag.Bool("metrics", false, "append the metrics registry to stderr")
+	guard := flag.Bool("guard", false, "run the scheduler under supervision so GUARD_* transitions appear in the trace")
 	flag.Var(&paths, "path", "path spec name:rateBps:delay:loss:pref|backup (repeatable)")
 	flag.Parse()
 
 	sc := scenario{
 		scheduler: *scheduler, backend: *backend, send: *send, prop: *prop,
 		seed: *seed, duration: *duration, reg1: *reg1, cc: *cc,
-		ringCap: *ringCap, paths: paths,
+		ringCap: *ringCap, guard: *guard, paths: paths,
 	}
 	if err := run(sc, *format, *out, *kinds, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "progmp-trace:", err)
@@ -177,7 +179,11 @@ func replay(sc scenario) (*progmp.Tracer, *progmp.Metrics, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	conn.SetScheduler(sched)
+	if sc.guard {
+		conn.Supervise(sched, progmp.SupervisorConfig{})
+	} else {
+		conn.SetScheduler(sched)
+	}
 	tracer := progmp.NewTracer(sc.ringCap)
 	reg := progmp.NewMetrics()
 	conn.Instrument(tracer, reg)

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"progmp/internal/compile"
@@ -65,6 +66,11 @@ type Stats struct {
 	// fell back); Executions - GenericExecs is the specialization hit
 	// count. Always 0 on the non-VM back-ends.
 	GenericExecs int64
+	// FallbackErrors counts executions where even the generic program
+	// failed (step-budget overrun or verifier-escaping fault); the
+	// execution's actions were discarded. Always 0 on the non-VM
+	// back-ends.
+	FallbackErrors int64
 	// Steps is the total executed VM instructions, collected only
 	// while step counting is enabled (EnableStepMetrics).
 	Steps int64
@@ -72,13 +78,14 @@ type Stats struct {
 
 // Metric names used by the per-scheduler registry.
 const (
-	MetricExecutions   = "sched.executions"
-	MetricPushes       = "sched.pushes"
-	MetricPops         = "sched.pops"
-	MetricDrops        = "sched.drops"
-	MetricGenericExecs = "vm.generic_execs"
-	MetricSpecCompiled = "vm.specializations"
-	MetricSteps        = "vm.steps"
+	MetricExecutions     = "sched.executions"
+	MetricPushes         = "sched.pushes"
+	MetricPops           = "sched.pops"
+	MetricDrops          = "sched.drops"
+	MetricFallbackErrors = "sched.fallback_errors"
+	MetricGenericExecs   = "vm.generic_execs"
+	MetricSpecCompiled   = "vm.specializations"
+	MetricSteps          = "vm.steps"
 )
 
 // Scheduler is a loaded, executable scheduler program. It is safe for
@@ -106,15 +113,27 @@ type Scheduler struct {
 
 	// metrics is the scheduler's registry (§4.1 proc interface);
 	// the hot path touches only the pre-resolved handles below.
-	metrics      *obs.Registry
-	mExecutions  *obs.Counter
-	mPushes      *obs.Counter
-	mPops        *obs.Counter
-	mDrops       *obs.Counter
-	mGenericExec *obs.Counter
-	mSpecialized *obs.Counter
-	stepCounting atomic.Bool
+	metrics       *obs.Registry
+	mExecutions   *obs.Counter
+	mPushes       *obs.Counter
+	mPops         *obs.Counter
+	mDrops        *obs.Counter
+	mGenericExec  *obs.Counter
+	mSpecialized  *obs.Counter
+	mFallbackErrs *obs.Counter
+	stepCounting  atomic.Bool
+
+	// Optional trace sink for execution faults. Set before traffic
+	// starts (like EnableStepMetrics); nil leaves fault tracing off.
+	tracer   *obs.Tracer
+	traceNow func() time.Duration
+
+	// lastFallbackErr retains the most recent fallback failure for
+	// diagnostics (the proc-style error surface).
+	lastFallbackErr atomic.Pointer[fallbackErr]
 }
+
+type fallbackErr struct{ err error }
 
 // Load parses, type-checks and compiles a scheduler specification for
 // the given back-end.
@@ -141,6 +160,7 @@ func Load(name, src string, backend Backend) (*Scheduler, error) {
 	s.mDrops = s.metrics.Counter(MetricDrops)
 	s.mGenericExec = s.metrics.Counter(MetricGenericExecs)
 	s.mSpecialized = s.metrics.Counter(MetricSpecCompiled)
+	s.mFallbackErrs = s.metrics.Counter(MetricFallbackErrors)
 	switch backend {
 	case BackendInterpreter:
 		s.interp = interp.New(info)
@@ -240,11 +260,53 @@ func (s *Scheduler) execVM(env *runtime.Env) {
 		// Specialization mismatch or step-budget overrun: fall back to
 		// the generic program ("returns to the original version").
 		env.Actions = env.Actions[:0]
-		if prog != s.vmProg {
-			s.mGenericExec.Add(1)
+		if prog == s.vmProg {
+			// The generic program itself failed; re-running it would
+			// fail identically, so record the fault and execute nothing.
+			s.noteFallbackError(err)
+			return
 		}
-		_ = s.vmProg.Exec(env)
+		s.mGenericExec.Add(1)
+		if err := s.vmProg.Exec(env); err != nil {
+			// The safety net failed too. Discard the partial action
+			// queue (termination guarantee: a failed execution has no
+			// effects) and surface the fault instead of swallowing it.
+			env.Actions = env.Actions[:0]
+			s.noteFallbackError(err)
+		}
 	}
+}
+
+// noteFallbackError records a generic-program execution failure in the
+// sched.fallback_errors metric, the fault trace (when attached) and the
+// last-error diagnostic slot.
+func (s *Scheduler) noteFallbackError(err error) {
+	s.mFallbackErrs.Add(1)
+	s.lastFallbackErr.Store(&fallbackErr{err: err})
+	if t := s.tracer; t != nil {
+		var at time.Duration
+		if s.traceNow != nil {
+			at = s.traceNow()
+		}
+		t.Record(obs.Event{At: at, Kind: obs.EvSchedFallback, Seq: -1, Sbf: -1})
+	}
+}
+
+// LastFallbackError returns the most recent generic-program execution
+// failure, or nil when every execution succeeded.
+func (s *Scheduler) LastFallbackError() error {
+	if fe := s.lastFallbackErr.Load(); fe != nil {
+		return fe.err
+	}
+	return nil
+}
+
+// InstrumentTrace attaches a trace sink (and virtual clock) for
+// execution faults such as generic-fallback failures. Call it before
+// traffic starts; either argument may be nil.
+func (s *Scheduler) InstrumentTrace(t *obs.Tracer, now func() time.Duration) {
+	s.tracer = t
+	s.traceNow = now
 }
 
 func (s *Scheduler) specialize(n int) {
@@ -285,12 +347,13 @@ func (s *Scheduler) EnableStepMetrics() {
 // Stats returns a snapshot of the cumulative statistics.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Executions:   s.mExecutions.Value(),
-		Pushes:       s.mPushes.Value(),
-		Pops:         s.mPops.Value(),
-		Drops:        s.mDrops.Value(),
-		GenericExecs: s.mGenericExec.Value(),
-		Steps:        s.metrics.Counter(MetricSteps).Value(),
+		Executions:     s.mExecutions.Value(),
+		Pushes:         s.mPushes.Value(),
+		Pops:           s.mPops.Value(),
+		Drops:          s.mDrops.Value(),
+		GenericExecs:   s.mGenericExec.Value(),
+		FallbackErrors: s.mFallbackErrs.Value(),
+		Steps:          s.metrics.Counter(MetricSteps).Value(),
 	}
 }
 

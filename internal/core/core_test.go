@@ -4,8 +4,11 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"progmp/internal/envtest"
+	"progmp/internal/obs"
+	"progmp/internal/vm"
 )
 
 const minRTT = `IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {
@@ -139,5 +142,47 @@ IF (!Q.EMPTY) { sbfs.GET(R1).PUSH(Q.POP()); SET(R1, R1 + 1); }`, BackendVM)
 	}
 	if all := reg.ReportAll(); !strings.Contains(all, "scheduler a") {
 		t.Errorf("ReportAll missing scheduler a:\n%s", all)
+	}
+}
+
+// TestFallbackErrorsObservable sabotages the generic VM program with an
+// infinite loop so its execution exhausts the step budget, then checks
+// the failure is counted, traced and surfaced — not silently swallowed.
+func TestFallbackErrorsObservable(t *testing.T) {
+	s := MustLoad("minRTT", minRTT, BackendVM)
+	s.vmProg = &vm.Program{
+		Insns:               []vm.Instr{{Op: vm.OpJmp, K: -1}},
+		SpecializedSubflows: -1,
+	}
+	// Pretend specialization for two subflows is perpetually in flight
+	// so execVM keeps taking the generic path deterministically.
+	s.compiling[2] = true
+	tracer := obs.NewTracer(16)
+	s.InstrumentTrace(tracer, func() time.Duration { return 7 * time.Millisecond })
+
+	env := envtest.TwoSubflowEnv(3)
+	s.Exec(env)
+
+	if len(env.Actions) != 0 {
+		t.Errorf("failed execution left %d actions; must have no effects", len(env.Actions))
+	}
+	st := s.Stats()
+	if st.FallbackErrors != 1 {
+		t.Errorf("FallbackErrors = %d, want 1", st.FallbackErrors)
+	}
+	if err := s.LastFallbackError(); !errors.Is(err, vm.ErrStepBudget) {
+		t.Errorf("LastFallbackError = %v, want ErrStepBudget", err)
+	}
+	found := false
+	for _, ev := range tracer.Events() {
+		if ev.Kind == obs.EvSchedFallback {
+			found = true
+			if ev.At != 7*time.Millisecond {
+				t.Errorf("EvSchedFallback at %v, want 7ms (virtual clock)", ev.At)
+			}
+		}
+	}
+	if !found {
+		t.Error("no EvSchedFallback event recorded")
 	}
 }

@@ -65,12 +65,8 @@ func Fairness(ccName string, backend core.Backend, seed int64) (FairnessResult, 
 			Next:  bottleneck,
 		})
 	}
-	sched := func() mptcp.Scheduler {
-		s, err := core.Load("minRTT", schedlib.MinRTT, backend)
-		if err != nil {
-			panic(err)
-		}
-		return s
+	sched := func() (mptcp.Scheduler, error) {
+		return core.Load("minRTT", schedlib.MinRTT, backend)
 	}
 
 	mp := mptcp.NewConn(eng, mptcp.Config{CC: cc})
@@ -81,13 +77,21 @@ func Fairness(ccName string, backend core.Backend, seed int64) (FairnessResult, 
 			return FairnessResult{}, err
 		}
 	}
-	mp.SetScheduler(sched())
+	mpSched, err := sched()
+	if err != nil {
+		return FairnessResult{}, err
+	}
+	mp.SetScheduler(mpSched)
 
 	tcp := mptcp.NewConn(eng, mptcp.Config{CC: mptcp.Reno{}})
 	if _, err := tcp.AddSubflow(mptcp.SubflowConfig{Name: "tcp", Link: accessLink("tcp")}); err != nil {
 		return FairnessResult{}, err
 	}
-	tcp.SetScheduler(sched())
+	tcpSched, err := sched()
+	if err != nil {
+		return FairnessResult{}, err
+	}
+	tcp.SetScheduler(tcpSched)
 
 	var mpBytes, tcpBytes int64
 	const warmup = 5 * time.Second

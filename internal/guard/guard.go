@@ -1,0 +1,492 @@
+// Package guard supervises application-supplied schedulers so that a
+// buggy or adversarial scheduling block cannot crash, corrupt or hang a
+// connection — the userspace analogue of the kernel runtime's
+// termination and isolation guarantees (§4 of the paper). The kernel
+// model already makes executions *terminate* (the VM step budget) and
+// makes individual mistakes *harmless* (graceful action application);
+// this package closes the remaining gaps:
+//
+//   - a scheduler implemented as native Go (or a back-end bug) can
+//     panic — the Supervisor recovers the panic and discards the
+//     execution's actions;
+//   - a scheduler can emit forged actions (out-of-range subflow
+//     handles, packets not in the claimed queue) by appending to the
+//     action queue directly — the Supervisor validates every action
+//     against the environment snapshot before it reaches the
+//     connection;
+//   - a scheduler can simply stall: never PUSH while Q is nonempty and
+//     a subflow has congestion-window headroom. With nothing in flight
+//     there is no ACK clock left to re-trigger scheduling, so the
+//     connection would hang forever. The Supervisor detects the
+//     condition, keeps the connection's scheduler pump alive through a
+//     watchdog, and counts strikes.
+//
+// Repeated strikes quarantine the user program: the connection degrades
+// to a trusted fallback (native MinRTT by default) and, after an
+// exponentially backed-off probation delay, the user scheduler is put
+// on trial again; enough clean trial executions re-promote it. Every
+// transition emits obs events and metrics, so progmp-trace shows
+// exactly when and why a connection degraded.
+package guard
+
+import (
+	"fmt"
+	"time"
+
+	"progmp/internal/mptcp/sched"
+	"progmp/internal/obs"
+	"progmp/internal/runtime"
+)
+
+// Scheduler is the execution interface the Supervisor wraps and
+// implements (structurally identical to mptcp.Scheduler).
+type Scheduler interface {
+	Exec(env *runtime.Env)
+}
+
+// State is the supervisor's position in the degradation state machine.
+type State int32
+
+// The supervision states: active → quarantined → probation → active.
+const (
+	// StateActive runs the user scheduler under full supervision.
+	StateActive State = iota
+	// StateQuarantined runs the fallback scheduler; the user program is
+	// suspended until the probation timer fires.
+	StateQuarantined
+	// StateProbation runs the user scheduler on trial: one strike
+	// re-quarantines it with doubled backoff, TrialExecs clean
+	// executions re-promote it to StateActive.
+	StateProbation
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateQuarantined:
+		return "quarantined"
+	case StateProbation:
+		return "probation"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// StrikeReason classifies why a strike was recorded.
+type StrikeReason int
+
+// The strike taxonomy.
+const (
+	StrikePanic     StrikeReason = iota // execution panicked
+	StrikeBadAction                     // invalid actions stripped
+	StrikeStall                         // no actions despite available work
+)
+
+// String names the reason.
+func (r StrikeReason) String() string {
+	switch r {
+	case StrikePanic:
+		return "panic"
+	case StrikeBadAction:
+		return "bad-action"
+	case StrikeStall:
+		return "stall"
+	}
+	return fmt.Sprintf("StrikeReason(%d)", int(r))
+}
+
+// Config tunes a Supervisor. The zero value is usable: native MinRTT
+// fallback, three strikes, and — without the Now/After/Wake wiring —
+// supervision without the stall watchdog or probation timer (a
+// quarantined scheduler then stays quarantined).
+type Config struct {
+	// Fallback runs while the user scheduler is quarantined (default:
+	// the native MinRTT reference scheduler).
+	Fallback Scheduler
+	// MaxStrikes is how many strikes quarantine the user scheduler
+	// (default 3).
+	MaxStrikes int
+	// StallExecs is how many consecutive zero-action executions with
+	// work available count as one stall strike (default 32). Generous
+	// so intentionally non-work-conserving schedulers (rate limiting,
+	// opportunistic waiting) do not strike spuriously: any emitted
+	// action resets the run.
+	StallExecs int
+	// StallTimeout is the watchdog delay: when an execution ends with
+	// zero actions despite available work, the supervisor re-triggers
+	// scheduling after this long so the stall is observable even with
+	// no ACK clock left (default 50 ms).
+	StallTimeout time.Duration
+	// ProbationAfter is the first quarantine duration (default 500 ms);
+	// it doubles on every re-quarantine up to MaxBackoff.
+	ProbationAfter time.Duration
+	// MaxBackoff caps the quarantine duration (default 30 s).
+	MaxBackoff time.Duration
+	// TrialExecs is how many consecutive clean probation executions
+	// re-promote the user scheduler (default 8).
+	TrialExecs int
+
+	// Now is the virtual clock used to timestamp events (nil: events
+	// carry time 0).
+	Now func() time.Duration
+	// After schedules fn on the driving event loop. Required for the
+	// stall watchdog and the probation timer; nil disables both.
+	After func(d time.Duration, fn func())
+	// Wake triggers a scheduling pass on the supervised connection
+	// (mptcp.Conn.Kick). Required for the stall watchdog.
+	Wake func()
+}
+
+func (c *Config) applyDefaults() {
+	if c.Fallback == nil {
+		c.Fallback = sched.MinRTT{}
+	}
+	if c.MaxStrikes == 0 {
+		c.MaxStrikes = 3
+	}
+	if c.StallExecs == 0 {
+		c.StallExecs = 32
+	}
+	if c.StallTimeout == 0 {
+		c.StallTimeout = 50 * time.Millisecond
+	}
+	if c.ProbationAfter == 0 {
+		c.ProbationAfter = 500 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 30 * time.Second
+	}
+	if c.TrialExecs == 0 {
+		c.TrialExecs = 8
+	}
+}
+
+// Supervisor wraps a scheduler with panic recovery, action validation,
+// stall detection and graceful degradation. It implements the same
+// Exec interface as the scheduler it wraps, so it installs on a
+// connection like any scheduler. A Supervisor belongs to exactly one
+// connection: it keeps per-connection strike state, and the simulation
+// model is single-threaded per engine.
+type Supervisor struct {
+	inner Scheduler
+	cfg   Config
+
+	state       State
+	strikes     int
+	stallRun    int // consecutive zero-action executions with work available
+	backoff     time.Duration
+	trialClean  int
+	watchdogSet bool
+
+	// Cumulative counts (also mirrored as metrics when instrumented).
+	Panics      int64
+	Violations  int64
+	Stalls      int64
+	Quarantines int64
+	Restores    int64
+
+	lastPanic string
+
+	// Observability (nil-safe when uninstrumented).
+	tracer       *obs.Tracer
+	connID       int32
+	mPanics      *obs.Counter
+	mViolations  *obs.Counter
+	mStalls      *obs.Counter
+	mQuarantines *obs.Counter
+	mRestores    *obs.Counter
+	gState       *obs.Gauge
+}
+
+// New wraps inner in a supervisor.
+func New(inner Scheduler, cfg Config) *Supervisor {
+	cfg.applyDefaults()
+	return &Supervisor{inner: inner, cfg: cfg, backoff: cfg.ProbationAfter}
+}
+
+// Instrument attaches the supervisor to a tracer (labelling events with
+// connID, normally mptcp.Conn.TraceConnID) and a metrics registry.
+// Either may be nil. Call before traffic starts.
+func (s *Supervisor) Instrument(t *obs.Tracer, connID int32, reg *obs.Registry) {
+	s.tracer = t
+	s.connID = connID
+	if reg != nil {
+		s.mPanics = reg.Counter("guard.panics")
+		s.mViolations = reg.Counter("guard.violations")
+		s.mStalls = reg.Counter("guard.stalls")
+		s.mQuarantines = reg.Counter("guard.quarantines")
+		s.mRestores = reg.Counter("guard.restores")
+		s.gState = reg.Gauge("guard.state")
+	}
+}
+
+// State returns the current supervision state.
+func (s *Supervisor) State() State { return s.state }
+
+// Strikes returns the strike count accumulated toward the next
+// quarantine.
+func (s *Supervisor) Strikes() int { return s.strikes }
+
+// LastPanic returns the rendered value of the most recent recovered
+// panic ("" when none occurred).
+func (s *Supervisor) LastPanic() string { return s.lastPanic }
+
+// Inner returns the supervised scheduler.
+func (s *Supervisor) Inner() Scheduler { return s.inner }
+
+// Exec runs one supervised scheduler execution.
+func (s *Supervisor) Exec(env *runtime.Env) {
+	if s.state == StateQuarantined {
+		s.execFallback(env)
+		return
+	}
+	before := len(env.Actions)
+	if panicked := s.runInner(env); panicked {
+		env.Actions = env.Actions[:before]
+		s.Panics++
+		s.mPanics.Add(1)
+		s.event(obs.EvGuardPanic, 0)
+		s.strike(env)
+	} else if stripped := s.validate(env, before); stripped > 0 {
+		s.Violations += int64(stripped)
+		s.mViolations.Add(int64(stripped))
+		s.event(obs.EvGuardBadAction, int64(stripped))
+		s.strike(env)
+	} else if s.state == StateProbation {
+		s.trialClean++
+		if s.trialClean >= s.cfg.TrialExecs {
+			s.restore()
+		}
+	}
+	s.noteStallProgress(env, before)
+}
+
+// runInner executes the user scheduler, converting panics into a
+// reported condition.
+func (s *Supervisor) runInner(env *runtime.Env) (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			s.lastPanic = fmt.Sprint(r)
+		}
+	}()
+	s.inner.Exec(env)
+	return false
+}
+
+// execFallback runs the trusted fallback (still panic-safe, but its
+// behaviour never counts against the user program).
+func (s *Supervisor) execFallback(env *runtime.Env) {
+	before := len(env.Actions)
+	defer func() {
+		if r := recover(); r != nil {
+			env.Actions = env.Actions[:before]
+		}
+	}()
+	s.cfg.Fallback.Exec(env)
+}
+
+// validate checks every action the execution emitted against the
+// environment snapshot and strips invalid ones in place, returning how
+// many were removed. The connection would reject most of these
+// gracefully anyway; validating here turns silent misbehaviour into an
+// observable, strikeable condition before it reaches the connection.
+func (s *Supervisor) validate(env *runtime.Env, before int) (stripped int) {
+	if len(env.Actions) == before {
+		return 0
+	}
+	sbfs := make(map[runtime.SubflowHandle]bool, len(env.SubflowViews))
+	for _, v := range env.SubflowViews {
+		sbfs[v.Handle] = true
+	}
+	inQueue := func(id runtime.QueueID, h runtime.PacketHandle) bool {
+		q := env.Queue(id)
+		for i := 0; ; i++ {
+			p := q.At(i)
+			if p == nil {
+				return false
+			}
+			if p.Handle == h {
+				return true
+			}
+		}
+	}
+	inAnyQueue := func(h runtime.PacketHandle) bool {
+		return inQueue(runtime.QueueSend, h) ||
+			inQueue(runtime.QueueUnacked, h) ||
+			inQueue(runtime.QueueReinject, h)
+	}
+	kept := env.Actions[:before]
+	for _, a := range env.Actions[before:] {
+		ok := false
+		switch a.Kind {
+		case runtime.ActionPush:
+			ok = sbfs[a.Subflow] && inAnyQueue(a.Packet)
+		case runtime.ActionPop:
+			ok = inQueue(a.Queue, a.Packet)
+		case runtime.ActionDrop:
+			ok = inAnyQueue(a.Packet)
+		}
+		if ok {
+			kept = append(kept, a)
+		} else {
+			stripped++
+		}
+	}
+	env.Actions = kept
+	return stripped
+}
+
+// noteStallProgress updates the stall run after an execution: zero
+// actions while work is available extends the run (arming the watchdog
+// so the next observation happens even without an ACK clock); anything
+// else resets it.
+func (s *Supervisor) noteStallProgress(env *runtime.Env, before int) {
+	if s.state == StateQuarantined {
+		// A strike during this execution quarantined the scheduler and
+		// already ran the fallback; stall accounting restarts on the
+		// next trial.
+		s.stallRun = 0
+		return
+	}
+	if len(env.Actions) > before || !workAvailable(env) {
+		s.stallRun = 0
+		return
+	}
+	s.stallRun++
+	if s.stallRun >= s.cfg.StallExecs {
+		s.stallRun = 0
+		s.Stalls++
+		s.mStalls.Add(1)
+		s.event(obs.EvGuardStall, int64(s.cfg.StallExecs))
+		s.strike(env)
+		if s.state == StateQuarantined {
+			return
+		}
+		// Not yet quarantined: keep the pump alive so the next stall
+		// run is observed even with no transport event left to trigger
+		// the scheduler.
+	}
+	s.armWatchdog()
+}
+
+// workAvailable reports the stall precondition: Q is nonempty and some
+// subflow could transmit now — non-backup, not TSQ-throttled, not in
+// loss recovery, congestion window not exhausted. Backup subflows count
+// only when no non-backup subflow exists at all (the availability shape
+// of the default scheduler).
+func workAvailable(env *runtime.Env) bool {
+	if env.SendQ.Empty() {
+		return false
+	}
+	anyNonBackup := false
+	for _, v := range env.SubflowViews {
+		if !v.Bools[runtime.SbfIsBackup] {
+			anyNonBackup = true
+			break
+		}
+	}
+	for _, v := range env.SubflowViews {
+		if anyNonBackup && v.Bools[runtime.SbfIsBackup] {
+			continue
+		}
+		if v.Bools[runtime.SbfTSQThrottled] || v.Bools[runtime.SbfLossy] {
+			continue
+		}
+		if v.Ints[runtime.SbfCwnd] > v.Ints[runtime.SbfSkbsInFlight]+v.Ints[runtime.SbfQueued] {
+			return true
+		}
+	}
+	return false
+}
+
+// armWatchdog schedules a wake so the stalled connection is re-examined
+// even when no transport event would trigger the scheduler again.
+func (s *Supervisor) armWatchdog() {
+	if s.watchdogSet || s.cfg.After == nil || s.cfg.Wake == nil {
+		return
+	}
+	s.watchdogSet = true
+	s.cfg.After(s.cfg.StallTimeout, func() {
+		s.watchdogSet = false
+		s.cfg.Wake()
+	})
+}
+
+// strike records one strike and quarantines the user scheduler once
+// MaxStrikes accumulate. During probation a single strike
+// re-quarantines immediately.
+func (s *Supervisor) strike(env *runtime.Env) {
+	s.strikes++
+	if s.state == StateProbation || s.strikes >= s.cfg.MaxStrikes {
+		s.quarantine(env)
+	}
+}
+
+// quarantine suspends the user scheduler, degrades to the fallback for
+// the current backoff, and schedules the probation trial.
+func (s *Supervisor) quarantine(env *runtime.Env) {
+	s.state = StateQuarantined
+	s.strikes = 0
+	s.stallRun = 0
+	s.trialClean = 0
+	s.Quarantines++
+	s.mQuarantines.Add(1)
+	s.gState.Set(int64(StateQuarantined))
+	backoff := s.backoff
+	s.event(obs.EvGuardQuarantine, backoff.Microseconds())
+	if s.backoff < s.cfg.MaxBackoff {
+		s.backoff *= 2
+		if s.backoff > s.cfg.MaxBackoff {
+			s.backoff = s.cfg.MaxBackoff
+		}
+	}
+	if s.cfg.After != nil {
+		s.cfg.After(backoff, s.beginProbation)
+	}
+	// Serve the triggering execution with the fallback so the
+	// connection makes progress in the same scheduling pass that
+	// degraded it.
+	s.execFallback(env)
+}
+
+// beginProbation puts the user scheduler on trial after the quarantine
+// backoff elapses.
+func (s *Supervisor) beginProbation() {
+	if s.state != StateQuarantined {
+		return
+	}
+	s.state = StateProbation
+	s.trialClean = 0
+	s.gState.Set(int64(StateProbation))
+	s.event(obs.EvGuardProbe, int64(s.cfg.TrialExecs))
+	if s.cfg.Wake != nil {
+		s.cfg.Wake()
+	}
+}
+
+// restore re-promotes the user scheduler after a clean trial. The
+// backoff is deliberately not reset: a scheduler that keeps flapping
+// between probation and quarantine earns ever longer exile.
+func (s *Supervisor) restore() {
+	s.state = StateActive
+	s.strikes = 0
+	s.trialClean = 0
+	s.Restores++
+	s.mRestores.Add(1)
+	s.gState.Set(int64(StateActive))
+	s.event(obs.EvGuardRestore, s.Quarantines)
+}
+
+// event records one supervision event through the attached tracer.
+func (s *Supervisor) event(kind obs.EventKind, aux int64) {
+	if s.tracer == nil {
+		return
+	}
+	var at time.Duration
+	if s.cfg.Now != nil {
+		at = s.cfg.Now()
+	}
+	s.tracer.Record(obs.Event{At: at, Kind: kind, Conn: s.connID, Seq: -1, Sbf: -1, Aux: aux})
+}

@@ -1,0 +1,273 @@
+package guard
+
+import (
+	"testing"
+	"time"
+
+	"progmp/internal/mptcp"
+	"progmp/internal/mptcp/sched"
+	"progmp/internal/netsim"
+	"progmp/internal/obs"
+	"progmp/internal/runtime"
+)
+
+// --- broken schedulers under test -----------------------------------
+
+// panicky panics on every execution until calm, then delegates.
+type panicky struct {
+	execs int
+	calm  int // panic while execs <= calm... calm==-1: always panic
+	inner Scheduler
+}
+
+func (p *panicky) Exec(env *runtime.Env) {
+	p.execs++
+	if p.calm < 0 || p.execs <= p.calm {
+		panic("scheduler bug")
+	}
+	p.inner.Exec(env)
+}
+
+// staller never emits an action — a dead scheduling block.
+type staller struct{ execs int }
+
+func (s *staller) Exec(*runtime.Env) { s.execs++ }
+
+// forger appends out-of-range actions directly to the action queue,
+// bypassing the cooperative env.Push API.
+type forger struct{}
+
+func (forger) Exec(env *runtime.Env) {
+	env.Actions = append(env.Actions,
+		runtime.Action{Kind: runtime.ActionPush, Packet: 1 << 40, Subflow: 99},
+		runtime.Action{Kind: runtime.ActionPop, Queue: runtime.QueueSend, Packet: 1 << 40},
+	)
+}
+
+// --- end-to-end harness ---------------------------------------------
+
+// transferUnder runs a 512 KiB transfer over two healthy paths with the
+// supervised scheduler installed and returns the supervisor, checker
+// and connection after the horizon.
+func transferUnder(t *testing.T, inner Scheduler, tune func(*Config)) (*Supervisor, *mptcp.Conn, error) {
+	t.Helper()
+	eng := netsim.NewEngine(1)
+	conn := mptcp.NewConn(eng, mptcp.Config{})
+	for _, d := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond} {
+		link := netsim.NewLink(eng, netsim.PathConfig{
+			Name: "p", Rate: netsim.ConstantRate(3e6), Delay: d,
+		})
+		if _, err := conn.AddSubflow(mptcp.SubflowConfig{Name: "p", Link: link}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := Config{
+		Now:   eng.Now,
+		After: func(d time.Duration, fn func()) { eng.After(d, fn) },
+		Wake:  conn.Kick,
+	}
+	if tune != nil {
+		tune(&cfg)
+	}
+	sup := New(inner, cfg)
+	conn.SetScheduler(sup)
+	chk := mptcp.NewConservationChecker(conn)
+	const total = 512 << 10
+	eng.After(0, func() { conn.Send(total, 0) })
+	eng.RunUntil(120 * time.Second)
+	return sup, conn, chk.Check(total)
+}
+
+func TestPanickingSchedulerDegradesAndCompletes(t *testing.T) {
+	sup, _, err := transferUnder(t, &panicky{calm: -1}, nil)
+	if err != nil {
+		t.Fatalf("transfer under always-panicking scheduler: %v", err)
+	}
+	if sup.Panics < 3 {
+		t.Errorf("Panics = %d, want >= 3 (MaxStrikes)", sup.Panics)
+	}
+	if sup.Quarantines == 0 {
+		t.Error("always-panicking scheduler never quarantined")
+	}
+	if sup.LastPanic() != "scheduler bug" {
+		t.Errorf("LastPanic = %q, want %q", sup.LastPanic(), "scheduler bug")
+	}
+}
+
+func TestStallingSchedulerDegradesAndCompletes(t *testing.T) {
+	inner := &staller{}
+	sup, _, err := transferUnder(t, inner, func(c *Config) {
+		c.StallExecs = 4
+		c.StallTimeout = 20 * time.Millisecond
+	})
+	if err != nil {
+		t.Fatalf("transfer under dead-stop stalling scheduler: %v", err)
+	}
+	if sup.Stalls == 0 {
+		t.Error("no stall strikes recorded")
+	}
+	if sup.Quarantines == 0 {
+		t.Error("stalling scheduler never quarantined")
+	}
+	if inner.execs == 0 {
+		t.Error("inner scheduler never executed")
+	}
+}
+
+func TestForgedActionsStrippedAndCompletes(t *testing.T) {
+	sup, _, err := transferUnder(t, forger{}, nil)
+	if err != nil {
+		t.Fatalf("transfer under action-forging scheduler: %v", err)
+	}
+	if sup.Violations == 0 {
+		t.Error("no forged actions stripped")
+	}
+	if sup.Quarantines == 0 {
+		t.Error("forging scheduler never quarantined")
+	}
+}
+
+// TestProbationRestoresRecoveredScheduler checks the full state cycle:
+// active → quarantined → probation → active once the scheduler stops
+// misbehaving, with the transfer completing throughout.
+func TestProbationRestoresRecoveredScheduler(t *testing.T) {
+	inner := &panicky{calm: 3, inner: sched.MinRTT{}}
+	sup, _, err := transferUnder(t, inner, func(c *Config) {
+		c.ProbationAfter = 100 * time.Millisecond
+		c.TrialExecs = 4
+	})
+	if err != nil {
+		t.Fatalf("transfer across quarantine/restore cycle: %v", err)
+	}
+	if sup.Quarantines == 0 {
+		t.Fatal("scheduler never quarantined")
+	}
+	if sup.Restores == 0 {
+		t.Fatal("recovered scheduler never restored")
+	}
+	if sup.State() != StateActive {
+		t.Errorf("final state %v, want active", sup.State())
+	}
+}
+
+// TestRepeatQuarantineBacksOffExponentially: a scheduler that keeps
+// misbehaving earns doubling quarantine windows, visible in the
+// EvGuardQuarantine events' Aux payloads.
+func TestRepeatQuarantineBacksOffExponentially(t *testing.T) {
+	sup, _, err := transferUnder(t, &panicky{calm: -1}, func(c *Config) {
+		c.ProbationAfter = 100 * time.Millisecond
+		c.MaxBackoff = time.Second
+	})
+	if err != nil {
+		t.Fatalf("transfer under flapping scheduler: %v", err)
+	}
+	if sup.Quarantines < 2 {
+		t.Fatalf("Quarantines = %d, want >= 2 (probation must re-try and re-quarantine)", sup.Quarantines)
+	}
+}
+
+// TestSupervisorEmitsEventsAndMetrics wires the full observability path
+// and asserts transitions are visible the way progmp-trace reads them.
+func TestSupervisorEmitsEventsAndMetrics(t *testing.T) {
+	eng := netsim.NewEngine(2)
+	conn := mptcp.NewConn(eng, mptcp.Config{})
+	link := netsim.NewLink(eng, netsim.PathConfig{
+		Name: "p", Rate: netsim.ConstantRate(3e6), Delay: 5 * time.Millisecond,
+	})
+	if _, err := conn.AddSubflow(mptcp.SubflowConfig{Name: "p", Link: link}); err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(4096)
+	reg := obs.NewRegistry()
+	conn.Instrument(tracer, reg)
+	sup := New(&panicky{calm: 3, inner: sched.MinRTT{}}, Config{
+		ProbationAfter: 100 * time.Millisecond,
+		TrialExecs:     2,
+		Now:            eng.Now,
+		After:          func(d time.Duration, fn func()) { eng.After(d, fn) },
+		Wake:           conn.Kick,
+	})
+	sup.Instrument(tracer, conn.TraceConnID(), reg)
+	conn.SetScheduler(sup)
+	chk := mptcp.NewConservationChecker(conn)
+	const total = 256 << 10
+	eng.After(0, func() { conn.Send(total, 0) })
+	eng.RunUntil(60 * time.Second)
+	if err := chk.Check(total); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := make(map[obs.EventKind]int)
+	for _, ev := range tracer.Events() {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []obs.EventKind{
+		obs.EvGuardPanic, obs.EvGuardQuarantine, obs.EvGuardProbe, obs.EvGuardRestore,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v event recorded", want)
+		}
+	}
+	if got := reg.Counter("guard.panics").Value(); got != sup.Panics {
+		t.Errorf("guard.panics metric %d != %d", got, sup.Panics)
+	}
+	if got := reg.Counter("guard.quarantines").Value(); got == 0 {
+		t.Error("guard.quarantines metric is 0")
+	}
+	if got := reg.Gauge("guard.state").Value(); got != int64(sup.State()) {
+		t.Errorf("guard.state gauge %d != state %d", got, sup.State())
+	}
+}
+
+// --- unit tests against a synthetic environment ---------------------
+
+func syntheticEnv() *runtime.Env {
+	view := &runtime.SubflowView{Handle: 1}
+	view.Ints[runtime.SbfCwnd] = 10
+	pv := &runtime.PacketView{Handle: 1}
+	pv.Ints[runtime.PktSize] = 1460
+	var regs [runtime.NumRegisters]int64
+	return runtime.NewEnv(
+		[]*runtime.SubflowView{view},
+		runtime.NewQueue(runtime.QueueSend, []*runtime.PacketView{pv}),
+		runtime.NewQueue(runtime.QueueUnacked, nil),
+		runtime.NewQueue(runtime.QueueReinject, nil),
+		&regs,
+	)
+}
+
+func TestValidateStripsOnlyInvalidActions(t *testing.T) {
+	env := syntheticEnv()
+	sup := New(&staller{}, Config{})
+	valid := runtime.Action{Kind: runtime.ActionPush, Packet: 1, Subflow: 1}
+	env.Actions = append(env.Actions,
+		valid,
+		runtime.Action{Kind: runtime.ActionPush, Packet: 1, Subflow: 7},                 // no such subflow
+		runtime.Action{Kind: runtime.ActionPush, Packet: 42, Subflow: 1},                // no such packet
+		runtime.Action{Kind: runtime.ActionPop, Queue: runtime.QueueUnacked, Packet: 1}, // wrong queue
+		runtime.Action{Kind: runtime.ActionDrop, Packet: 9000},                          // no such packet
+	)
+	stripped := sup.validate(env, 0)
+	if stripped != 4 {
+		t.Errorf("stripped %d actions, want 4", stripped)
+	}
+	if len(env.Actions) != 1 || env.Actions[0] != valid {
+		t.Errorf("surviving actions %v, want only the valid push", env.Actions)
+	}
+}
+
+func TestWorkAvailable(t *testing.T) {
+	env := syntheticEnv()
+	if !workAvailable(env) {
+		t.Error("nonempty Q + cwnd headroom must report work available")
+	}
+	env.SubflowViews[0].Bools[runtime.SbfTSQThrottled] = true
+	if workAvailable(env) {
+		t.Error("TSQ-throttled subflow must not count as available")
+	}
+	env.SubflowViews[0].Bools[runtime.SbfTSQThrottled] = false
+	env.SubflowViews[0].Ints[runtime.SbfSkbsInFlight] = 10
+	if workAvailable(env) {
+		t.Error("exhausted cwnd must not count as available")
+	}
+}

@@ -1,0 +1,245 @@
+package mptcp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"progmp/internal/mptcp/sched"
+	"progmp/internal/netsim"
+)
+
+// Chaos scenario driver: the connection-level half of the fault-
+// injection harness. A ChaosScenario describes a hostile network (the
+// link-level injectors live in netsim's ChaosSpec); RunChaos executes
+// one seeded soak of a scheduler against it with the path manager and
+// conservation checker attached, so every run asserts the model's core
+// robustness claim — faults make a connection slow, never incorrect.
+
+// SubflowSpec is one subflow of a chaos scenario.
+type SubflowSpec struct {
+	Path    netsim.PathConfig
+	Backup  bool
+	StartAt time.Duration
+}
+
+// ChaosScenario is one reproducible fault pattern. Paths is a builder,
+// not a value, because loss models carry state (Gilbert-Elliott) and
+// every run needs a fresh instance.
+type ChaosScenario struct {
+	Name string
+	Desc string
+	// Paths builds fresh per-run subflow specs.
+	Paths func() []SubflowSpec
+	// Revive, when set, adds one more subflow established at ReviveAt —
+	// the revival half of a subflow-death scenario. The path manager
+	// tears the dead subflow down; this brings capacity back.
+	Revive   func() SubflowSpec
+	ReviveAt time.Duration
+	// SendBytes is the workload size (default 256 KiB).
+	SendBytes int
+	// Horizon bounds the virtual run time (default 300 s).
+	Horizon time.Duration
+}
+
+// ChaosResult summarizes one chaos run.
+type ChaosResult struct {
+	Scenario        string
+	Seed            int64
+	DeliveredBytes  int64
+	Segments        int64
+	FCT             time.Duration // flow completion time (0 when incomplete)
+	AllAcked        bool
+	ClosedByManager int // subflows the path manager tore down
+	Promotions      int
+}
+
+// RunChaos executes one seeded soak of the scenario. schedFn builds
+// the scheduler under test (nil means native MinRTT); a builder keeps
+// per-run scheduler state fresh. The returned error is the
+// conservation verdict: nil means every byte was delivered exactly
+// once, in order, and fully acknowledged within the horizon.
+func RunChaos(sc ChaosScenario, seed int64, schedFn func() Scheduler) (ChaosResult, error) {
+	res := ChaosResult{Scenario: sc.Name, Seed: seed}
+	if sc.Paths == nil {
+		return res, fmt.Errorf("chaos scenario %q has no paths", sc.Name)
+	}
+	sendBytes := sc.SendBytes
+	if sendBytes == 0 {
+		sendBytes = 256 << 10
+	}
+	horizon := sc.Horizon
+	if horizon == 0 {
+		horizon = 300 * time.Second
+	}
+
+	eng := netsim.NewEngine(seed)
+	conn := NewConn(eng, Config{})
+	for i, spec := range sc.Paths() {
+		link := netsim.NewLink(eng, spec.Path)
+		name := spec.Path.Name
+		if name == "" {
+			name = fmt.Sprintf("p%d", i)
+		}
+		if _, err := conn.AddSubflow(SubflowConfig{
+			Name:    name,
+			Link:    link,
+			Backup:  spec.Backup,
+			StartAt: spec.StartAt,
+		}); err != nil {
+			return res, err
+		}
+	}
+	if sc.Revive != nil {
+		spec := sc.Revive()
+		spec.StartAt = sc.ReviveAt
+		link := netsim.NewLink(eng, spec.Path)
+		if _, err := conn.AddSubflow(SubflowConfig{
+			Name:    spec.Path.Name,
+			Link:    link,
+			Backup:  spec.Backup,
+			StartAt: spec.StartAt,
+		}); err != nil {
+			return res, err
+		}
+	}
+	var s Scheduler
+	if schedFn != nil {
+		s = schedFn()
+	}
+	if s == nil {
+		s = sched.MinRTT{}
+	}
+	conn.SetScheduler(s)
+	pm := NewPathManager(conn, PathManagerConfig{PromoteBackupOnDeath: true})
+	chk := NewConservationChecker(conn)
+	conn.OnAllAcked(func() { res.FCT = eng.Now() })
+
+	eng.After(0, func() { conn.Send(sendBytes, 0) })
+	eng.RunUntil(horizon)
+	pm.Stop()
+
+	res.DeliveredBytes = chk.Bytes
+	res.Segments = chk.Segments
+	res.AllAcked = conn.AllAcked()
+	res.ClosedByManager = pm.ClosedByManager
+	res.Promotions = pm.Promotions
+	return res, chk.Check(int64(sendBytes))
+}
+
+// wifiPath is the chaotic-scenario baseline path: a moderate-rate,
+// moderate-delay link the injectors are layered onto.
+func wifiPath(name string, rate float64, delay time.Duration) netsim.PathConfig {
+	return netsim.PathConfig{Name: name, Rate: netsim.ConstantRate(rate), Delay: delay}
+}
+
+// ChaosScenarios is the scenario registry, keyed by name. Each covers
+// one fault family from the robustness matrix; "meltdown" combines
+// them all.
+var ChaosScenarios = map[string]ChaosScenario{
+	"bursty": {
+		Name: "bursty",
+		Desc: "Gilbert-Elliott bursty loss on both paths",
+		Paths: func() []SubflowSpec {
+			spec := func(name string, rate float64, delay time.Duration) SubflowSpec {
+				cs := netsim.ChaosSpec{Burst: &netsim.GilbertElliott{
+					PGood: 0.001, PBad: 0.3, PGoodToBad: 0.02, PBadToGood: 0.2,
+				}}
+				return SubflowSpec{Path: cs.Apply(wifiPath(name, 2e6, 10*time.Millisecond))}
+			}
+			return []SubflowSpec{spec("ge0", 2e6, 10*time.Millisecond), spec("ge1", 2e6, 25*time.Millisecond)}
+		},
+	},
+	"flap": {
+		Name: "flap",
+		Desc: "scheduled link flaps on the primary path",
+		Paths: func() []SubflowSpec {
+			flappy := netsim.ChaosSpec{Flap: &netsim.Flap{
+				FirstDownAt: 500 * time.Millisecond,
+				DownFor:     400 * time.Millisecond,
+				UpFor:       1600 * time.Millisecond,
+			}}
+			return []SubflowSpec{
+				{Path: flappy.Apply(wifiPath("flappy", 4e6, 8*time.Millisecond))},
+				{Path: wifiPath("steady", 1e6, 30*time.Millisecond)},
+			}
+		},
+		// Long enough that the transfer spans several down/up cycles.
+		SendBytes: 4 << 20,
+	},
+	"reorder": {
+		Name: "reorder",
+		Desc: "packet duplication, reordering and jitter on both paths",
+		Paths: func() []SubflowSpec {
+			noisy := netsim.ChaosSpec{
+				DupProb:     0.03,
+				ReorderProb: 0.05,
+				ReorderBy:   20 * time.Millisecond,
+				Jitter:      5 * time.Millisecond,
+			}
+			return []SubflowSpec{
+				{Path: noisy.Apply(wifiPath("noisy0", 3e6, 10*time.Millisecond))},
+				{Path: noisy.Apply(wifiPath("noisy1", 3e6, 20*time.Millisecond))},
+			}
+		},
+	},
+	"sbfdeath": {
+		Name: "sbfdeath",
+		Desc: "silent subflow death (blackout), path-manager teardown, later revival",
+		Paths: func() []SubflowSpec {
+			// The blackout hits while plenty of data is still queued, so
+			// the dying subflow has outstanding segments for the path
+			// manager's no-progress detector to observe.
+			dying := netsim.ChaosSpec{Blackout: &netsim.BlackoutLoss{From: 150 * time.Millisecond}}
+			return []SubflowSpec{
+				{Path: dying.Apply(wifiPath("dying", 6e6, 5*time.Millisecond))},
+				{Path: wifiPath("survivor", 1e6, 40*time.Millisecond), Backup: true},
+			}
+		},
+		Revive: func() SubflowSpec {
+			return SubflowSpec{Path: wifiPath("revived", 6e6, 5*time.Millisecond)}
+		},
+		ReviveAt:  8 * time.Second,
+		SendBytes: 2 << 20,
+	},
+	"meltdown": {
+		Name: "meltdown",
+		Desc: "bursty loss + flaps + reorder/duplication + subflow death, combined",
+		Paths: func() []SubflowSpec {
+			storm := netsim.ChaosSpec{
+				Burst: &netsim.GilbertElliott{
+					PGood: 0.002, PBad: 0.25, PGoodToBad: 0.01, PBadToGood: 0.3,
+				},
+				Flap: &netsim.Flap{
+					FirstDownAt: time.Second,
+					DownFor:     300 * time.Millisecond,
+					UpFor:       1700 * time.Millisecond,
+				},
+				DupProb:     0.02,
+				ReorderProb: 0.04,
+				Jitter:      4 * time.Millisecond,
+			}
+			dying := netsim.ChaosSpec{Blackout: &netsim.BlackoutLoss{From: 2 * time.Second}}
+			return []SubflowSpec{
+				{Path: storm.Apply(wifiPath("storm", 3e6, 12*time.Millisecond))},
+				{Path: dying.Apply(wifiPath("dying", 4e6, 6*time.Millisecond))},
+				{Path: wifiPath("steady", 800e3, 50*time.Millisecond), Backup: true},
+			}
+		},
+		Revive: func() SubflowSpec {
+			return SubflowSpec{Path: wifiPath("revived", 4e6, 6*time.Millisecond)}
+		},
+		ReviveAt:  10 * time.Second,
+		SendBytes: 4 << 20,
+	},
+}
+
+// ChaosScenarioNames returns the registry keys, sorted.
+func ChaosScenarioNames() []string {
+	names := make([]string, 0, len(ChaosScenarios))
+	for name := range ChaosScenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -187,6 +187,16 @@ func (c *Conn) Instrument(t *obs.Tracer, reg *obs.Registry) {
 // Tracer returns the attached tracer (nil when tracing is off).
 func (c *Conn) Tracer() *obs.Tracer { return c.tracer }
 
+// TraceConnID returns the connection id assigned by the attached tracer
+// (0 when tracing is off), so auxiliary instruments — e.g. a scheduler
+// supervisor — can label their events with the same identity.
+func (c *Conn) TraceConnID() int32 { return c.connID }
+
+// Kick triggers a scheduling pass outside the normal trigger model.
+// Supervision watchdogs use it to re-drive a connection whose scheduler
+// went quiet with work pending (no ACK clock left to trigger it).
+func (c *Conn) Kick() { c.schedule() }
+
 // Metrics returns the attached metrics registry (nil when off).
 func (c *Conn) Metrics() *obs.Registry { return c.metricsReg }
 

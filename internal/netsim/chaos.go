@@ -1,0 +1,118 @@
+package netsim
+
+import "time"
+
+// This file is the link-level half of the chaos fault-injection
+// harness: composable injectors — scheduled link flaps, bursty loss,
+// duplication, reordering, blackouts — that turn a clean PathConfig
+// into a hostile one. Everything draws randomness from the engine's
+// seeded RNG, so a chaos run is exactly reproducible from its seed.
+// The connection-level half (scenario drivers, the conservation
+// checker) lives in package mptcp, which owns the MPTCP model.
+
+// Flap is a scheduled down/up cycle: the link dies (rate 0, tail drop)
+// for DownFor, recovers for UpFor, and repeats. The first outage starts
+// at FirstDownAt.
+type Flap struct {
+	FirstDownAt time.Duration
+	DownFor     time.Duration
+	UpFor       time.Duration
+}
+
+// down reports whether the link is inside an outage window at the
+// given virtual time.
+func (f Flap) down(at time.Duration) bool {
+	if f.DownFor <= 0 || at < f.FirstDownAt {
+		return false
+	}
+	cycle := f.DownFor + f.UpFor
+	if cycle <= 0 {
+		return true // DownFor > 0, UpFor <= 0: down forever
+	}
+	return (at-f.FirstDownAt)%cycle < f.DownFor
+}
+
+// FlapRate wraps a rate function with the flap schedule: during an
+// outage the rate is 0 (the Path treats non-positive rates as a dead
+// link and tail-drops).
+func FlapRate(inner RateFunc, f Flap) RateFunc {
+	return func(at time.Duration) float64 {
+		if f.down(at) {
+			return 0
+		}
+		return inner(at)
+	}
+}
+
+// AnyLoss combines loss models: a packet is lost when any component
+// reports loss. Every component's Lost is evaluated on every packet so
+// stateful models (Gilbert-Elliott) advance consistently.
+func AnyLoss(models ...LossModel) LossModel { return anyLoss(models) }
+
+type anyLoss []LossModel
+
+func (a anyLoss) Lost(eng *Engine) bool {
+	lost := false
+	for _, m := range a {
+		if m.Lost(eng) {
+			lost = true
+		}
+	}
+	return lost
+}
+
+// ChaosSpec bundles the composable fault injectors for one path. The
+// zero value injects nothing; Apply layers the configured faults onto a
+// base PathConfig. Loss-model fields hold fresh state, so build a new
+// spec (or at least new model values) per run.
+type ChaosSpec struct {
+	// Burst adds Gilbert-Elliott bursty loss.
+	Burst *GilbertElliott
+	// Blackout adds a total loss window (the link keeps serializing).
+	Blackout *BlackoutLoss
+	// Flap schedules hard link outages (rate 0, tail drop).
+	Flap *Flap
+	// DupProb duplicates surviving packets with this probability.
+	DupProb float64
+	// ReorderProb delays surviving packets by ReorderBy with this
+	// probability, letting later packets overtake them.
+	ReorderProb float64
+	ReorderBy   time.Duration
+	// Jitter adds uniform random delivery delay.
+	Jitter time.Duration
+}
+
+// Apply layers the spec's faults onto cfg and returns the result.
+func (s ChaosSpec) Apply(cfg PathConfig) PathConfig {
+	var losses []LossModel
+	if cfg.Loss != nil {
+		losses = append(losses, cfg.Loss)
+	}
+	if s.Burst != nil {
+		losses = append(losses, s.Burst)
+	}
+	if s.Blackout != nil {
+		losses = append(losses, *s.Blackout)
+	}
+	switch len(losses) {
+	case 0:
+	case 1:
+		cfg.Loss = losses[0]
+	default:
+		cfg.Loss = AnyLoss(losses...)
+	}
+	if s.Flap != nil && cfg.Rate != nil {
+		cfg.Rate = FlapRate(cfg.Rate, *s.Flap)
+	}
+	if s.DupProb > 0 {
+		cfg.DupProb = s.DupProb
+	}
+	if s.ReorderProb > 0 {
+		cfg.ReorderProb = s.ReorderProb
+		cfg.ReorderBy = s.ReorderBy
+	}
+	if s.Jitter > 0 {
+		cfg.Jitter = s.Jitter
+	}
+	return cfg
+}

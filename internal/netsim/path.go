@@ -74,11 +74,18 @@ func (b BernoulliLoss) Lost(eng *Engine) bool { return eng.Rand().Float64() < b.
 // BlackoutLoss models a silent link death: from From onward every
 // packet is lost while the link still accepts and serializes traffic —
 // the "WiFi association silently gone" failure a path manager must
-// detect from missing acknowledgements.
-type BlackoutLoss struct{ From time.Duration }
+// detect from missing acknowledgements. A nonzero Until ends the
+// blackout (exclusive), modelling a radio outage that recovers.
+type BlackoutLoss struct {
+	From  time.Duration
+	Until time.Duration // 0 = the blackout never ends
+}
 
-// Lost drops everything once the blackout begins.
-func (b BlackoutLoss) Lost(eng *Engine) bool { return eng.Now() >= b.From }
+// Lost drops everything while the blackout lasts.
+func (b BlackoutLoss) Lost(eng *Engine) bool {
+	now := eng.Now()
+	return now >= b.From && (b.Until == 0 || now < b.Until)
+}
 
 // GilbertElliott is the classic two-state bursty loss model: in the
 // Good state packets drop with probability PGood, in the Bad state with
@@ -135,6 +142,16 @@ type PathConfig struct {
 	// losses across competing flows, the regime coupled congestion
 	// control is analysed in.
 	RED *REDConfig
+	// DupProb delivers each surviving packet a second time, DupDelay
+	// after the first copy (chaos: middlebox or retransmission-race
+	// duplication the receiver must suppress).
+	DupProb  float64
+	DupDelay time.Duration // default 2 ms
+	// ReorderProb delays a surviving packet by an extra ReorderBy, so
+	// later packets overtake it (chaos: severe reordering beyond what
+	// uniform Jitter produces).
+	ReorderProb float64
+	ReorderBy   time.Duration // default 4x the propagation delay
 }
 
 // REDConfig parameterizes Random Early Detection.
@@ -153,11 +170,13 @@ type Path struct {
 	busyUntil time.Duration
 
 	// Stats.
-	SentPackets    int
-	SentBytes      int64
-	DroppedQueue   int
-	DroppedLoss    int
-	DeliveredCount int
+	SentPackets     int
+	SentBytes       int64
+	DroppedQueue    int
+	DroppedLoss     int
+	DeliveredCount  int
+	DuplicatedCount int
+	ReorderedCount  int
 }
 
 // NewPath builds a path on the engine.
@@ -268,14 +287,31 @@ func (p *Path) SendTracked(size int, deliver, serialized func()) bool {
 	if p.cfg.Jitter > 0 {
 		arrival += time.Duration(p.eng.Rand().Int63n(int64(p.cfg.Jitter)))
 	}
-	p.eng.At(arrival, func() {
+	if p.cfg.ReorderProb > 0 && p.eng.Rand().Float64() < p.cfg.ReorderProb {
+		extra := p.cfg.ReorderBy
+		if extra <= 0 {
+			extra = 4 * delay
+		}
+		arrival += extra
+		p.ReorderedCount++
+	}
+	arrive := func() {
 		p.DeliveredCount++
 		if p.cfg.Next != nil {
 			p.cfg.Next.Send(size, deliver)
 			return
 		}
 		deliver()
-	})
+	}
+	p.eng.At(arrival, arrive)
+	if p.cfg.DupProb > 0 && p.eng.Rand().Float64() < p.cfg.DupProb {
+		dupDelay := p.cfg.DupDelay
+		if dupDelay <= 0 {
+			dupDelay = 2 * time.Millisecond
+		}
+		p.DuplicatedCount++
+		p.eng.At(arrival+dupDelay, arrive)
+	}
 	return true
 }
 

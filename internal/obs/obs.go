@@ -46,6 +46,14 @@ const (
 	EvSbfDown             // subflow closed (Sbf)
 	EvCwnd                // congestion window changed (Sbf; Aux = cwnd in milli-segments)
 	EvDeliver             // receiver delivered in-order data (Seq; Aux = bytes)
+	// Robustness events (package guard and the core fallback path).
+	EvSchedFallback   // generic-VM fallback execution itself failed (actions discarded)
+	EvGuardPanic      // supervised scheduler panicked (execution discarded)
+	EvGuardBadAction  // supervisor stripped invalid actions (Aux = count)
+	EvGuardStall      // stall strike: work available, no actions for K executions
+	EvGuardQuarantine // user scheduler quarantined (Aux = probation backoff in µs)
+	EvGuardProbe      // probation began: user scheduler on trial
+	EvGuardRestore    // user scheduler re-promoted after clean trials
 	numEventKinds
 )
 
@@ -65,6 +73,14 @@ var eventKindNames = [...]string{
 	EvSbfDown:   "SBF_DOWN",
 	EvCwnd:      "CWND",
 	EvDeliver:   "DELIVER",
+
+	EvSchedFallback:   "SCHED_FALLBACK",
+	EvGuardPanic:      "GUARD_PANIC",
+	EvGuardBadAction:  "GUARD_BAD_ACTION",
+	EvGuardStall:      "GUARD_STALL",
+	EvGuardQuarantine: "GUARD_QUARANTINE",
+	EvGuardProbe:      "GUARD_PROBE",
+	EvGuardRestore:    "GUARD_RESTORE",
 }
 
 // String names the event kind as spelled in trace output.

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"progmp/internal/core"
+	"progmp/internal/guard"
 	"progmp/internal/lang"
 	"progmp/internal/lang/types"
 	"progmp/internal/mptcp"
@@ -183,6 +184,13 @@ func (n *Network) RunAll() { n.eng.Run() }
 type Conn struct {
 	inner *mptcp.Conn
 	net   *Network
+	// sched is the last core scheduler installed via SetScheduler (nil
+	// when a raw mptcp.Scheduler or a supervisor wrapper is in place);
+	// kept so Instrument can attach fault tracing in either call order.
+	sched *core.Scheduler
+	// sup is the supervisor installed by Supervise (nil when
+	// unsupervised).
+	sup *guard.Supervisor
 }
 
 // Dial creates a connection with one subflow per path.
@@ -240,8 +248,16 @@ func (n *Network) Dial(cfg ConnConfig, paths ...Path) (*Conn, error) {
 }
 
 // SetScheduler installs a loaded scheduler on the connection
-// (per-connection scheduler choice, §3.2).
-func (c *Conn) SetScheduler(s *Scheduler) { c.inner.SetScheduler(s) }
+// (per-connection scheduler choice, §3.2). It replaces any supervisor
+// installed by Supervise.
+func (c *Conn) SetScheduler(s *Scheduler) {
+	c.sched = s
+	c.sup = nil
+	c.inner.SetScheduler(s)
+	if t := c.inner.Tracer(); t != nil && s != nil {
+		s.InstrumentTrace(t, c.net.eng.Now)
+	}
+}
 
 // SetRegister writes scheduler register i (R1..R8) — the application's
 // channel for scheduling intents such as target bitrates or
@@ -373,11 +389,19 @@ func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
 
 // Instrument attaches a tracer and/or a metrics registry to the
 // connection. Either may be nil; call it before traffic starts. The
-// registry also receives the simulation engine's event metrics.
+// registry also receives the simulation engine's event metrics, the
+// installed scheduler's fault tracing, and — when the connection is
+// supervised — the supervisor's transition events and metrics.
 func (c *Conn) Instrument(t *Tracer, m *Metrics) {
 	c.inner.Instrument(t, m)
 	if m != nil {
 		c.net.eng.Instrument(m)
+	}
+	if c.sched != nil && t != nil {
+		c.sched.InstrumentTrace(t, c.net.eng.Now)
+	}
+	if c.sup != nil {
+		c.sup.Instrument(t, c.inner.TraceConnID(), m)
 	}
 }
 
@@ -390,3 +414,94 @@ func (c *Conn) Metrics() *Metrics { return c.inner.Metrics() }
 // MetricsReport renders the connection's metrics registry as a
 // proc-style text page ("" when no registry is attached).
 func (c *Conn) MetricsReport() string { return c.inner.Metrics().Render() }
+
+// ---- Scheduler supervision (graceful degradation) ----
+
+// Supervisor wraps a scheduler with panic recovery, action validation,
+// stall detection and graceful degradation to a trusted fallback; see
+// internal/guard and docs/ROBUSTNESS.md.
+type Supervisor = guard.Supervisor
+
+// SupervisorConfig tunes a Supervisor. The zero value uses the
+// defaults: native MinRTT fallback, three strikes, 500 ms first
+// quarantine doubling to 30 s. The Now/After/Wake hooks are wired by
+// Conn.Supervise; leave them unset.
+type SupervisorConfig = guard.Config
+
+// SupervisorState is the supervision state machine position.
+type SupervisorState = guard.State
+
+// The supervision states.
+const (
+	SupervisorActive      = guard.StateActive
+	SupervisorQuarantined = guard.StateQuarantined
+	SupervisorProbation   = guard.StateProbation
+)
+
+// SchedulerExec is the minimal scheduler execution interface Supervise
+// accepts: loaded ProgMP programs (*Scheduler) and native Go
+// schedulers alike.
+type SchedulerExec = guard.Scheduler
+
+// Supervise installs s under supervision: panics are recovered,
+// invalid actions stripped, stalls detected, and on repeated strikes
+// the connection degrades to the fallback scheduler (native MinRTT by
+// default) with exponential-backoff probation. The supervisor's clock,
+// watchdog and wake hooks are wired to the simulated network. Call
+// after Instrument (or call Instrument later — either order works) so
+// transitions are traced.
+func (c *Conn) Supervise(s SchedulerExec, cfg SupervisorConfig) *Supervisor {
+	cfg.Now = c.net.eng.Now
+	cfg.After = func(d time.Duration, fn func()) { c.net.eng.After(d, fn) }
+	cfg.Wake = c.inner.Kick
+	sup := guard.New(s, cfg)
+	if cs, ok := s.(*core.Scheduler); ok {
+		c.sched = cs
+		if t := c.inner.Tracer(); t != nil {
+			cs.InstrumentTrace(t, c.net.eng.Now)
+		}
+	} else {
+		c.sched = nil
+	}
+	c.sup = sup
+	c.inner.SetScheduler(sup)
+	if t, m := c.inner.Tracer(), c.inner.Metrics(); t != nil || m != nil {
+		sup.Instrument(t, c.inner.TraceConnID(), m)
+	}
+	return sup
+}
+
+// Supervisor returns the supervisor installed by Supervise (nil when
+// the connection is unsupervised).
+func (c *Conn) Supervisor() *Supervisor { return c.sup }
+
+// ---- Chaos fault-injection harness ----
+
+// ChaosResult summarizes one chaos soak run.
+type ChaosResult = mptcp.ChaosResult
+
+// ChaosScenarioNames lists the built-in chaos scenarios, sorted:
+// bursty loss, link flaps, reorder/duplication, subflow death with
+// revival, and the combined meltdown.
+func ChaosScenarioNames() []string { return mptcp.ChaosScenarioNames() }
+
+// ChaosScenarioDesc returns the one-line description of a scenario
+// ("" for unknown names).
+func ChaosScenarioDesc(name string) string { return mptcp.ChaosScenarios[name].Desc }
+
+// RunChaos executes one seeded soak of the named chaos scenario with
+// the given scheduler (nil: the native MinRTT reference scheduler) and
+// returns the conservation verdict: a nil error means every byte was
+// delivered exactly once, in order, and fully acknowledged.
+func RunChaos(scenario string, seed int64, s *Scheduler) (ChaosResult, error) {
+	sc, ok := mptcp.ChaosScenarios[scenario]
+	if !ok {
+		return ChaosResult{}, fmt.Errorf("progmp: unknown chaos scenario %q (have %v)",
+			scenario, ChaosScenarioNames())
+	}
+	var fn func() mptcp.Scheduler
+	if s != nil {
+		fn = func() mptcp.Scheduler { return s }
+	}
+	return mptcp.RunChaos(sc, seed, fn)
+}
