@@ -13,17 +13,26 @@
 //
 //	mpsim -chaos meltdown -seed 7 -scheduler redundant
 //	mpsim -chaos all -seed 42
+//
+// With -ctl the run is paced against the wall clock and serves the
+// control plane on a socket, so a second terminal can steer it while
+// it progresses (see docs/CONTROL.md and cmd/progmpctl):
+//
+//	mpsim -ctl /tmp/mpsim.sock -pace 1 -send 50000000 -duration 5m &
+//	progmpctl -s /tmp/mpsim.sock swap redundant
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"progmp"
+	"progmp/internal/ctl"
 )
 
 type pathFlags []progmp.Path
@@ -77,6 +86,8 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
 	guard := flag.Bool("guard", false, "supervise the scheduler (panic recovery, validation, degradation)")
 	chaos := flag.String("chaos", "", "run a chaos soak instead: scenario name or \"all\" (see -chaos list)")
+	ctlAddr := flag.String("ctl", "", "serve the control plane on ADDR (a Unix socket path, or host:port for TCP) and run live")
+	pace := flag.Float64("pace", 0, "live pacing with -ctl: virtual seconds per wall second (1 = real time, 0 = real time default, <0 = unpaced)")
 	flag.Var(&paths, "path", "path spec name:rateBps:delay:loss:pref|backup (repeatable)")
 	flag.Parse()
 
@@ -87,7 +98,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scheduler, *backend, *send, *prop, *seed, *duration, *reg1, *cc, *pathmgr, *trace, *metrics, *guard, paths); err != nil {
+	if err := run(*scheduler, *backend, *send, *prop, *seed, *duration, *reg1, *cc, *pathmgr, *trace, *metrics, *guard, *ctlAddr, *pace, paths); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsim:", err)
 		os.Exit(1)
 	}
@@ -153,7 +164,7 @@ func runChaos(scenario string, seed int64, scheduler, backend string) error {
 	return nil
 }
 
-func run(scheduler, backend string, send int, prop, seed int64, duration time.Duration, reg1 int64, cc string, pathmgr bool, trace string, metrics, guard bool, paths pathFlags) error {
+func run(scheduler, backend string, send int, prop, seed int64, duration time.Duration, reg1 int64, cc string, pathmgr bool, trace string, metrics, guard bool, ctlAddr string, pace float64, paths pathFlags) error {
 	sched, err := loadScheduler(scheduler, backend)
 	if err != nil {
 		return err
@@ -164,8 +175,8 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 			{Name: "lte", RateBps: 8e6, OneWayDelay: 20 * time.Millisecond, Backup: true},
 		}
 	}
-	net := progmp.NewNetwork(seed)
-	conn, err := net.Dial(progmp.ConnConfig{CongestionControl: cc}, paths...)
+	nw := progmp.NewNetwork(seed)
+	conn, err := nw.Dial(progmp.ConnConfig{CongestionControl: cc}, paths...)
 	if err != nil {
 		return err
 	}
@@ -177,10 +188,11 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 	}
 	var tracer *progmp.Tracer
 	var reg *progmp.Metrics
-	if trace != "" {
+	if trace != "" || ctlAddr != "" {
+		// The control plane needs a tracer for its subscribe verb.
 		tracer = progmp.NewTracer(0)
 	}
-	if metrics {
+	if metrics || ctlAddr != "" {
 		reg = progmp.NewMetrics()
 	}
 	if tracer != nil || reg != nil {
@@ -200,8 +212,14 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 			fct = at
 		}
 	})
-	net.At(0, func() { conn.SendWithIntent(send, prop) })
-	net.Run(duration)
+	nw.At(0, func() { conn.SendWithIntent(send, prop) })
+	if ctlAddr != "" {
+		if err := runWithControlPlane(nw, conn, tracer, reg, ctlAddr, pace, duration); err != nil {
+			return err
+		}
+	} else {
+		nw.Run(duration)
+	}
 
 	fmt.Printf("scheduler       %s (%s backend)\n", scheduler, backend)
 	fmt.Printf("transferred     %d / %d bytes\n", delivered, send)
@@ -220,7 +238,7 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		fmt.Printf("guard           state=%v strikes=%d panics=%d violations=%d stalls=%d quarantines=%d restores=%d\n",
 			sup.State(), sup.Strikes(), sup.Panics, sup.Violations, sup.Stalls, sup.Quarantines, sup.Restores)
 	}
-	if tracer != nil {
+	if tracer != nil && trace != "" {
 		f, err := os.Create(trace)
 		if err != nil {
 			return err
@@ -234,8 +252,38 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		}
 		fmt.Printf("trace           %s (%d events, %d overwritten)\n", trace, len(tracer.Events()), tracer.Dropped())
 	}
-	if reg != nil {
+	if reg != nil && metrics {
 		fmt.Print(reg.Render())
+	}
+	return nil
+}
+
+// runWithControlPlane drives the scenario with RunLive while a ctl
+// server on addr lets a second process (progmpctl) steer it.
+func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, tracer *progmp.Tracer, reg *progmp.Metrics, addr string, pace float64, duration time.Duration) error {
+	network := "unix"
+	if !strings.Contains(addr, "/") && strings.Contains(addr, ":") {
+		network = "tcp"
+	}
+	if network == "unix" {
+		os.Remove(addr) // a stale socket file from a previous run
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return err
+	}
+	srv := ctl.NewServer(ctl.Options{Network: nw, Tracer: tracer, Metrics: reg})
+	srv.Register("mpsim", conn)
+	go srv.Serve(ln)
+	if pace == 0 {
+		pace = 1 // real time, so there is something to steer
+	}
+	fmt.Printf("control plane   %s://%s (pace %gx)\n", network, addr, pace)
+	nw.RunLive(duration, pace)
+	nw.StopLive()
+	srv.Close()
+	if network == "unix" {
+		os.Remove(addr)
 	}
 	return nil
 }

@@ -1,0 +1,327 @@
+// Command progmpctl drives the ProgMP control plane of a live
+// simulation (a process running with `mpsim -ctl`, or any embedder of
+// internal/ctl): the out-of-process face of the paper's userspace
+// library. It lists connections, compiles and hot-swaps schedulers,
+// reads and writes registers, triggers sends, snapshots metrics, and
+// streams live decision-trace events.
+//
+// Usage:
+//
+//	progmpctl [-s ADDR] [-conn N] <command> [args]
+//
+//	ping                         server liveness + virtual clock
+//	list                         connections, schedulers, registers, subflows
+//	schedulers                   names available to compile and swap
+//	compile <name|file> [backend]  verify + compile without installing
+//	swap    <name|file> [backend]  hot-swap the connection's scheduler
+//	getreg  <R1..R8|idx>         read a scheduler register
+//	setreg  <R1..R8|idx> <value> write a scheduler register
+//	send    <bytes> [prop]       enqueue bytes with a scheduling intent
+//	metrics                      metrics registry snapshot
+//	watch   [kinds...]           stream trace events as JSONL (ctrl-C to stop)
+//
+// ADDR is a Unix socket path (default /tmp/progmp.sock) or host:port
+// for TCP. -conn selects the target connection from `list` (default 1).
+//
+// Example against a live mpsim (second terminal):
+//
+//	mpsim -ctl /tmp/mpsim.sock -send 50000000 -duration 5m
+//	progmpctl -s /tmp/mpsim.sock list
+//	progmpctl -s /tmp/mpsim.sock setreg R1 4000000
+//	progmpctl -s /tmp/mpsim.sock swap redundant
+//	progmpctl -s /tmp/mpsim.sock watch SCHED_SWAP QUARANTINE
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"progmp"
+	"progmp/internal/ctl"
+)
+
+func main() {
+	addr := flag.String("s", "/tmp/progmp.sock", "server address: Unix socket path or host:port")
+	connID := flag.Int("conn", 1, "target connection id (see list)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: progmpctl [-s ADDR] [-conn N] <command> [args]\n")
+		fmt.Fprintf(os.Stderr, "commands: ping list schedulers compile swap getreg setreg send metrics watch\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, *connID, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "progmpctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, connID int, args []string) error {
+	network := "unix"
+	if !strings.Contains(addr, "/") && strings.Contains(addr, ":") {
+		network = "tcp"
+	}
+	c, err := ctl.Dial(network, addr)
+	if err != nil {
+		return fmt.Errorf("connecting to %s://%s: %w", network, addr, err)
+	}
+	defer c.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ping":
+		res, err := c.Ping()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok, virtual time %v\n", time.Duration(res.NowUS)*time.Microsecond)
+		return nil
+	case "list":
+		res, err := c.List()
+		if err != nil {
+			return err
+		}
+		printList(res)
+		return nil
+	case "schedulers":
+		names, err := c.Schedulers()
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			fmt.Println(name)
+		}
+		return nil
+	case "compile":
+		name, src, backend, err := programArgs(rest)
+		if err != nil {
+			return err
+		}
+		res, err := c.Compile(name, src, backend)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok: %s on %s backend, %d bytes resident\n", res.Name, res.Backend, res.MemoryBytes)
+		return nil
+	case "swap":
+		name, src, backend, err := programArgs(rest)
+		if err != nil {
+			return err
+		}
+		res, err := c.Swap(connID, name, src, backend)
+		if err != nil {
+			return err
+		}
+		state := ""
+		if res.Supervised {
+			state = " (supervised)"
+		}
+		fmt.Printf("conn %d: %s -> %s on %s backend%s\n",
+			res.Conn, res.PrevScheduler, res.Scheduler, res.Backend, state)
+		return nil
+	case "getreg":
+		if len(rest) != 1 {
+			return fmt.Errorf("getreg <R1..R8|index>")
+		}
+		reg, err := parseReg(rest[0])
+		if err != nil {
+			return err
+		}
+		v, err := c.GetReg(connID, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("R%d = %d\n", reg+1, v)
+		return nil
+	case "setreg":
+		if len(rest) != 2 {
+			return fmt.Errorf("setreg <R1..R8|index> <value>")
+		}
+		reg, err := parseReg(rest[0])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: %v", rest[1], err)
+		}
+		if err := c.SetReg(connID, reg, v); err != nil {
+			return err
+		}
+		fmt.Printf("R%d = %d\n", reg+1, v)
+		return nil
+	case "send":
+		if len(rest) < 1 || len(rest) > 2 {
+			return fmt.Errorf("send <bytes> [prop]")
+		}
+		n, err := strconv.Atoi(rest[0])
+		if err != nil {
+			return fmt.Errorf("bad byte count %q: %v", rest[0], err)
+		}
+		var prop int64
+		if len(rest) == 2 {
+			if prop, err = strconv.ParseInt(rest[1], 10, 64); err != nil {
+				return fmt.Errorf("bad prop %q: %v", rest[1], err)
+			}
+		}
+		if err := c.Send(connID, n, prop); err != nil {
+			return err
+		}
+		fmt.Printf("queued %d bytes (prop %d)\n", n, prop)
+		return nil
+	case "metrics":
+		snap, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		printMetrics(snap)
+		return nil
+	case "watch":
+		return watch(c, connID, rest)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// programArgs resolves "<name|file> [backend]" for compile and swap: a
+// built-in corpus name is passed by name, anything else is read as a
+// source file and sent inline.
+func programArgs(rest []string) (name, src, backend string, err error) {
+	if len(rest) < 1 || len(rest) > 2 {
+		return "", "", "", fmt.Errorf("want <name|file> [backend]")
+	}
+	if len(rest) == 2 {
+		backend = rest[1]
+	}
+	if _, ok := progmp.Schedulers[rest[0]]; ok {
+		return rest[0], "", backend, nil
+	}
+	data, err := os.ReadFile(rest[0])
+	if err != nil {
+		return "", "", "", fmt.Errorf("%q is neither a built-in scheduler nor a readable file: %v", rest[0], err)
+	}
+	name = strings.TrimSuffix(rest[0], ".progmp")
+	return name, string(data), backend, nil
+}
+
+// parseReg accepts the language spelling (R1..R8) or a 0-based index.
+func parseReg(s string) (int, error) {
+	up := strings.ToUpper(s)
+	if strings.HasPrefix(up, "R") {
+		n, err := strconv.Atoi(up[1:])
+		if err != nil || n < 1 || n > 8 {
+			return 0, fmt.Errorf("bad register %q (want R1..R8)", s)
+		}
+		return n - 1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q (want R1..R8 or an index)", s)
+	}
+	return n, nil
+}
+
+func printList(res ctl.ListResult) {
+	for _, ci := range res.Conns {
+		sched := ci.Scheduler
+		if ci.Backend != "" {
+			sched += " (" + ci.Backend + ")"
+		}
+		if ci.Supervised {
+			sched += " guarded:" + ci.GuardState
+		}
+		fmt.Printf("conn %d %-10s sched=%s queued=%d unacked=%d allAcked=%v\n",
+			ci.ID, ci.Name, sched, ci.QueuedSegs, ci.UnackedSegs, ci.AllAcked)
+		var regs []string
+		for i, v := range ci.Registers {
+			if v != 0 {
+				regs = append(regs, fmt.Sprintf("R%d=%d", i+1, v))
+			}
+		}
+		if len(regs) > 0 {
+			fmt.Printf("  registers %s\n", strings.Join(regs, " "))
+		}
+		for _, sf := range ci.Subflows {
+			state := "established"
+			switch {
+			case sf.Closed:
+				state = "closed"
+			case !sf.Established:
+				state = "connecting"
+			}
+			if sf.Backup {
+				state += ",backup"
+			}
+			fmt.Printf("  %-8s %-18s srtt=%-8v cwnd=%-6.1f sent=%d pkts=%d retx=%d tput=%dB/s\n",
+				sf.Name, state, time.Duration(sf.SRTTUS)*time.Microsecond,
+				sf.Cwnd, sf.BytesSent, sf.PktsSent, sf.Retransmissions, sf.ThroughputBps)
+		}
+	}
+}
+
+func printMetrics(snap ctl.MetricsResult) {
+	var names []string
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("counter %-40s %d\n", name, snap.Counters[name])
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("gauge   %-40s %d\n", name, snap.Gauges[name])
+	}
+	names = names[:0]
+	for name := range snap.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Hists[name]
+		fmt.Printf("hist    %-40s count=%d mean=%.1f p50=%d p99=%d\n",
+			name, h.Count, h.Mean, h.P50, h.P99)
+	}
+}
+
+// watch streams trace events as JSONL until interrupted.
+func watch(c *ctl.Client, connID int, kinds []string) error {
+	stream, err := c.Subscribe(connID, kinds, 0)
+	if err != nil {
+		return err
+	}
+	defer stream.Close()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	enc := json.NewEncoder(os.Stdout)
+	for {
+		select {
+		case ev, ok := <-stream.Events():
+			if !ok {
+				return nil
+			}
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+		case <-sig:
+			if n := stream.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "progmpctl: %d events dropped\n", n)
+			}
+			return nil
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package ctl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"progmp/internal/obs"
+)
+
+// Client speaks the control-plane protocol to a Server. It is safe for
+// concurrent use; calls may be issued from any goroutine and are
+// demultiplexed by request id.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes request lines
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan Response
+	subs    map[uint64]*Stream
+	readErr error
+	done    chan struct{}
+}
+
+// Dial connects to a control-plane server ("unix" + socket path, or
+// "tcp" + host:port).
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		pending: map[uint64]chan Response{},
+		subs:    map[uint64]*Stream{},
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close disconnects; in-flight calls fail and streams end.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	var readErr error
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			readErr = fmt.Errorf("ctl: malformed response: %v", err)
+			break
+		}
+		c.route(resp)
+	}
+	if readErr == nil {
+		if err := sc.Err(); err != nil {
+			readErr = err
+		} else {
+			readErr = fmt.Errorf("ctl: connection closed")
+		}
+	}
+	c.mu.Lock()
+	c.readErr = readErr
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	for id, st := range c.subs {
+		delete(c.subs, id)
+		close(st.ch)
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+func (c *Client) route(resp Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if resp.Event != nil {
+		if st, ok := c.subs[resp.ID]; ok {
+			select {
+			case st.ch <- *resp.Event:
+			default:
+				st.dropped.Add(1)
+			}
+		}
+		return
+	}
+	if ch, ok := c.pending[resp.ID]; ok {
+		delete(c.pending, resp.ID)
+		ch <- resp
+	}
+}
+
+// Call sends req (its ID is assigned here) and waits for the matching
+// response, returning the raw result or the server's error.
+func (c *Client) Call(req Request) (json.RawMessage, error) {
+	req.ID = c.nextID.Add(1)
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+	if err := c.writeRequest(req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("ctl: %s", resp.Error)
+	}
+	return resp.Result, nil
+}
+
+func (c *Client) writeRequest(req Request) error {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err = c.conn.Write(buf)
+	return err
+}
+
+func (c *Client) call(req Request, out any) error {
+	raw, err := c.Call(req)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Ping returns the server's virtual clock.
+func (c *Client) Ping() (PingResult, error) {
+	var out PingResult
+	err := c.call(Request{Verb: VerbPing}, &out)
+	return out, err
+}
+
+// List returns the registered connections with their scheduler,
+// registers, and subflow stats.
+func (c *Client) List() (ListResult, error) {
+	var out ListResult
+	err := c.call(Request{Verb: VerbList}, &out)
+	return out, err
+}
+
+// Schedulers returns the names compile and swap accept.
+func (c *Client) Schedulers() ([]string, error) {
+	var out SchedulersResult
+	err := c.call(Request{Verb: VerbSchedulers}, &out)
+	return out.Names, err
+}
+
+// Compile verifies and compiles a scheduler without installing it.
+// Either name (corpus lookup) or src (inline program) must be set.
+func (c *Client) Compile(name, src, backend string) (CompileResult, error) {
+	var out CompileResult
+	err := c.call(Request{Verb: VerbCompile, Name: name, Src: src, Backend: backend}, &out)
+	return out, err
+}
+
+// Swap hot-swaps the scheduler of connection conn (0 = first).
+func (c *Client) Swap(conn int, name, src, backend string) (SwapResult, error) {
+	var out SwapResult
+	err := c.call(Request{Verb: VerbSwap, Conn: conn, Name: name, Src: src, Backend: backend}, &out)
+	return out, err
+}
+
+// GetReg reads scheduler register reg of connection conn.
+func (c *Client) GetReg(conn, reg int) (int64, error) {
+	var out RegResult
+	err := c.call(Request{Verb: VerbGetReg, Conn: conn, Reg: reg}, &out)
+	return out.Value, err
+}
+
+// SetReg writes scheduler register reg of connection conn.
+func (c *Client) SetReg(conn, reg int, value int64) error {
+	return c.call(Request{Verb: VerbSetReg, Conn: conn, Reg: reg, Value: value}, nil)
+}
+
+// Send enqueues bytes on connection conn with scheduling intent prop.
+func (c *Client) Send(conn, bytes int, prop int64) error {
+	return c.call(Request{Verb: VerbSend, Conn: conn, Bytes: bytes, Prop: prop}, nil)
+}
+
+// Metrics snapshots the server's metrics registry.
+func (c *Client) Metrics() (MetricsResult, error) {
+	var out MetricsResult
+	err := c.call(Request{Verb: VerbMetrics}, &out)
+	return out, err
+}
+
+// Stream is a live trace-event subscription. Drain Events promptly:
+// frames arriving while the local buffer is full are dropped (counted
+// by Dropped), independent of the server-side subscription buffer.
+type Stream struct {
+	c       *Client
+	id      uint64
+	ch      chan obs.JSONLEvent
+	dropped atomic.Uint64
+	closed  sync.Once
+}
+
+// Events is the stream of trace frames; it closes when the stream or
+// the client shuts down.
+func (s *Stream) Events() <-chan obs.JSONLEvent { return s.ch }
+
+// Dropped counts frames discarded client-side because Events was not
+// drained fast enough.
+func (s *Stream) Dropped() uint64 { return s.dropped.Load() }
+
+// Close ends the subscription.
+func (s *Stream) Close() error {
+	var err error
+	s.closed.Do(func() {
+		s.c.mu.Lock()
+		_, live := s.c.subs[s.id]
+		if live {
+			delete(s.c.subs, s.id)
+			close(s.ch)
+		}
+		s.c.mu.Unlock()
+		if live {
+			err = s.c.call(Request{Verb: VerbUnsubscribe, Sub: s.id}, nil)
+		}
+	})
+	return err
+}
+
+// Subscribe opens a live trace-event stream. conn filters to one
+// connection (0 = all), kinds filters by event name as spelled in
+// trace output (nil = all), buf sizes both the server-side and local
+// buffers (<= 0 selects the default).
+func (c *Client) Subscribe(conn int, kinds []string, buf int) (*Stream, error) {
+	if buf <= 0 {
+		buf = obs.DefaultSubscriptionBuffer
+	}
+	req := Request{Verb: VerbSubscribe, Conn: conn, Kinds: kinds, Buf: buf}
+	req.ID = c.nextID.Add(1)
+	st := &Stream{c: c, id: req.ID, ch: make(chan obs.JSONLEvent, buf)}
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[req.ID] = ch
+	// Register the stream before sending so no frame between the ack
+	// and our return is lost.
+	c.subs[req.ID] = st
+	c.mu.Unlock()
+	fail := func() {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		if _, live := c.subs[req.ID]; live {
+			delete(c.subs, req.ID)
+			close(st.ch)
+		}
+		c.mu.Unlock()
+	}
+	if err := c.writeRequest(req); err != nil {
+		fail()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	if !resp.OK {
+		fail()
+		return nil, fmt.Errorf("ctl: %s", resp.Error)
+	}
+	return st, nil
+}

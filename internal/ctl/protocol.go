@@ -1,0 +1,153 @@
+// Package ctl is the out-of-process control plane for the extended
+// scheduling API (§3.2, §5 of the paper): a newline-delimited-JSON RPC
+// protocol served over a Unix or TCP socket by any process embedding
+// the progmp library, a Go client, and — in cmd/progmpctl — a CLI
+// playing the role of the paper's Python userspace library. It turns
+// the in-process API (pick a scheduler per connection, set registers,
+// attach per-packet properties) into a runtime channel a separate
+// process can drive: list live connections, compile and verify
+// scheduler programs, hot-swap the scheduler of a running transfer,
+// read and write registers, trigger sends, snapshot metrics, and
+// subscribe to the live decision-trace stream.
+//
+// Wire format: one JSON object per line in each direction. Requests
+// carry a caller-chosen id; every response echoes it, so requests may
+// be pipelined. A subscription (verb "subscribe") acknowledges like
+// any call and then streams event frames — responses whose "event"
+// field is set — under the same id until "unsubscribe" or disconnect.
+//
+// Threading: the simulated network is single-threaded, so every
+// operation that touches connection state executes as a closure
+// injected into the live simulation loop (progmp.Network.Do); the
+// protocol layer never reaches into the data path concurrently.
+package ctl
+
+import (
+	"encoding/json"
+
+	"progmp/internal/obs"
+)
+
+// The protocol verbs.
+const (
+	VerbPing        = "ping"        // liveness + virtual clock
+	VerbList        = "list"        // connections with scheduler, registers, subflow stats
+	VerbSchedulers  = "schedulers"  // named scheduler corpus available to compile/swap
+	VerbCompile     = "compile"     // parse + type-check + compile, without installing
+	VerbSwap        = "swap"        // hot-swap a verified scheduler on a live connection
+	VerbGetReg      = "getreg"      // read a scheduler register
+	VerbSetReg      = "setreg"      // write a scheduler register
+	VerbSend        = "send"        // enqueue bytes, optionally with a scheduling intent
+	VerbMetrics     = "metrics"     // snapshot a connection's metrics registry
+	VerbSubscribe   = "subscribe"   // stream live trace events
+	VerbUnsubscribe = "unsubscribe" // end a subscription
+)
+
+// Request is one client→server line. Verbs read only the fields they
+// need: Conn names a registered connection (list order, 1-based);
+// Name/Src/Backend select and compile a scheduler program (Src wins
+// over Name; Backend defaults to "vm"); Reg/Value address a register;
+// Bytes/Prop describe a send; Sub names the subscription to cancel;
+// Kinds/Buf tune a subscription (event-kind filter as spelled in trace
+// output, and the server-side buffer in events).
+type Request struct {
+	ID      uint64   `json:"id"`
+	Verb    string   `json:"verb"`
+	Conn    int      `json:"conn,omitempty"`
+	Name    string   `json:"name,omitempty"`
+	Src     string   `json:"src,omitempty"`
+	Backend string   `json:"backend,omitempty"`
+	Reg     int      `json:"reg,omitempty"`
+	Value   int64    `json:"value,omitempty"`
+	Bytes   int      `json:"bytes,omitempty"`
+	Prop    int64    `json:"prop,omitempty"`
+	Sub     uint64   `json:"sub,omitempty"`
+	Kinds   []string `json:"kinds,omitempty"`
+	Buf     int      `json:"buf,omitempty"`
+}
+
+// Response is one server→client line: a call result (Result set on
+// success, Error on failure) or a subscription event frame (Event
+// set), both echoing the request id.
+type Response struct {
+	ID     uint64          `json:"id"`
+	OK     bool            `json:"ok"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Event  *obs.JSONLEvent `json:"event,omitempty"`
+}
+
+// PingResult answers VerbPing.
+type PingResult struct {
+	NowUS int64 `json:"now_us"` // virtual time of the simulation
+}
+
+// SubflowInfo is one subflow's monitoring snapshot.
+type SubflowInfo struct {
+	Name            string  `json:"name"`
+	Established     bool    `json:"established"`
+	Closed          bool    `json:"closed"`
+	Backup          bool    `json:"backup"`
+	SRTTUS          int64   `json:"srtt_us"`
+	Cwnd            float64 `json:"cwnd"`
+	BytesSent       int64   `json:"bytes_sent"`
+	PktsSent        int64   `json:"pkts_sent"`
+	Retransmissions int64   `json:"retransmissions"`
+	ThroughputBps   int64   `json:"throughput_bps"`
+}
+
+// ConnInfo is one connection's monitoring snapshot.
+type ConnInfo struct {
+	ID          int           `json:"id"`
+	Name        string        `json:"name"`
+	Scheduler   string        `json:"scheduler"`
+	Backend     string        `json:"backend,omitempty"`
+	Supervised  bool          `json:"supervised"`
+	GuardState  string        `json:"guard_state,omitempty"`
+	Registers   []int64       `json:"registers"`
+	QueuedSegs  int           `json:"queued_segments"`
+	UnackedSegs int           `json:"unacked_segments"`
+	AllAcked    bool          `json:"all_acked"`
+	Subflows    []SubflowInfo `json:"subflows"`
+}
+
+// ListResult answers VerbList.
+type ListResult struct {
+	Conns []ConnInfo `json:"conns"`
+}
+
+// SchedulersResult answers VerbSchedulers.
+type SchedulersResult struct {
+	Names []string `json:"names"`
+}
+
+// CompileResult answers VerbCompile (and rides inside SwapResult).
+type CompileResult struct {
+	Name        string `json:"name"`
+	Backend     string `json:"backend"`
+	MemoryBytes int    `json:"memory_bytes"`
+}
+
+// SwapResult answers VerbSwap.
+type SwapResult struct {
+	Conn          int    `json:"conn"`
+	Scheduler     string `json:"scheduler"`
+	Backend       string `json:"backend"`
+	Supervised    bool   `json:"supervised"`
+	PrevScheduler string `json:"prev_scheduler"`
+}
+
+// RegResult answers VerbGetReg and VerbSetReg.
+type RegResult struct {
+	Reg   int   `json:"reg"`
+	Value int64 `json:"value"`
+}
+
+// SubscribeResult acknowledges VerbSubscribe; Sub is the id to pass to
+// VerbUnsubscribe (the subscribe request's own id).
+type SubscribeResult struct {
+	Sub uint64 `json:"sub"`
+}
+
+// MetricsResult answers VerbMetrics.
+type MetricsResult = obs.Snapshot

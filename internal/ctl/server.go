@@ -1,0 +1,531 @@
+package ctl
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"progmp"
+	"progmp/internal/obs"
+)
+
+// maxLine bounds one request line (scheduler sources ride inline).
+const maxLine = 4 << 20
+
+// Options configures a Server. Network is required. Tracer enables the
+// subscribe verb, Metrics the metrics verb; either may be nil. Sources
+// is the scheduler corpus available by name to compile and swap (nil
+// selects progmp.Schedulers, the paper's corpus).
+type Options struct {
+	Network *progmp.Network
+	Tracer  *progmp.Tracer
+	Metrics *progmp.Metrics
+	Sources map[string]string
+}
+
+type namedConn struct {
+	name string
+	conn *progmp.Conn
+}
+
+// Server answers control-plane requests for one simulated network.
+// Register the connections it should expose, then Serve one or more
+// listeners. All connection state is touched via Network.Do, so the
+// server is safe to run alongside Network.RunLive.
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex
+	conns    []namedConn
+	lns      []net.Listener
+	sessions map[*session]struct{}
+	closed   bool
+}
+
+// NewServer creates a server; see Options for the knobs.
+func NewServer(opts Options) *Server {
+	if opts.Sources == nil {
+		opts.Sources = progmp.Schedulers
+	}
+	return &Server{opts: opts, sessions: map[*session]struct{}{}}
+}
+
+// Register exposes conn under the given display name and returns its
+// protocol id (1-based, in registration order).
+func (s *Server) Register(name string, conn *progmp.Conn) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns = append(s.conns, namedConn{name: name, conn: conn})
+	return len(s.conns)
+}
+
+// Serve accepts sessions on ln until the listener fails or the server
+// is closed (which returns nil). Each session runs on its own
+// goroutine; call Serve itself from a goroutine too.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("ctl: server closed")
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		sess := &session{srv: s, conn: c, subs: map[uint64]*obs.Subscription{}}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		go sess.run()
+	}
+}
+
+// Close stops all listeners and disconnects every session. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	lns := s.lns
+	var sessions []*session
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+}
+
+func (s *Server) lookup(id int) (namedConn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 1 || id > len(s.conns) {
+		return namedConn{}, fmt.Errorf("unknown conn id %d (have 1..%d)", id, len(s.conns))
+	}
+	return s.conns[id-1], nil
+}
+
+// session is one accepted control connection.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	wmu sync.Mutex // serializes response and event frames
+
+	smu  sync.Mutex // guards subs
+	subs map[uint64]*obs.Subscription
+}
+
+func (se *session) run() {
+	defer se.teardown()
+	sc := bufio.NewScanner(se.conn)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			se.writeError(0, fmt.Errorf("malformed request: %v", err))
+			continue
+		}
+		se.handle(req)
+	}
+}
+
+func (se *session) teardown() {
+	se.smu.Lock()
+	subs := se.subs
+	se.subs = nil
+	se.smu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
+	}
+	se.conn.Close()
+	se.srv.mu.Lock()
+	delete(se.srv.sessions, se)
+	se.srv.mu.Unlock()
+}
+
+func (se *session) write(resp Response) error {
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	se.wmu.Lock()
+	defer se.wmu.Unlock()
+	_, err = se.conn.Write(buf)
+	return err
+}
+
+func (se *session) writeError(id uint64, err error) {
+	se.write(Response{ID: id, Error: err.Error()})
+}
+
+func (se *session) writeResult(id uint64, result any) {
+	raw, err := json.Marshal(result)
+	if err != nil {
+		se.writeError(id, err)
+		return
+	}
+	se.write(Response{ID: id, OK: true, Result: raw})
+}
+
+func (se *session) handle(req Request) {
+	switch req.Verb {
+	case VerbPing:
+		se.ping(req)
+	case VerbList:
+		se.list(req)
+	case VerbSchedulers:
+		se.schedulers(req)
+	case VerbCompile:
+		se.compile(req)
+	case VerbSwap:
+		se.swap(req)
+	case VerbGetReg:
+		se.getReg(req)
+	case VerbSetReg:
+		se.setReg(req)
+	case VerbSend:
+		se.send(req)
+	case VerbMetrics:
+		se.metrics(req)
+	case VerbSubscribe:
+		se.subscribe(req)
+	case VerbUnsubscribe:
+		se.unsubscribe(req)
+	default:
+		se.writeError(req.ID, fmt.Errorf("unknown verb %q", req.Verb))
+	}
+}
+
+func (se *session) ping(req Request) {
+	var now int64
+	if err := se.srv.opts.Network.Do(func() {
+		now = se.srv.opts.Network.Now().Microseconds()
+	}); err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	se.writeResult(req.ID, PingResult{NowUS: now})
+}
+
+func (se *session) list(req Request) {
+	se.srv.mu.Lock()
+	conns := append([]namedConn(nil), se.srv.conns...)
+	se.srv.mu.Unlock()
+	var out ListResult
+	if err := se.srv.opts.Network.Do(func() {
+		for i, nc := range conns {
+			out.Conns = append(out.Conns, connInfo(i+1, nc))
+		}
+	}); err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	if out.Conns == nil {
+		out.Conns = []ConnInfo{}
+	}
+	se.writeResult(req.ID, out)
+}
+
+// connInfo snapshots one connection; call on the simulation goroutine.
+func connInfo(id int, nc namedConn) ConnInfo {
+	c := nc.conn
+	si := c.SchedulerInfo()
+	info := ConnInfo{
+		ID:          id,
+		Name:        nc.name,
+		Scheduler:   si.Name,
+		Backend:     si.Backend,
+		Supervised:  si.Supervised,
+		GuardState:  si.GuardState,
+		QueuedSegs:  c.Inner().QueuedSegments(),
+		UnackedSegs: c.Inner().UnackedSegments(),
+		AllAcked:    c.AllAcked(),
+	}
+	for i := progmp.R1; i <= progmp.R8; i++ {
+		info.Registers = append(info.Registers, c.Register(i))
+	}
+	for _, sf := range c.Subflows() {
+		info.Subflows = append(info.Subflows, SubflowInfo{
+			Name:            sf.Name,
+			Established:     sf.Established,
+			Closed:          sf.Closed,
+			Backup:          sf.Backup,
+			SRTTUS:          sf.SRTT.Microseconds(),
+			Cwnd:            sf.Cwnd,
+			BytesSent:       sf.BytesSent,
+			PktsSent:        sf.PktsSent,
+			Retransmissions: sf.Retransmissions,
+			ThroughputBps:   sf.ThroughputBps,
+		})
+	}
+	return info
+}
+
+func (se *session) schedulers(req Request) {
+	var names []string
+	for name := range se.srv.opts.Sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	se.writeResult(req.ID, SchedulersResult{Names: names})
+}
+
+// resolveProgram turns a request's Src/Name/Backend fields into a
+// compiled, verified scheduler. Pure CPU: safe off the sim goroutine.
+func (se *session) resolveProgram(req Request) (*progmp.Scheduler, error) {
+	name, src := req.Name, req.Src
+	if src == "" {
+		if name == "" {
+			return nil, fmt.Errorf("compile needs name or src")
+		}
+		var ok bool
+		src, ok = se.srv.opts.Sources[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown scheduler %q", name)
+		}
+	} else if name == "" {
+		name = "adhoc"
+	}
+	backend, err := parseBackend(req.Backend)
+	if err != nil {
+		return nil, err
+	}
+	return progmp.LoadSchedulerBackend(name, src, backend)
+}
+
+func parseBackend(s string) (progmp.Backend, error) {
+	switch s {
+	case "", "vm":
+		return progmp.BackendVM, nil
+	case "compiled":
+		return progmp.BackendCompiled, nil
+	case "interp", "interpreter":
+		return progmp.BackendInterpreter, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (vm, compiled, interpreter)", s)
+	}
+}
+
+func (se *session) compile(req Request) {
+	prog, err := se.resolveProgram(req)
+	if err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	se.writeResult(req.ID, CompileResult{
+		Name:        prog.Name(),
+		Backend:     prog.Backend().String(),
+		MemoryBytes: prog.MemoryFootprint(),
+	})
+}
+
+func (se *session) swap(req Request) {
+	nc, err := se.lookupConn(req)
+	if err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	prog, err := se.resolveProgram(req)
+	if err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	var res SwapResult
+	if err := se.srv.opts.Network.Do(func() {
+		var prev progmp.SchedulerInfo
+		prev, err = nc.conn.HotSwap(prog)
+		if err != nil {
+			return
+		}
+		cur := nc.conn.SchedulerInfo()
+		res = SwapResult{
+			Conn:          req.Conn,
+			Scheduler:     cur.Name,
+			Backend:       cur.Backend,
+			Supervised:    cur.Supervised,
+			PrevScheduler: prev.Name,
+		}
+	}); err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	if err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	se.writeResult(req.ID, res)
+}
+
+func (se *session) lookupConn(req Request) (namedConn, error) {
+	id := req.Conn
+	if id == 0 {
+		id = 1 // the common single-connection embedder
+	}
+	return se.srv.lookup(id)
+}
+
+func (se *session) getReg(req Request) {
+	nc, err := se.lookupConn(req)
+	if err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	var v int64
+	if err := se.srv.opts.Network.Do(func() {
+		v = nc.conn.Register(req.Reg)
+	}); err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	se.writeResult(req.ID, RegResult{Reg: req.Reg, Value: v})
+}
+
+func (se *session) setReg(req Request) {
+	nc, err := se.lookupConn(req)
+	if err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	var setErr error
+	if err := se.srv.opts.Network.Do(func() {
+		setErr = nc.conn.SetRegister(req.Reg, req.Value)
+	}); err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	if setErr != nil {
+		se.writeError(req.ID, setErr)
+		return
+	}
+	se.writeResult(req.ID, RegResult{Reg: req.Reg, Value: req.Value})
+}
+
+func (se *session) send(req Request) {
+	nc, err := se.lookupConn(req)
+	if err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	if req.Bytes <= 0 {
+		se.writeError(req.ID, fmt.Errorf("send needs bytes > 0"))
+		return
+	}
+	if err := se.srv.opts.Network.Do(func() {
+		nc.conn.SendWithIntent(req.Bytes, req.Prop)
+	}); err != nil {
+		se.writeError(req.ID, err)
+		return
+	}
+	se.writeResult(req.ID, struct{}{})
+}
+
+func (se *session) metrics(req Request) {
+	if se.srv.opts.Metrics == nil {
+		se.writeError(req.ID, fmt.Errorf("metrics not attached"))
+		return
+	}
+	se.writeResult(req.ID, se.srv.opts.Metrics.Snapshot())
+}
+
+func (se *session) subscribe(req Request) {
+	if se.srv.opts.Tracer == nil {
+		se.writeError(req.ID, fmt.Errorf("tracing not attached"))
+		return
+	}
+	var kinds map[obs.EventKind]bool
+	if len(req.Kinds) > 0 {
+		kinds = map[obs.EventKind]bool{}
+		for _, name := range req.Kinds {
+			k, ok := obs.KindFromString(name)
+			if !ok {
+				se.writeError(req.ID, fmt.Errorf("unknown event kind %q", name))
+				return
+			}
+			kinds[k] = true
+		}
+	}
+	connFilter := int32(-1)
+	if req.Conn != 0 {
+		nc, err := se.srv.lookup(req.Conn)
+		if err != nil {
+			se.writeError(req.ID, err)
+			return
+		}
+		connFilter = nc.conn.Inner().TraceConnID()
+	}
+	sub := se.srv.opts.Tracer.Subscribe(req.Buf)
+	se.smu.Lock()
+	if se.subs == nil { // session tearing down
+		se.smu.Unlock()
+		sub.Close()
+		se.writeError(req.ID, fmt.Errorf("session closing"))
+		return
+	}
+	if _, dup := se.subs[req.ID]; dup {
+		se.smu.Unlock()
+		sub.Close()
+		se.writeError(req.ID, fmt.Errorf("subscription %d already active", req.ID))
+		return
+	}
+	se.subs[req.ID] = sub
+	se.smu.Unlock()
+	// Ack before the first frame so the client sees them in order.
+	se.writeResult(req.ID, SubscribeResult{Sub: req.ID})
+	go func() {
+		for ev := range sub.Events() {
+			if kinds != nil && !kinds[ev.Kind] {
+				continue
+			}
+			if connFilter >= 0 && ev.Conn != connFilter {
+				continue
+			}
+			frame := ev.ToJSONL()
+			if err := se.write(Response{ID: req.ID, OK: true, Event: &frame}); err != nil {
+				sub.Close()
+				return
+			}
+		}
+	}()
+}
+
+func (se *session) unsubscribe(req Request) {
+	se.smu.Lock()
+	sub, ok := se.subs[req.Sub]
+	if ok {
+		delete(se.subs, req.Sub)
+	}
+	se.smu.Unlock()
+	if !ok {
+		se.writeError(req.ID, fmt.Errorf("no subscription %d", req.Sub))
+		return
+	}
+	sub.Close()
+	se.writeResult(req.ID, struct{}{})
+}

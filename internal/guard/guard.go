@@ -235,6 +235,29 @@ func (s *Supervisor) LastPanic() string { return s.lastPanic }
 // Inner returns the supervised scheduler.
 func (s *Supervisor) Inner() Scheduler { return s.inner }
 
+// Fallback returns the scheduler that serves quarantined periods.
+func (s *Supervisor) Fallback() Scheduler { return s.cfg.Fallback }
+
+// Swap retargets the supervisor at a new user scheduler (control-plane
+// hot-swap). When fallback is non-nil it replaces the quarantine
+// fallback — the hot-swap path passes the previously supervised
+// program here, so a misbehaving swap degrades back to the scheduler
+// that was running before the swap rather than to native MinRTT. The
+// supervision state machine restarts clean: active state, zero
+// strikes, first-quarantine backoff.
+func (s *Supervisor) Swap(newInner, fallback Scheduler) {
+	s.inner = newInner
+	if fallback != nil {
+		s.cfg.Fallback = fallback
+	}
+	s.state = StateActive
+	s.strikes = 0
+	s.stallRun = 0
+	s.trialClean = 0
+	s.backoff = s.cfg.ProbationAfter
+	s.gState.Set(int64(StateActive))
+}
+
 // Exec runs one supervised scheduler execution.
 func (s *Supervisor) Exec(env *runtime.Env) {
 	if s.state == StateQuarantined {

@@ -219,6 +219,104 @@ func TestSupervisorEmitsEventsAndMetrics(t *testing.T) {
 	}
 }
 
+// counting wraps a scheduler and counts its executions, so a test can
+// tell which program actually served the connection.
+type counting struct {
+	inner Scheduler
+	execs int
+}
+
+func (c *counting) Exec(env *runtime.Env) {
+	c.execs++
+	c.inner.Exec(env)
+}
+
+// TestSwapQuarantinesBackToPreviousProgram is the control-plane
+// composition: hot-swapping a live supervised connection to a broken
+// scheduler must degrade back to the program that was running before
+// the swap — not to native MinRTT.
+func TestSwapQuarantinesBackToPreviousProgram(t *testing.T) {
+	eng := netsim.NewEngine(5)
+	conn := mptcp.NewConn(eng, mptcp.Config{})
+	for _, d := range []time.Duration{5 * time.Millisecond, 20 * time.Millisecond} {
+		link := netsim.NewLink(eng, netsim.PathConfig{
+			Name: "p", Rate: netsim.ConstantRate(2e6), Delay: d,
+		})
+		if _, err := conn.AddSubflow(mptcp.SubflowConfig{Name: "p", Link: link}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := &counting{inner: sched.MinRTT{}}
+	sup := New(prev, Config{
+		StallExecs:   4,
+		StallTimeout: 20 * time.Millisecond,
+		// Long backoff: once quarantined, the fallback serves the rest
+		// of the transfer, making the attribution unambiguous.
+		ProbationAfter: time.Hour,
+		Now:            eng.Now,
+		After:          func(d time.Duration, fn func()) { eng.After(d, fn) },
+		Wake:           conn.Kick,
+	})
+	conn.SetScheduler(sup)
+	chk := mptcp.NewConservationChecker(conn)
+
+	const total = 1 << 20
+	eng.After(0, func() { conn.Send(total, 0) })
+	execsAtSwap := -1
+	eng.At(300*time.Millisecond, func() {
+		if conn.AllAcked() {
+			t.Fatal("transfer finished before the swap; grow it")
+		}
+		execsAtSwap = prev.execs
+		sup.Swap(&staller{}, sup.Inner())
+		conn.Kick()
+	})
+	eng.RunUntil(120 * time.Second)
+
+	if err := chk.Check(total); err != nil {
+		t.Fatalf("transfer across bad swap: %v", err)
+	}
+	if execsAtSwap < 0 {
+		t.Fatal("swap callback never ran")
+	}
+	if sup.Quarantines == 0 {
+		t.Fatal("broken swapped-in scheduler never quarantined")
+	}
+	if got := sup.Fallback(); got != Scheduler(prev) {
+		t.Fatalf("quarantine fallback is %T, want the previous program", got)
+	}
+	if prev.execs <= execsAtSwap {
+		t.Fatalf("previous program never served the quarantine (execs %d at swap, %d at end)",
+			execsAtSwap, prev.execs)
+	}
+	if sup.State() == StateActive {
+		t.Error("supervisor re-promoted the dead scheduler")
+	}
+}
+
+// TestSwapResetsSupervisionState: a supervisor that already degraded
+// restarts clean when retargeted.
+func TestSwapResetsSupervisionState(t *testing.T) {
+	sup := New(&staller{}, Config{})
+	env := syntheticEnv()
+	for i := 0; i < 3; i++ {
+		sup.Exec(env)
+		env.Actions = env.Actions[:0]
+		sup.strike(env)
+	}
+	if sup.State() != StateQuarantined {
+		t.Fatalf("setup: state %v, want quarantined", sup.State())
+	}
+	good := sched.MinRTT{}
+	sup.Swap(good, nil)
+	if sup.State() != StateActive || sup.Strikes() != 0 {
+		t.Fatalf("after Swap: state %v strikes %d, want active/0", sup.State(), sup.Strikes())
+	}
+	if sup.Inner() != Scheduler(good) {
+		t.Fatal("Swap did not install the new program")
+	}
+}
+
 // --- unit tests against a synthetic environment ---------------------
 
 func syntheticEnv() *runtime.Env {

@@ -110,6 +110,11 @@ type Conn struct {
 
 	scheduling   bool
 	schedPending bool
+	// Scheduler swap deferred to the execution boundary (see
+	// SetScheduler): applied at the top of the next schedule iteration
+	// so no execution observes a half-installed program.
+	pendingSched    Scheduler
+	hasPendingSched bool
 
 	// Observability (nil when not instrumented; every handle below is
 	// nil-safe, so the uninstrumented data path pays one nil check).
@@ -125,6 +130,7 @@ type Conn struct {
 	mReinjects *obs.Counter
 	mAcks      *obs.Counter
 	mEnqueued  *obs.Counter
+	mRegOOB    *obs.Counter
 
 	// Stats.
 	SchedulerExecutions int64
@@ -177,6 +183,7 @@ func (c *Conn) Instrument(t *obs.Tracer, reg *obs.Registry) {
 		c.mReinjects = reg.Counter("conn.reinjects")
 		c.mAcks = reg.Counter("conn.acks")
 		c.mEnqueued = reg.Counter("conn.enqueued_segments")
+		c.mRegOOB = reg.Counter("api.register_oob")
 		c.receiver.instrument(reg)
 		for _, s := range c.subflows {
 			s.instrument(reg)
@@ -219,19 +226,60 @@ func (c *Conn) trace(kind obs.EventKind, sbf int32, seq, aux int64, site int32) 
 	})
 }
 
-// SetScheduler installs the scheduling block. Switching schedulers at
-// runtime is disadvised by the paper (§3.2); the API allows it before
-// traffic starts.
-func (c *Conn) SetScheduler(s Scheduler) { c.sched = s }
+// SetScheduler installs the scheduling block. It is safe at any time,
+// including mid-transfer: a swap requested while a scheduling pass is
+// executing is deferred and applied atomically at the next execution
+// boundary, so no execution ever observes a half-installed program.
+// Replacing a running scheduler emits a SCHED_SWAP trace event and
+// immediately triggers a scheduling pass under the new program. (The
+// paper exposes scheduler choice per connection, §3.2; the control
+// plane extends it to live hot-swap, see internal/ctl.)
+func (c *Conn) SetScheduler(s Scheduler) {
+	if c.scheduling {
+		c.pendingSched = s
+		c.hasPendingSched = true
+		c.schedPending = true
+		return
+	}
+	swapped := c.sched != nil && s != nil && c.sched != s
+	c.sched = s
+	if swapped {
+		c.trace(obs.EvSchedSwap, -1, -1, 0, 0)
+		c.schedule()
+	}
+}
+
+// applyPendingSched commits a deferred scheduler swap at an execution
+// boundary inside schedule().
+func (c *Conn) applyPendingSched() {
+	prev := c.sched
+	c.sched = c.pendingSched
+	c.pendingSched = nil
+	c.hasPendingSched = false
+	if prev != nil && c.sched != nil && prev != c.sched {
+		c.trace(obs.EvSchedSwap, -1, -1, 1, 0)
+	}
+}
+
+// NoteSchedSwap records a SCHED_SWAP trace event for scheduler
+// replacements applied inside a wrapper the connection cannot observe
+// through SetScheduler — e.g. a guard.Supervisor retargeting its
+// supervised program during a control-plane hot-swap.
+func (c *Conn) NoteSchedSwap() { c.trace(obs.EvSchedSwap, -1, -1, 2, 0) }
 
 // SetRegister writes a scheduler register through the extended
 // scheduling API (§3.2) and triggers a scheduling pass so the new
-// intent takes effect immediately.
-func (c *Conn) SetRegister(i int, v int64) {
-	if i >= 0 && i < runtime.NumRegisters {
-		c.regs[i] = v
-		c.schedule()
+// intent takes effect immediately. An out-of-range index is rejected
+// with an error (and counted as api.register_oob when a metrics
+// registry is attached).
+func (c *Conn) SetRegister(i int, v int64) error {
+	if i < 0 || i >= runtime.NumRegisters {
+		c.mRegOOB.Add(1)
+		return fmt.Errorf("mptcp: register index %d out of range [0, %d)", i, runtime.NumRegisters)
 	}
+	c.regs[i] = v
+	c.schedule()
+	return nil
 }
 
 // Register reads a scheduler register.
@@ -449,8 +497,21 @@ func (c *Conn) schedule() {
 		return
 	}
 	c.scheduling = true
-	defer func() { c.scheduling = false }()
+	defer func() {
+		c.scheduling = false
+		// A swap requested in the final iteration still lands before
+		// the pass returns (the execution boundary).
+		if c.hasPendingSched {
+			c.applyPendingSched()
+		}
+	}()
 	for iter := 0; iter < c.cfg.MaxSchedIterations; iter++ {
+		if c.hasPendingSched {
+			c.applyPendingSched()
+			if c.sched == nil {
+				return
+			}
+		}
 		c.schedPending = false
 		env := c.buildEnv()
 		if c.tracer != nil {

@@ -139,6 +139,9 @@ func (s *Subflow) InFlight() int { return len(s.outstanding) }
 // SetBackup changes the backup flag (path-manager operation).
 func (s *Subflow) SetBackup(b bool) { s.backup = b }
 
+// Backup reports whether the subflow is marked backup/non-preferred.
+func (s *Subflow) Backup() bool { return s.backup }
+
 // usable reports whether the subflow can carry data now.
 func (s *Subflow) usable() bool { return s.established && !s.closed }
 

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrInboxClosed reports an injection into an inbox whose simulation
+// run has ended.
+var ErrInboxClosed = errors.New("netsim: inbox closed")
+
+// inboxEntry is one queued closure with its completion signal.
+type inboxEntry struct {
+	fn   func()
+	done chan error
+}
+
+// Inbox is a thread-safe queue of closures injected into a live
+// simulation run from other goroutines (e.g. a control-plane server).
+// The engine is single-threaded by design; the inbox is the one door
+// through which foreign goroutines may touch simulation state: queued
+// closures execute on the simulation goroutine between event slices,
+// so they need no further synchronization.
+type Inbox struct {
+	mu      sync.Mutex
+	entries []inboxEntry
+	closed  bool
+	wake    chan struct{}
+}
+
+// NewInbox returns an empty inbox.
+func NewInbox() *Inbox {
+	return &Inbox{wake: make(chan struct{}, 1)}
+}
+
+// Do runs fn on the simulation goroutine at the next injection point
+// and blocks until it has executed. It returns ErrInboxClosed when the
+// live run has ended (fn then did not run). Calling Do from the
+// simulation goroutine itself deadlocks — it is for foreign goroutines
+// only.
+func (b *Inbox) Do(fn func()) error {
+	done := make(chan error, 1)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrInboxClosed
+	}
+	b.entries = append(b.entries, inboxEntry{fn: fn, done: done})
+	b.mu.Unlock()
+	b.notify()
+	return <-done
+}
+
+// Drain executes every queued closure on the calling goroutine. The
+// simulation loop calls it between event slices.
+func (b *Inbox) Drain() {
+	for {
+		b.mu.Lock()
+		entries := b.entries
+		b.entries = nil
+		b.mu.Unlock()
+		if len(entries) == 0 {
+			return
+		}
+		for _, e := range entries {
+			e.fn()
+			e.done <- nil
+		}
+	}
+}
+
+// Close ends the live run: pending Do calls fail with ErrInboxClosed
+// without executing, as do all future ones, and a running RunLiveUntil
+// returns at its next slice boundary. Safe to call from any goroutine
+// and idempotent.
+func (b *Inbox) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	entries := b.entries
+	b.entries = nil
+	b.mu.Unlock()
+	for _, e := range entries {
+		e.done <- ErrInboxClosed
+	}
+	b.notify()
+}
+
+// isClosed reports whether Close was called.
+func (b *Inbox) isClosed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// notify wakes a sleeping RunLiveUntil (non-blocking).
+func (b *Inbox) notify() {
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// liveSlice is the virtual-time granularity of injection points during
+// a live run: between consecutive slices the loop drains the inbox, so
+// control-plane commands observe the simulation at most one slice
+// stale.
+const liveSlice = time.Millisecond
+
+// RunLiveUntil advances the simulation to deadline like RunUntil, but
+// paced against the wall clock and interleaved with inbox draining so
+// foreign goroutines can inspect and steer the run while it progresses.
+// pace is virtual seconds per wall second: 1 runs in real time, 10 runs
+// ten times faster than real time, <= 0 disables pacing (the loop still
+// drains the inbox between slices, but never sleeps). The run ends
+// early when the inbox is closed.
+func (e *Engine) RunLiveUntil(deadline time.Duration, pace float64, inbox *Inbox) {
+	if inbox == nil {
+		e.RunUntil(deadline)
+		return
+	}
+	start := time.Now()
+	base := e.now
+	for e.now < deadline && !inbox.isClosed() {
+		inbox.Drain()
+		next := e.now + liveSlice
+		if next > deadline {
+			next = deadline
+		}
+		e.RunUntil(next)
+		if pace <= 0 {
+			continue
+		}
+		wallTarget := start.Add(time.Duration(float64(e.now-base) / pace))
+		for !inbox.isClosed() {
+			d := time.Until(wallTarget)
+			if d <= 0 {
+				break
+			}
+			timer := time.NewTimer(d)
+			select {
+			case <-inbox.wake:
+				timer.Stop()
+				inbox.Drain()
+			case <-timer.C:
+			}
+		}
+	}
+	if !inbox.isClosed() {
+		inbox.Drain()
+	}
+}

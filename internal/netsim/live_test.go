@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunLiveDrainsInjectedClosures(t *testing.T) {
+	eng := NewEngine(1)
+	inbox := NewInbox()
+	fired := 0
+	eng.At(5*time.Millisecond, func() { fired++ })
+
+	done := make(chan struct{})
+	var sawTime time.Duration
+	go func() {
+		defer close(done)
+		// Unpaced: the loop spins through slices but still drains.
+		if err := inbox.Do(func() { sawTime = eng.Now() }); err != nil {
+			t.Errorf("Do: %v", err)
+		}
+	}()
+	// Wait until the closure is queued: an unpaced run can outrun the
+	// injecting goroutine, and a closure queued after the run ends would
+	// wait forever (real embedders Close the inbox when the run ends).
+	for {
+		inbox.mu.Lock()
+		n := len(inbox.entries)
+		inbox.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eng.RunLiveUntil(20*time.Millisecond, 0, inbox)
+	<-done
+	if fired != 1 {
+		t.Fatalf("scheduled event fired %d times, want 1", fired)
+	}
+	if eng.Now() != 20*time.Millisecond {
+		t.Fatalf("clock at %v, want 20ms", eng.Now())
+	}
+	if sawTime > 20*time.Millisecond {
+		t.Fatalf("injected closure saw time %v beyond the deadline", sawTime)
+	}
+}
+
+func TestInboxCloseFailsPendingAndFutureDo(t *testing.T) {
+	inbox := NewInbox()
+	errs := make(chan error, 1)
+	go func() { errs <- inbox.Do(func() { t.Error("closure must not run after Close") }) }()
+	// Wait until the entry is queued so Close sees it as pending.
+	for {
+		inbox.mu.Lock()
+		n := len(inbox.entries)
+		inbox.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	inbox.Close()
+	if err := <-errs; err != ErrInboxClosed {
+		t.Fatalf("pending Do: got %v, want ErrInboxClosed", err)
+	}
+	if err := inbox.Do(func() {}); err != ErrInboxClosed {
+		t.Fatalf("future Do: got %v, want ErrInboxClosed", err)
+	}
+	inbox.Close() // idempotent
+}
+
+func TestRunLiveStopsWhenInboxCloses(t *testing.T) {
+	eng := NewEngine(1)
+	inbox := NewInbox()
+	returned := make(chan struct{})
+	go func() {
+		// Paced at real time the full run would take ~10 wall seconds;
+		// closing the inbox must end it at a slice boundary instead.
+		eng.RunLiveUntil(10*time.Second, 1, inbox)
+		close(returned)
+	}()
+	if err := inbox.Do(func() {}); err != nil {
+		t.Fatalf("Do during live run: %v", err)
+	}
+	inbox.Close()
+	select {
+	case <-returned:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunLiveUntil did not return after inbox close")
+	}
+	if eng.Now() >= 10*time.Second {
+		t.Fatalf("run completed to the deadline (%v) despite close", eng.Now())
+	}
+}
+
+func TestRunLivePacingRoughlyTracksWallClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock pacing test")
+	}
+	eng := NewEngine(1)
+	inbox := NewInbox()
+	start := time.Now()
+	// 100 ms of virtual time at 2x speed ≈ 50 ms of wall time.
+	eng.RunLiveUntil(100*time.Millisecond, 2, inbox)
+	elapsed := time.Since(start)
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("paced run finished in %v, expected ≥ 25ms", elapsed)
+	}
+}

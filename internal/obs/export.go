@@ -21,6 +21,11 @@ type JSONLEvent struct {
 	Aux  int64  `json:"aux"`
 }
 
+// ToJSONL returns ev in the JSONL wire form — the same encoding
+// WriteJSONL streams — for consumers that forward single events (the
+// ctl subscription stream).
+func (ev Event) ToJSONL() JSONLEvent { return toJSONL(ev) }
+
 // toJSONL converts an Event to its wire form.
 func toJSONL(ev Event) JSONLEvent {
 	return JSONLEvent{

@@ -54,6 +54,8 @@ const (
 	EvGuardQuarantine // user scheduler quarantined (Aux = probation backoff in µs)
 	EvGuardProbe      // probation began: user scheduler on trial
 	EvGuardRestore    // user scheduler re-promoted after clean trials
+	// Control-plane events (package ctl and the hot-swap path).
+	EvSchedSwap // scheduler replaced on a live connection (Aux: 0 immediate, 1 deferred to the execution boundary, 2 supervisor retarget)
 	numEventKinds
 )
 
@@ -81,6 +83,8 @@ var eventKindNames = [...]string{
 	EvGuardQuarantine: "GUARD_QUARANTINE",
 	EvGuardProbe:      "GUARD_PROBE",
 	EvGuardRestore:    "GUARD_RESTORE",
+
+	EvSchedSwap: "SCHED_SWAP",
 }
 
 // String names the event kind as spelled in trace output.
@@ -134,6 +138,7 @@ type Tracer struct {
 	mu    sync.Mutex
 	buf   []Event
 	total uint64 // events ever recorded; buf[total%len] is the next slot
+	subs  []*Subscription
 
 	execSeq atomic.Uint64
 	connSeq atomic.Int32
@@ -153,7 +158,9 @@ func NewTracer(capacity int) *Tracer {
 }
 
 // Record appends ev to the ring, overwriting the oldest event when
-// full. It is safe for concurrent use and allocates nothing.
+// full. It is safe for concurrent use and allocates nothing. Live
+// subscriptions receive a copy; a subscriber that cannot keep up loses
+// events (counted per subscription) rather than slowing the data path.
 func (t *Tracer) Record(ev Event) {
 	if t == nil {
 		return
@@ -161,7 +168,87 @@ func (t *Tracer) Record(ev Event) {
 	t.mu.Lock()
 	t.buf[t.total%uint64(len(t.buf))] = ev
 	t.total++
+	for _, s := range t.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
 	t.mu.Unlock()
+}
+
+// Subscription is a live feed of events recorded after Subscribe. It
+// decouples consumers from the recording hot path: the tracer never
+// blocks on a subscriber, it drops instead.
+type Subscription struct {
+	t       *Tracer
+	ch      chan Event
+	dropped atomic.Uint64
+	closed  bool // guarded by t.mu
+}
+
+// DefaultSubscriptionBuffer is the channel depth used when Subscribe is
+// asked for a non-positive buffer.
+const DefaultSubscriptionBuffer = 4096
+
+// Subscribe attaches a live event feed with the given channel buffer
+// (<= 0 selects DefaultSubscriptionBuffer). The caller must drain
+// Events() promptly or accept drops, and must Close the subscription
+// when done. Safe on nil (returns nil; a nil *Subscription is a no-op
+// whose Events channel is nil).
+func (t *Tracer) Subscribe(buf int) *Subscription {
+	if t == nil {
+		return nil
+	}
+	if buf <= 0 {
+		buf = DefaultSubscriptionBuffer
+	}
+	s := &Subscription{t: t, ch: make(chan Event, buf)}
+	t.mu.Lock()
+	t.subs = append(t.subs, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Events returns the subscription's feed. The channel is closed by
+// Close. Safe on nil (returns nil).
+func (s *Subscription) Events() <-chan Event {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Dropped returns how many events this subscription lost to a full
+// buffer. Safe on nil.
+func (s *Subscription) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close detaches the subscription and closes its channel. Idempotent
+// and safe on nil. Closing under the tracer lock guarantees no Record
+// is concurrently sending on the channel.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for i, sub := range s.t.subs {
+		if sub == s {
+			s.t.subs = append(s.t.subs[:i], s.t.subs[i+1:]...)
+			break
+		}
+	}
+	close(s.ch)
 }
 
 // NextExecID returns a fresh scheduler-execution id (ids start at 1;

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSubscriptionReceivesEvents(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(Event{Kind: EvPush, Seq: 0}) // pre-subscribe: not delivered
+	sub := tr.Subscribe(8)
+	defer sub.Close()
+	for i := 1; i <= 3; i++ {
+		tr.Record(Event{Kind: EvPush, Seq: int64(i)})
+	}
+	for want := int64(1); want <= 3; want++ {
+		ev := <-sub.Events()
+		if ev.Seq != want {
+			t.Fatalf("got seq %d, want %d", ev.Seq, want)
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", sub.Dropped())
+	}
+}
+
+func TestSubscriptionDropsWhenFull(t *testing.T) {
+	tr := NewTracer(16)
+	sub := tr.Subscribe(2)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: EvAck, Seq: int64(i)})
+	}
+	if got := sub.Dropped(); got != 8 {
+		t.Fatalf("Dropped = %d, want 8", got)
+	}
+	// The retained events are the oldest two (drop-newest policy).
+	if ev := <-sub.Events(); ev.Seq != 0 {
+		t.Fatalf("first buffered seq = %d, want 0", ev.Seq)
+	}
+}
+
+func TestSubscriptionCloseStopsDeliveryAndIsIdempotent(t *testing.T) {
+	tr := NewTracer(16)
+	sub := tr.Subscribe(4)
+	tr.Record(Event{Kind: EvPush, Seq: 1})
+	sub.Close()
+	sub.Close() // idempotent
+	tr.Record(Event{Kind: EvPush, Seq: 2})
+	var got []Event
+	for ev := range sub.Events() {
+		got = append(got, ev)
+	}
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("drained %v, want exactly the pre-close event", got)
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("post-close records must not count as drops, got %d", sub.Dropped())
+	}
+}
+
+func TestSubscriptionConcurrentRecordAndClose(t *testing.T) {
+	tr := NewTracer(1 << 10)
+	done := make(chan struct{})
+	var producers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Event{Kind: EvPush, Seq: int64(i)})
+			}
+		}()
+	}
+	var subscribers sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		subscribers.Add(1)
+		go func() {
+			defer subscribers.Done()
+			sub := tr.Subscribe(16)
+			defer sub.Close()
+			for {
+				select {
+				case <-sub.Events():
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	producers.Wait()
+	close(done)
+	subscribers.Wait()
+}
+
+func TestNilSubscriptionIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sub := tr.Subscribe(8)
+	if sub != nil {
+		t.Fatal("nil tracer must hand out a nil subscription")
+	}
+	if sub.Events() != nil || sub.Dropped() != 0 {
+		t.Fatal("nil subscription methods must be no-ops")
+	}
+	sub.Close()
+}

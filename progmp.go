@@ -157,13 +157,14 @@ type ConnConfig struct {
 // Network is a deterministic simulated network hosting MPTCP
 // connections.
 type Network struct {
-	eng *netsim.Engine
+	eng   *netsim.Engine
+	inbox *netsim.Inbox
 }
 
 // NewNetwork creates a network with seeded randomness; equal seeds
 // reproduce runs exactly.
 func NewNetwork(seed int64) *Network {
-	return &Network{eng: netsim.NewEngine(seed)}
+	return &Network{eng: netsim.NewEngine(seed), inbox: netsim.NewInbox()}
 }
 
 // Now returns the current virtual time.
@@ -178,6 +179,32 @@ func (n *Network) Run(until time.Duration) { n.eng.RunUntil(until) }
 
 // RunAll drains every pending event.
 func (n *Network) RunAll() { n.eng.Run() }
+
+// RunLive advances the simulation like Run, but paced against the wall
+// clock and open to live steering: closures injected through Do from
+// other goroutines (e.g. the internal/ctl control plane) execute on
+// the simulation goroutine between event slices. pace is virtual
+// seconds per wall second (1 = real time, <= 0 = unpaced). The run
+// ends at the deadline or when StopLive is called; either way the
+// live phase is over when RunLive returns — pending and future Do
+// calls fail with netsim.ErrInboxClosed rather than blocking forever.
+func (n *Network) RunLive(until time.Duration, pace float64) {
+	n.eng.RunLiveUntil(until, pace, n.inbox)
+	n.inbox.Close()
+}
+
+// Do runs fn on the simulation goroutine and blocks until it has
+// executed. It is the only safe way for a foreign goroutine to touch
+// connections while RunLive is driving the network; it fails with
+// netsim.ErrInboxClosed after StopLive or once RunLive has returned.
+// Never call it from the simulation goroutine itself (use At instead).
+func (n *Network) Do(fn func()) error { return n.inbox.Do(fn) }
+
+// StopLive ends a live run: a concurrent RunLive returns at its next
+// slice boundary and pending and future Do calls fail. Call it when
+// tearing down a control-plane server; it is idempotent and safe from
+// any goroutine.
+func (n *Network) StopLive() { n.inbox.Close() }
 
 // Conn is an MPTCP connection inside a simulated network, exposing the
 // extended scheduling API of §3.2.
@@ -249,7 +276,10 @@ func (n *Network) Dial(cfg ConnConfig, paths ...Path) (*Conn, error) {
 
 // SetScheduler installs a loaded scheduler on the connection
 // (per-connection scheduler choice, §3.2). It replaces any supervisor
-// installed by Supervise.
+// installed by Supervise; to replace the program under an existing
+// supervisor — or to swap schedulers on a live connection at all — use
+// HotSwap. Safe at any time: a swap requested mid-transfer applies
+// atomically at a scheduler-execution boundary.
 func (c *Conn) SetScheduler(s *Scheduler) {
 	c.sched = s
 	c.sup = nil
@@ -259,10 +289,69 @@ func (c *Conn) SetScheduler(s *Scheduler) {
 	}
 }
 
+// HotSwap replaces the running scheduler with s on a live connection
+// (the control plane's swap verb). On an unsupervised connection this
+// is SetScheduler with swap tracing. On a supervised connection the
+// supervisor is retargeted instead: s becomes the supervised program
+// and the previously supervised program becomes the quarantine
+// fallback, so if the swapped-in scheduler misbehaves the connection
+// degrades back to what ran before the swap — not to native MinRTT.
+// The swap lands atomically at a scheduler-execution boundary and
+// emits a SCHED_SWAP trace event. It returns a description of the
+// scheduler that was replaced.
+func (c *Conn) HotSwap(s *Scheduler) (prev SchedulerInfo, err error) {
+	if s == nil {
+		return SchedulerInfo{}, fmt.Errorf("progmp: HotSwap needs a scheduler")
+	}
+	prev = c.SchedulerInfo()
+	if t := c.inner.Tracer(); t != nil {
+		s.InstrumentTrace(t, c.net.eng.Now)
+	}
+	if c.sup != nil {
+		c.sup.Swap(s, c.sup.Inner())
+		c.sched = s
+		c.inner.NoteSchedSwap()
+		c.inner.Kick()
+		return prev, nil
+	}
+	c.sched = s
+	c.inner.SetScheduler(s)
+	return prev, nil
+}
+
+// SchedulerInfo describes the connection's installed scheduling
+// program for monitoring (the control plane's list verb).
+type SchedulerInfo struct {
+	// Name and Backend identify the loaded ProgMP program; Name is
+	// "native" with an empty Backend when a raw Go scheduler (or no
+	// program at all) is installed.
+	Name    string
+	Backend string
+	// Supervised reports whether a guard.Supervisor wraps the program;
+	// GuardState is its state machine position ("" unsupervised).
+	Supervised bool
+	GuardState string
+}
+
+// SchedulerInfo returns a snapshot of the installed scheduler.
+func (c *Conn) SchedulerInfo() SchedulerInfo {
+	info := SchedulerInfo{Name: "native"}
+	if c.sched != nil {
+		info.Name = c.sched.Name()
+		info.Backend = c.sched.Backend().String()
+	}
+	if c.sup != nil {
+		info.Supervised = true
+		info.GuardState = c.sup.State().String()
+	}
+	return info
+}
+
 // SetRegister writes scheduler register i (R1..R8) — the application's
 // channel for scheduling intents such as target bitrates or
-// end-of-flow signals.
-func (c *Conn) SetRegister(i int, v int64) { c.inner.SetRegister(i, v) }
+// end-of-flow signals. An out-of-range index is rejected with an error
+// (and counted as api.register_oob when metrics are attached).
+func (c *Conn) SetRegister(i int, v int64) error { return c.inner.SetRegister(i, v) }
 
 // Register reads scheduler register i.
 func (c *Conn) Register(i int) int64 { return c.inner.Register(i) }
@@ -304,6 +393,7 @@ func (c *Conn) Subflows() []SubflowStats {
 			Name:            s.Name(),
 			Established:     s.Established(),
 			Closed:          s.Closed(),
+			Backup:          s.Backup(),
 			SRTT:            s.SRTT(),
 			Cwnd:            s.Cwnd(),
 			BytesSent:       s.BytesSent,
