@@ -93,8 +93,13 @@ type (
 	sbfFn   func(*state) *runtime.SubflowView
 	queueFn func(*state) queueVal
 	predFn  func(*state, *runtime.PacketView) bool
-	// listIterFn streams subflows; yield returning false stops.
-	listIterFn func(*state, func(*runtime.SubflowView) bool)
+	// listFn yields a subflow list, materialized into the state arena.
+	// Lists are eager (matching the interpreter's FILTER semantics);
+	// consumers loop over the returned slice directly, so no
+	// per-execution closures are created — a closure passed through an
+	// indirect function value is what the escape analysis cannot keep
+	// off the heap.
+	listFn func(*state) []*runtime.SubflowView
 )
 
 func (q queueVal) each(st *state, yield func(*runtime.PacketView) bool) {
@@ -162,14 +167,9 @@ func (c *compiler) compileStmt(s lang.Stmt) stmtFn {
 			f := c.compileSbf(s.Init)
 			return func(st *state) bool { st.slots[slot] = value{sbf: f(st)}; return false }
 		case types.SubflowList:
-			it := c.compileListIter(s.Init)
+			it := c.compileList(s.Init)
 			return func(st *state) bool {
-				start := len(st.arena)
-				it(st, func(sbf *runtime.SubflowView) bool {
-					st.arena = append(st.arena, sbf)
-					return true
-				})
-				st.slots[slot] = value{list: st.arena[start:len(st.arena):len(st.arena)]}
+				st.slots[slot] = value{list: it(st)}
 				return false
 			}
 		case types.PacketQueue:
@@ -180,19 +180,16 @@ func (c *compiler) compileStmt(s lang.Stmt) stmtFn {
 	case *lang.ForeachStmt:
 		sym := c.info.Defs[s]
 		slot := sym.Slot
-		iter := c.compileListIter(s.Iter)
+		iter := c.compileList(s.Iter)
 		body := c.compileBlock(s.Body.Stmts)
 		return func(st *state) bool {
-			returned := false
-			iter(st, func(sbf *runtime.SubflowView) bool {
+			for _, sbf := range iter(st) {
 				st.slots[slot] = value{sbf: sbf}
 				if body(st) {
-					returned = true
-					return false
+					return true
 				}
-				return true
-			})
-			return returned
+			}
+			return false
 		}
 	case *lang.SetStmt:
 		reg := s.Reg
@@ -306,11 +303,9 @@ func (c *compiler) compileInt(e lang.Expr) intFn {
 			}
 		case types.MemberCount:
 			if m.RecvType == types.SubflowList {
-				iter := c.compileListIter(e.Recv)
+				iter := c.compileList(e.Recv)
 				return func(st *state) int64 {
-					var n int64
-					iter(st, func(*runtime.SubflowView) bool { n++; return true })
-					return n
+					return int64(len(iter(st)))
 				}
 			}
 			q := c.compileQueue(e.Recv)
@@ -362,11 +357,9 @@ func (c *compiler) compileBool(e lang.Expr) boolFn {
 			return func(st *state) bool { return recv(st).SentOn(arg(st)) }
 		case types.MemberEmpty:
 			if m.RecvType == types.SubflowList {
-				iter := c.compileListIter(e.Recv)
+				iter := c.compileList(e.Recv)
 				return func(st *state) bool {
-					empty := true
-					iter(st, func(*runtime.SubflowView) bool { empty = false; return false })
-					return empty
+					return len(iter(st)) == 0
 				}
 			}
 			q := c.compileQueue(e.Recv)
@@ -500,9 +493,7 @@ func (c *compiler) compileSbf(e lang.Expr) sbfFn {
 		m := c.info.Members[e]
 		switch m.Kind {
 		case types.MemberMin, types.MemberMax:
-			// Fused FILTER→MIN/MAX: the receiver iterator streams
-			// subflows and this single loop selects the winner.
-			iter := c.compileListIter(e.Recv)
+			iter := c.compileList(e.Recv)
 			lam := e.Args[0].(*lang.Lambda)
 			slot := c.info.Defs[lam].Slot
 			key := c.compileInt(lam.Body)
@@ -510,31 +501,25 @@ func (c *compiler) compileSbf(e lang.Expr) sbfFn {
 			return func(st *state) *runtime.SubflowView {
 				var best *runtime.SubflowView
 				var bestKey int64
-				iter(st, func(sbf *runtime.SubflowView) bool {
+				for _, sbf := range iter(st) {
 					st.slots[slot] = value{sbf: sbf}
 					k := key(st)
 					if best == nil || (max && k > bestKey) || (!max && k < bestKey) {
 						best, bestKey = sbf, k
 					}
-					return true
-				})
+				}
 				return best
 			}
 		case types.MemberGet:
-			iter := c.compileListIter(e.Recv)
+			iter := c.compileList(e.Recv)
 			idx := c.compileInt(e.Args[0])
 			return func(st *state) *runtime.SubflowView {
-				// GET must wrap out-of-range indices, which needs the
-				// count; materialize the (small) subflow list.
-				var list []*runtime.SubflowView
-				iter(st, func(sbf *runtime.SubflowView) bool {
-					list = append(list, sbf)
-					return true
-				})
+				list := iter(st)
 				n := int64(len(list))
 				if n == 0 {
 					return nil
 				}
+				// GET wraps out-of-range indices: graceful by design.
 				i := ((idx(st) % n) + n) % n
 				return list[i]
 			}
@@ -543,42 +528,36 @@ func (c *compiler) compileSbf(e lang.Expr) sbfFn {
 	panic(fmt.Sprintf("compile: unhandled subflow expression %T (%s)", e, lang.FormatExpr(e)))
 }
 
-// ---- Subflow list iterators ----
+// ---- Subflow lists ----
 
-func (c *compiler) compileListIter(e lang.Expr) listIterFn {
+func (c *compiler) compileList(e lang.Expr) listFn {
 	switch e := e.(type) {
 	case *lang.EntityExpr:
-		return func(st *state, yield func(*runtime.SubflowView) bool) {
-			for _, sbf := range st.env.SubflowViews {
-				if !yield(sbf) {
-					return
-				}
-			}
+		return func(st *state) []*runtime.SubflowView {
+			return st.env.SubflowViews
 		}
 	case *lang.Ident:
 		slot := c.info.Uses[e].Slot
-		return func(st *state, yield func(*runtime.SubflowView) bool) {
-			for _, sbf := range st.slots[slot].list {
-				if !yield(sbf) {
-					return
-				}
-			}
+		return func(st *state) []*runtime.SubflowView {
+			return st.slots[slot].list
 		}
 	case *lang.MemberExpr:
 		m := c.info.Members[e]
 		if m.Kind == types.MemberFilter {
-			inner := c.compileListIter(e.Recv)
+			inner := c.compileList(e.Recv)
 			lam := e.Args[0].(*lang.Lambda)
 			slot := c.info.Defs[lam].Slot
 			pred := c.compileBool(lam.Body)
-			return func(st *state, yield func(*runtime.SubflowView) bool) {
-				inner(st, func(sbf *runtime.SubflowView) bool {
+			return func(st *state) []*runtime.SubflowView {
+				src := inner(st)
+				start := len(st.arena)
+				for _, sbf := range src {
 					st.slots[slot] = value{sbf: sbf}
-					if !pred(st) {
-						return true
+					if pred(st) {
+						st.arena = append(st.arena, sbf)
 					}
-					return yield(sbf)
-				})
+				}
+				return st.arena[start:len(st.arena):len(st.arena)]
 			}
 		}
 	}

@@ -104,9 +104,13 @@ type Scheduler struct {
 	// runs the generic program and kicks off background compilation,
 	// mirroring the paper's concurrent JIT ("the compilation is
 	// executed concurrently in a separate thread, therefore not
-	// harming network performance").
+	// harming network performance"). The cache is an immutable array
+	// indexed by subflow count, swapped atomically on every install
+	// (copy-on-write), so the execution fast path is one lock-free
+	// load plus an array index; mu serializes writers and the
+	// compiling set only.
 	mu          sync.Mutex
-	specialized map[int]*vm.Program
+	specialized atomic.Pointer[[runtime.MaxSubflows + 1]*vm.Program]
 	compiling   map[int]bool
 	// specializeSync forces synchronous specialization (tests).
 	specializeSync bool
@@ -147,13 +151,13 @@ func Load(name, src string, backend Backend) (*Scheduler, error) {
 		return nil, fmt.Errorf("core: checking scheduler %q: %w", name, err)
 	}
 	s := &Scheduler{
-		name:        name,
-		info:        info,
-		backend:     backend,
-		specialized: make(map[int]*vm.Program),
-		compiling:   make(map[int]bool),
-		metrics:     obs.NewRegistry(),
+		name:      name,
+		info:      info,
+		backend:   backend,
+		compiling: make(map[int]bool),
+		metrics:   obs.NewRegistry(),
 	}
+	s.specialized.Store(new([runtime.MaxSubflows + 1]*vm.Program))
 	s.mExecutions = s.metrics.Counter(MetricExecutions)
 	s.mPushes = s.metrics.Counter(MetricPushes)
 	s.mPops = s.metrics.Counter(MetricPops)
@@ -234,21 +238,15 @@ func (s *Scheduler) Exec(env *runtime.Env) {
 
 func (s *Scheduler) execVM(env *runtime.Env) {
 	n := len(env.SubflowViews)
-	s.mu.Lock()
-	sync := s.specializeSync
-	prog := s.specialized[n]
-	if prog == nil && !s.compiling[n] {
-		s.compiling[n] = true
-		if sync {
-			s.mu.Unlock()
-			s.specialize(n)
-			s.mu.Lock()
-			prog = s.specialized[n]
-		} else {
-			go s.specialize(n)
-		}
+	// Lock-free fast path: in steady state every execution is a hit in
+	// the immutable specialization cache.
+	var prog *vm.Program
+	if n <= runtime.MaxSubflows {
+		prog = s.specialized.Load()[n]
 	}
-	s.mu.Unlock()
+	if prog == nil {
+		prog = s.specializationMiss(n)
+	}
 	if prog == nil {
 		prog = s.vmProg
 		// A generic-program run is a specialization miss; hits are
@@ -275,6 +273,32 @@ func (s *Scheduler) execVM(env *runtime.Env) {
 			s.noteFallbackError(err)
 		}
 	}
+}
+
+// specializationMiss handles the slow path of execVM: it re-checks the
+// cache under the writer lock and kicks off compilation for n (inline
+// when synchronous specialization is forced). It returns the program to
+// run, or nil to use the generic one.
+func (s *Scheduler) specializationMiss(n int) *vm.Program {
+	if n < 0 || n > runtime.MaxSubflows {
+		return nil
+	}
+	s.mu.Lock()
+	if prog := s.specialized.Load()[n]; prog != nil {
+		s.mu.Unlock()
+		return prog
+	}
+	if !s.compiling[n] {
+		s.compiling[n] = true
+		if s.specializeSync {
+			s.mu.Unlock()
+			s.specialize(n)
+			return s.specialized.Load()[n]
+		}
+		go s.specialize(n)
+	}
+	s.mu.Unlock()
+	return nil
 }
 
 // noteFallbackError records a generic-program execution failure in the
@@ -318,9 +342,20 @@ func (s *Scheduler) specialize(n int) {
 		if s.stepCounting.Load() {
 			p.StepCounter = s.metrics.Counter(MetricSteps)
 		}
-		s.specialized[n] = p
+		s.installSpecialized(n, p)
 		s.mSpecialized.Add(1)
 	}
+}
+
+// installSpecialized publishes count → p with a copy-on-write swap.
+// Callers must hold mu.
+func (s *Scheduler) installSpecialized(n int, p *vm.Program) {
+	if n < 0 || n > runtime.MaxSubflows {
+		return
+	}
+	next := *s.specialized.Load()
+	next[n] = p
+	s.specialized.Store(&next)
 }
 
 // Metrics exposes the scheduler's metrics registry (the §4.1
@@ -339,8 +374,10 @@ func (s *Scheduler) EnableStepMetrics() {
 	if s.vmProg != nil {
 		s.vmProg.StepCounter = steps
 	}
-	for _, p := range s.specialized {
-		p.StepCounter = steps
+	for _, p := range s.specialized.Load() {
+		if p != nil {
+			p.StepCounter = steps
+		}
 	}
 }
 
@@ -365,11 +402,11 @@ func (s *Scheduler) MemoryFootprint() int {
 	total += s.info.NumSlots * 16
 	if s.vmProg != nil {
 		total += len(s.vmProg.Insns) * int(unsafe.Sizeof(vm.Instr{}))
-		s.mu.Lock()
-		for _, p := range s.specialized {
-			total += len(p.Insns) * int(unsafe.Sizeof(vm.Instr{}))
+		for _, p := range s.specialized.Load() {
+			if p != nil {
+				total += len(p.Insns) * int(unsafe.Sizeof(vm.Instr{}))
+			}
 		}
-		s.mu.Unlock()
 	}
 	// AST and analysis structures, approximated per statement.
 	total += len(s.info.Prog.Stmts) * 96

@@ -56,9 +56,12 @@ func TestVMSpecializationCacheAndFallback(t *testing.T) {
 	if env0.PushCount() != 0 {
 		t.Errorf("0-subflow exec must not push")
 	}
-	s.mu.Lock()
-	nSpecialized := len(s.specialized)
-	s.mu.Unlock()
+	nSpecialized := 0
+	for _, p := range s.specialized.Load() {
+		if p != nil {
+			nSpecialized++
+		}
+	}
 	if nSpecialized != 2 {
 		t.Errorf("specialization cache has %d entries, want 2", nSpecialized)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -46,18 +45,11 @@ func (s *Scheduler) StatusReport() string {
 	if s.vmProg != nil {
 		fmt.Fprintf(&b, "  bytecode         %d instructions, %d spill slots (generic)\n",
 			len(s.vmProg.Insns), s.vmProg.SpillSlots)
-		s.mu.Lock()
-		counts := make([]int, 0, len(s.specialized))
-		for n := range s.specialized {
-			counts = append(counts, n)
-		}
-		s.mu.Unlock()
-		sort.Ints(counts)
-		for _, n := range counts {
-			s.mu.Lock()
-			p := s.specialized[n]
-			s.mu.Unlock()
-			fmt.Fprintf(&b, "  specialized[%d]   %d instructions\n", n, len(p.Insns))
+		specialized := s.specialized.Load()
+		for n, p := range specialized {
+			if p != nil {
+				fmt.Fprintf(&b, "  specialized[%d]   %d instructions\n", n, len(p.Insns))
+			}
 		}
 	}
 	// The full registry snapshot, indented under the header block.

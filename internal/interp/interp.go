@@ -43,6 +43,8 @@ func (it *Interpreter) Exec(env *runtime.Env) {
 	for i := range f.slots {
 		f.slots[i] = value{}
 	}
+	f.preds = f.preds[:0]
+	f.sbfLists = f.sbfLists[:0]
 	it.frames.Put(f)
 }
 
@@ -58,18 +60,28 @@ type value struct {
 }
 
 // queueRef is a (possibly filtered) packet-queue value. Filters are
-// kept as predicates and applied lazily (late materialization, §4.1).
+// kept as (lambda, slot) pairs and applied lazily (late
+// materialization, §4.1); the pairs live in the frame's predicate
+// arena, so building a filtered queue value never allocates.
 type queueRef struct {
 	base  *runtime.Queue
-	preds []func(*runtime.PacketView) bool
+	preds []predEntry
 }
 
-// each visits visible, predicate-matching packets in queue order until
+// predEntry is one deferred FILTER predicate: evaluate lam.Body with
+// the candidate packet bound to slot.
+type predEntry struct {
+	lam  *lang.Lambda
+	slot int
+}
+
+// qEach visits visible, predicate-matching packets in queue order until
 // fn returns false.
-func (qr queueRef) each(fn func(*runtime.PacketView) bool) {
+func (f *frame) qEach(qr queueRef, fn func(*runtime.PacketView) bool) {
 	qr.base.All(func(p *runtime.PacketView) bool {
-		for _, pred := range qr.preds {
-			if !pred(p) {
+		for _, pe := range qr.preds {
+			f.slots[pe.slot] = value{pkt: p}
+			if !f.eval(pe.lam.Body).b {
 				return true // skip, continue walking
 			}
 		}
@@ -77,20 +89,20 @@ func (qr queueRef) each(fn func(*runtime.PacketView) bool) {
 	})
 }
 
-// top returns the first matching packet or nil.
-func (qr queueRef) top() *runtime.PacketView {
+// qTop returns the first matching packet or nil.
+func (f *frame) qTop(qr queueRef) *runtime.PacketView {
 	var res *runtime.PacketView
-	qr.each(func(p *runtime.PacketView) bool {
+	f.qEach(qr, func(p *runtime.PacketView) bool {
 		res = p
 		return false
 	})
 	return res
 }
 
-// count returns the number of matching packets.
-func (qr queueRef) count() int64 {
+// qCount returns the number of matching packets.
+func (f *frame) qCount(qr queueRef) int64 {
 	var n int64
-	qr.each(func(*runtime.PacketView) bool {
+	f.qEach(qr, func(*runtime.PacketView) bool {
 		n++
 		return true
 	})
@@ -101,6 +113,14 @@ type frame struct {
 	info  *types.Info
 	env   *runtime.Env
 	slots []value
+	// preds and sbfLists are per-execution arenas for filter chains and
+	// materialized subflow lists. Values produced during an execution
+	// hold capacity-capped sub-slices; entries are write-once, so a
+	// later arena growth (which copies) cannot invalidate them. Both
+	// reset to length zero between executions, keeping their capacity —
+	// in steady state no execution allocates.
+	preds    []predEntry
+	sbfLists []*runtime.SubflowView
 }
 
 // execStmt executes s; it returns true when a RETURN unwinds.
@@ -284,27 +304,28 @@ func (f *frame) evalMember(e *lang.MemberExpr) value {
 		lam := e.Args[0].(*lang.Lambda)
 		sym := f.info.Defs[lam]
 		if m.RecvType == types.SubflowList {
-			var out []*runtime.SubflowView
+			start := len(f.sbfLists)
 			for _, sbf := range recv.list {
 				f.slots[sym.Slot] = value{sbf: sbf}
 				if f.eval(lam.Body).b {
-					out = append(out, sbf)
+					f.sbfLists = append(f.sbfLists, sbf)
 				}
 			}
-			return value{list: out}
+			return value{list: f.sbfLists[start:len(f.sbfLists):len(f.sbfLists)]}
 		}
+		// Extend the chain at the arena tail: the receiver's pairs are
+		// copied so chains through queue variables stay intact.
 		qr := recv.q
-		pred := func(p *runtime.PacketView) bool {
-			f.slots[sym.Slot] = value{pkt: p}
-			return f.eval(lam.Body).b
-		}
-		return value{q: queueRef{base: qr.base, preds: append(append([]func(*runtime.PacketView) bool{}, qr.preds...), pred)}}
+		start := len(f.preds)
+		f.preds = append(f.preds, qr.preds...)
+		f.preds = append(f.preds, predEntry{lam: lam, slot: sym.Slot})
+		return value{q: queueRef{base: qr.base, preds: f.preds[start:len(f.preds):len(f.preds)]}}
 	case types.MemberMin, types.MemberMax:
 		return f.evalMinMax(e, m, recv)
 	case types.MemberTop:
-		return value{pkt: recv.q.top()}
+		return value{pkt: f.qTop(recv.q)}
 	case types.MemberPop:
-		p := recv.q.top()
+		p := f.qTop(recv.q)
 		if p != nil {
 			f.env.Site = int32(e.Position().Line)
 			f.env.Pop(recv.q.base.ID(), p)
@@ -314,12 +335,12 @@ func (f *frame) evalMember(e *lang.MemberExpr) value {
 		if m.RecvType == types.SubflowList {
 			return value{b: len(recv.list) == 0}
 		}
-		return value{b: recv.q.top() == nil}
+		return value{b: f.qTop(recv.q) == nil}
 	case types.MemberCount:
 		if m.RecvType == types.SubflowList {
 			return value{i: int64(len(recv.list))}
 		}
-		return value{i: recv.q.count()}
+		return value{i: f.qCount(recv.q)}
 	case types.MemberGet:
 		idx := f.eval(e.Args[0]).i
 		n := int64(len(recv.list))
@@ -353,7 +374,7 @@ func (f *frame) evalMinMax(e *lang.MemberExpr, m *types.Member, recv value) valu
 	}
 	var best *runtime.PacketView
 	var bestKey int64
-	recv.q.each(func(p *runtime.PacketView) bool {
+	f.qEach(recv.q, func(p *runtime.PacketView) bool {
 		f.slots[sym.Slot] = value{pkt: p}
 		key := f.eval(lam.Body).i
 		if best == nil || (max && key > bestKey) || (!max && key < bestKey) {

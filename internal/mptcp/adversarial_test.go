@@ -1,0 +1,235 @@
+package mptcp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"progmp/internal/core"
+	"progmp/internal/netsim"
+	"progmp/internal/runtime"
+	"progmp/internal/schedlib"
+)
+
+// adversarialExec plays a hostile scheduler against one snapshot: it
+// pops packets and then abandons, pushes, or drops them at random —
+// including pushes without a preceding pop, drops of never-transmitted
+// data, and redundant re-pushes — so applyActions has to exercise
+// every commit and restore path, in particular the seq-ordered
+// reinsertion of popped-but-unconsumed packets.
+func adversarialExec(env *runtime.Env, rng *rand.Rand) {
+	type visible struct {
+		v *runtime.PacketView
+		q runtime.QueueID
+	}
+	var views []visible
+	for _, id := range []runtime.QueueID{runtime.QueueSend, runtime.QueueUnacked, runtime.QueueReinject} {
+		q := env.Queue(id)
+		if q == nil {
+			continue
+		}
+		for i := q.NextVisible(-1); i >= 0; i = q.NextVisible(i) {
+			views = append(views, visible{v: q.At(i), q: id})
+		}
+	}
+	sbfs := env.SubflowViews
+	// Shuffle so pops/pushes are not issued in queue order.
+	rng.Shuffle(len(views), func(i, j int) { views[i], views[j] = views[j], views[i] })
+	for n, ent := range views {
+		if n >= 48 { // bound per-round work on large queues
+			break
+		}
+		switch rng.Intn(7) {
+		case 0, 1: // pop and abandon → must be restored in seq order
+			env.Pop(ent.q, ent.v)
+		case 2: // pop then push
+			env.Pop(ent.q, ent.v)
+			if len(sbfs) > 0 {
+				env.Push(sbfs[rng.Intn(len(sbfs))], ent.v)
+			}
+		case 3: // push without a pop (actions are independent)
+			if len(sbfs) > 0 {
+				env.Push(sbfs[rng.Intn(len(sbfs))], ent.v)
+			}
+		case 4: // pop then drop
+			env.Pop(ent.q, ent.v)
+			env.Drop(ent.v)
+		case 5: // drop in place; never-sent data must bounce back to Q
+			env.Drop(ent.v)
+		default: // leave it alone
+		}
+	}
+}
+
+// checkQueueInvariants asserts, after one applyActions pass, the
+// structural invariants the scheduling substrate promises regardless
+// of scheduler behaviour: internally consistent packet lists, strict
+// sequence ordering for Q and QU (the sorted inserts binary-search, so
+// a single out-of-order restore would corrupt them), Q/QU
+// disjointness, no acknowledged packet lingering in a queue, and byte
+// conservation — every unacked segment reachable from a queue or an
+// in-flight transmission record.
+func checkQueueInvariants(t *testing.T, c *Conn, round int) {
+	t.Helper()
+	lists := []struct {
+		name   string
+		l      *packetList
+		sorted bool
+	}{
+		{"Q", c.sendQ, true},
+		{"QU", c.unackedQ, true},
+		{"RQ", c.reinjectQ, false}, // RQ is loss-ordered, not seq-ordered
+	}
+	for _, ent := range lists {
+		if len(ent.l.in) != len(ent.l.pkts) {
+			t.Fatalf("round %d: %s membership map has %d entries for %d packets",
+				round, ent.name, len(ent.l.in), len(ent.l.pkts))
+		}
+		seen := make(map[*Packet]bool, len(ent.l.pkts))
+		for i, p := range ent.l.pkts {
+			if seen[p] {
+				t.Fatalf("round %d: %s holds seq %d twice", round, ent.name, p.Seq)
+			}
+			seen[p] = true
+			if !ent.l.in[p] {
+				t.Fatalf("round %d: %s seq %d missing from membership map", round, ent.name, p.Seq)
+			}
+			if p.MetaAcked {
+				t.Fatalf("round %d: %s holds acknowledged seq %d", round, ent.name, p.Seq)
+			}
+			if ent.sorted && i > 0 && ent.l.pkts[i-1].Seq >= p.Seq {
+				t.Fatalf("round %d: %s out of order at %d: seq %d before seq %d",
+					round, ent.name, i, ent.l.pkts[i-1].Seq, p.Seq)
+			}
+		}
+	}
+	for _, p := range c.sendQ.pkts {
+		if c.unackedQ.contains(p) {
+			t.Fatalf("round %d: seq %d in both Q and QU", round, p.Seq)
+		}
+	}
+	inFlight := make(map[*Packet]bool)
+	for _, s := range c.subflows {
+		for _, rec := range s.outstanding {
+			inFlight[rec.pkt] = true
+		}
+	}
+	// A segment may legally vanish from the sender's queues before the
+	// cumulative DATA_ACK covers it only once its data is safely at the
+	// receiver (delivered in order, or buffered out of order awaiting
+	// earlier sequence numbers).
+	receiverHas := func(p *Packet) bool {
+		if p.Seq < c.receiver.nextMetaSeq {
+			return true
+		}
+		_, ok := c.receiver.oooMeta[p.Seq]
+		return ok
+	}
+	for _, p := range c.pktBySeq {
+		if p.MetaAcked {
+			continue
+		}
+		if !c.sendQ.contains(p) && !c.unackedQ.contains(p) &&
+			!c.reinjectQ.contains(p) && !inFlight[p] && !receiverHas(p) {
+			t.Fatalf("round %d: unacked seq %d reachable from no queue, no in-flight record, and not at receiver",
+				round, p.Seq)
+		}
+	}
+}
+
+// TestAdversarialActionsPreserveInvariants drives a connection through
+// hundreds of randomized hostile scheduler executions — interleaved
+// with real clock advances so transmissions complete and DATA_ACKs
+// land — and checks the queue invariants after every single
+// applyActions pass. It then hands the (by now thoroughly scrambled)
+// connection to a well-behaved scheduler and requires exact
+// exactly-once in-order delivery of every byte, proving the substrate
+// lost nothing along the way.
+func TestAdversarialActionsPreserveInvariants(t *testing.T) {
+	eng := netsim.NewEngine(7)
+	conn := NewConn(eng, Config{})
+	for _, pc := range []netsim.PathConfig{
+		{Name: "fast", Rate: netsim.ConstantRate(20e6), Delay: 5 * time.Millisecond},
+		{Name: "slow", Rate: netsim.ConstantRate(5e6), Delay: 30 * time.Millisecond},
+		{Name: "thin", Rate: netsim.ConstantRate(1e6), Delay: 60 * time.Millisecond},
+	} {
+		if _, err := conn.AddSubflow(SubflowConfig{Name: pc.Name, Link: netsim.NewLink(eng, pc)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chk := NewConservationChecker(conn)
+	eng.RunUntil(10 * time.Millisecond) // establish subflows
+
+	rng := rand.New(rand.NewSource(20260805))
+	total := 0
+	send := func(n int) {
+		conn.Send(n, int64(rng.Intn(3)))
+		total += n
+	}
+	send(96 * 1460)
+
+	const rounds = 400
+	for round := 0; round < rounds; round++ {
+		if round%37 == 0 {
+			send(rng.Intn(16*1460) + 1)
+		}
+		env := conn.buildEnv()
+		adversarialExec(env, rng)
+		conn.applyActions(env)
+		checkQueueInvariants(t, conn, round)
+		if rng.Intn(3) == 0 {
+			// Let transmissions drain and acknowledgements arrive so
+			// later rounds see QU/RQ churn and meta-ack removals.
+			eng.RunUntil(eng.Now() + time.Duration(rng.Intn(15)+1)*time.Millisecond)
+			checkQueueInvariants(t, conn, round)
+		}
+	}
+
+	// Recovery: a sane scheduler must be able to finish the transfer.
+	conn.SetScheduler(core.MustLoad("minRTT", schedlib.All["minRTT"], core.BackendVM))
+	conn.Kick()
+	eng.RunUntil(eng.Now() + 120*time.Second)
+	if !conn.AllAcked() {
+		t.Fatalf("transfer wedged after adversarial phase: %d queued, %d unacked",
+			conn.QueuedSegments(), conn.UnackedSegments())
+	}
+	if err := chk.Check(int64(total)); err != nil {
+		t.Fatalf("conservation after adversarial scheduling: %v", err)
+	}
+}
+
+// TestScheduleSteadyStateZeroAlloc pins the full per-trigger
+// scheduling block — snapshot build, scheduler execution, action
+// apply — at zero allocations once the connection's arena and
+// scratch buffers are warm. The connection is parked in a state where
+// the congestion window is exhausted (data queued, acks withheld), so
+// every Kick runs a real execution over populated queues without
+// transmitting; this is exactly the hot path the lazy snapshot arena
+// exists for.
+func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
+	eng := netsim.NewEngine(3)
+	conn := NewConn(eng, Config{})
+	for _, name := range []string{"a", "b"} {
+		link := netsim.NewLink(eng, netsim.PathConfig{
+			Name: name, Rate: netsim.ConstantRate(10e6), Delay: 20 * time.Millisecond,
+		})
+		if _, err := conn.AddSubflow(SubflowConfig{Name: name, Link: link}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := core.MustLoad("minRTT", schedlib.All["minRTT"], core.BackendVM)
+	s.SetSynchronousSpecialization(true)
+	conn.SetScheduler(s)
+	eng.RunUntil(10 * time.Millisecond)
+
+	// Fill both congestion windows; with the engine paused no acks
+	// arrive, so subsequent executions select nothing and the pass is
+	// pure snapshot + execute + (empty) apply.
+	conn.Send(1<<20, 0)
+	for i := 0; i < 64; i++ { // warm pools, specialization, scratch
+		conn.Kick()
+	}
+	if n := testing.AllocsPerRun(200, conn.Kick); n != 0 {
+		t.Fatalf("steady-state scheduling pass allocates %.1f times per trigger, want 0", n)
+	}
+}

@@ -2,7 +2,6 @@ package mptcp
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"progmp/internal/netsim"
@@ -108,6 +107,25 @@ type Conn struct {
 	bytesQueued int64 // total bytes enqueued so far (next Offset)
 	pktBySeq    map[int64]*Packet
 
+	// Snapshot arena (§4.1): recycled environment, subflow views and
+	// lazily-materialized queue views. The three sources feed the
+	// arena's queues; lastNow and the last* version stamps decide when
+	// a queue's materialized views survive into the next execution.
+	arena     *runtime.Arena
+	qSrc      pktSource
+	quSrc     pktSource
+	rqSrc     pktSource
+	quSnap    []*Packet // QU minus RQ members, rebuilt only when stale
+	snapValid bool
+	lastNow   time.Duration
+	lastQVer  uint64
+	lastQUVer uint64
+	lastRQVer uint64
+
+	// applyActions bookkeeping, recycled across passes.
+	applyGen   uint64
+	popScratch []popEntry
+
 	scheduling   bool
 	schedPending bool
 	// Scheduler swap deferred to the execution boundary (see
@@ -151,6 +169,7 @@ func NewConn(eng *netsim.Engine, cfg Config) *Conn {
 		pktBySeq:  make(map[int64]*Packet),
 		rwnd:      int64(cfg.RcvBuf),
 	}
+	c.arena = runtime.NewArena(&c.regs)
 	c.receiver = newReceiver(c, cfg.ReceiverMode, cfg.RcvBuf)
 	return c
 }
@@ -532,18 +551,62 @@ func (c *Conn) schedule() {
 	}
 }
 
+// pktSource materializes packet views from a substrate packet slice,
+// frozen for one execution (the substrate only mutates in applyActions,
+// after the execution finished).
+type pktSource struct {
+	pkts []*Packet
+	now  time.Duration
+}
+
+// MaterializePacket fills v from packet i; every exported field is
+// overwritten because views are recycled across executions.
+func (s *pktSource) MaterializePacket(i int, v *runtime.PacketView) {
+	p := s.pkts[i]
+	v.Handle = runtime.PacketHandle(p.Seq + 1)
+	v.SentOnMask = p.SentOnMask
+	v.Ints[runtime.PktSize] = int64(p.Size)
+	v.Ints[runtime.PktSeq] = p.Seq
+	v.Ints[runtime.PktProp] = p.Prop
+	v.Ints[runtime.PktSentCount] = int64(p.SentCount)
+	v.Ints[runtime.PktAgeUS] = (s.now - p.EnqueuedAt).Microseconds()
+	if p.SentCount > 0 {
+		v.Ints[runtime.PktLastSentUS] = (s.now - p.LastSentAt).Microseconds()
+	} else {
+		v.Ints[runtime.PktLastSentUS] = -1
+	}
+}
+
 // buildEnv snapshots the scheduling environment (§3.1). Properties are
-// immutable for the execution; side effects are collected in the
-// action queue.
+// immutable for the execution; side effects are collected in the action
+// queue. The snapshot is allocation-free in steady state: views live in
+// the connection's arena and materialize lazily as the scheduler
+// touches them, and a queue whose substrate is unchanged since the
+// previous execution (same membership and properties — tracked by the
+// packetList version counters — at the same clock) keeps its
+// materialized views entirely.
 func (c *Conn) buildEnv() *runtime.Env {
-	var views []*runtime.SubflowView
-	rwndFree := c.rwndFreeBytes()
 	now := c.eng.Now()
+	sameClock := c.snapValid && now == c.lastNow
+	rwndFree := c.rwndFreeBytes()
+
+	// Subflow views are small and volatile (cwnd, RTT, in-flight move
+	// with every event), so they are always refilled.
+	n := 0
+	for _, s := range c.subflows {
+		if s.usable() {
+			n++
+		}
+	}
+	views := c.arena.BindSubflows(n)
+	i := 0
 	for _, s := range c.subflows {
 		if !s.usable() {
 			continue
 		}
-		v := &runtime.SubflowView{
+		v := views[i]
+		i++
+		*v = runtime.SubflowView{
 			Handle:        runtime.SubflowHandle(s.id + 1),
 			RWndFreeBytes: rwndFree,
 		}
@@ -561,49 +624,53 @@ func (c *Conn) buildEnv() *runtime.Env {
 		v.Bools[runtime.SbfLossy] = s.inRecovery
 		v.Bools[runtime.SbfTSQThrottled] = s.tsqThrottled()
 		v.Bools[runtime.SbfIsBackup] = s.backup
-		views = append(views, v)
 	}
-	mkQueue := func(id runtime.QueueID, pkts []*Packet, exclude *packetList) *runtime.Queue {
-		var pvs []*runtime.PacketView
-		for _, p := range pkts {
-			if exclude != nil && exclude.contains(p) {
-				continue
+
+	c.qSrc = pktSource{pkts: c.sendQ.pkts, now: now}
+	c.arena.BindQueue(runtime.QueueSend, &c.qSrc,
+		len(c.sendQ.pkts), sameClock && c.lastQVer == c.sendQ.ver)
+
+	// QU excludes reinjection candidates (pairwise disjoint views,
+	// §3.1), so its filtered membership depends on both QU and RQ.
+	reuseQU := sameClock && c.lastQUVer == c.unackedQ.ver && c.lastRQVer == c.reinjectQ.ver
+	if !reuseQU {
+		c.quSnap = c.quSnap[:0]
+		for _, p := range c.unackedQ.pkts {
+			if !c.reinjectQ.contains(p) {
+				c.quSnap = append(c.quSnap, p)
 			}
-			pv := &runtime.PacketView{
-				Handle:     runtime.PacketHandle(p.Seq + 1),
-				SentOnMask: p.SentOnMask,
-			}
-			pv.Ints[runtime.PktSize] = int64(p.Size)
-			pv.Ints[runtime.PktSeq] = p.Seq
-			pv.Ints[runtime.PktProp] = p.Prop
-			pv.Ints[runtime.PktSentCount] = int64(p.SentCount)
-			pv.Ints[runtime.PktAgeUS] = (now - p.EnqueuedAt).Microseconds()
-			if p.SentCount > 0 {
-				pv.Ints[runtime.PktLastSentUS] = (now - p.LastSentAt).Microseconds()
-			} else {
-				pv.Ints[runtime.PktLastSentUS] = -1
-			}
-			pvs = append(pvs, pv)
 		}
-		return runtime.NewQueue(id, pvs)
 	}
-	return runtime.NewEnv(views,
-		mkQueue(runtime.QueueSend, c.sendQ.all(), nil),
-		mkQueue(runtime.QueueUnacked, c.unackedQ.all(), c.reinjectQ),
-		mkQueue(runtime.QueueReinject, c.reinjectQ.all(), nil),
-		&c.regs)
+	c.quSrc = pktSource{pkts: c.quSnap, now: now}
+	c.arena.BindQueue(runtime.QueueUnacked, &c.quSrc, len(c.quSnap), reuseQU)
+
+	c.rqSrc = pktSource{pkts: c.reinjectQ.pkts, now: now}
+	c.arena.BindQueue(runtime.QueueReinject, &c.rqSrc,
+		len(c.reinjectQ.pkts), sameClock && c.lastRQVer == c.reinjectQ.ver)
+
+	c.lastNow = now
+	c.lastQVer = c.sendQ.ver
+	c.lastQUVer = c.unackedQ.ver
+	c.lastRQVer = c.reinjectQ.ver
+	c.snapValid = true
+
+	c.arena.BeginExec()
+	return c.arena.Env()
+}
+
+// popEntry records one committed POP for the restore pass.
+type popEntry struct {
+	pkt *Packet
+	q   runtime.QueueID
 }
 
 // applyActions commits the execution's action queue to the connection
 // state and reports whether the scheduler made progress (transmitted
 // or deliberately dropped something).
 func (c *Conn) applyActions(env *runtime.Env) bool {
-	type popEntry struct {
-		pkt *Packet
-		q   runtime.QueueID
-	}
-	var pops []popEntry
-	consumed := make(map[*Packet]bool)
+	pops := c.popScratch[:0]
+	c.applyGen++
+	gen := c.applyGen
 	progress := false
 	for _, a := range env.Actions {
 		switch a.Kind {
@@ -624,17 +691,22 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 				continue
 			}
 			if pkt.MetaAcked {
-				consumed[pkt] = true
+				pkt.consumedGen = gen
 				continue
 			}
 			if sbf.transmit(pkt) {
 				progress = true
-				consumed[pkt] = true
+				pkt.consumedGen = gen
 				// A transmitted segment leaves Q and RQ and is
-				// tracked as unacknowledged.
+				// tracked as unacknowledged. The transmission also
+				// mutated packet properties (SentOnMask, SentCount),
+				// so QU views are stale even when membership did not
+				// change (a redundant re-push of an in-flight
+				// segment); bump the version unconditionally.
 				c.sendQ.remove(pkt)
 				c.reinjectQ.remove(pkt)
 				c.insertUnacked(pkt)
+				c.unackedQ.ver++
 				c.mPushes.Add(1)
 				c.trace(obs.EvPush, int32(sbf.id), pkt.Seq, int64(pkt.Size), a.Site)
 			}
@@ -643,7 +715,7 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 			if pkt == nil {
 				continue
 			}
-			consumed[pkt] = true
+			pkt.consumedGen = gen
 			removed := c.sendQ.remove(pkt) || c.reinjectQ.remove(pkt)
 			if pkt.SentCount == 0 && !c.unackedQ.contains(pkt) && !pkt.MetaAcked {
 				// Dropping never-transmitted data would lose bytes of
@@ -659,44 +731,28 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 	}
 	// Popped packets that were neither pushed nor dropped return to
 	// their queue (graceful: no packet loss on scheduler mistakes).
-	for i := len(pops) - 1; i >= 0; i-- {
-		e := pops[i]
-		if consumed[e.pkt] || e.pkt.MetaAcked {
+	// Reinsertion is by sequence number for every queue: Q and QU are
+	// seq-sorted invariantly (their sorted inserts binary-search), and
+	// a front-insert into the middle pop's former queue would silently
+	// break that ordering.
+	for _, e := range pops {
+		if e.pkt.consumedGen == gen || e.pkt.MetaAcked {
 			continue
 		}
-		if e.q == runtime.QueueSend {
-			c.insertSendQ(e.pkt)
-		} else {
-			c.queueList(e.q).pushFront(e.pkt)
-		}
+		c.queueList(e.q).insertBySeq(e.pkt)
 	}
+	c.popScratch = pops[:0]
 	return progress
 }
 
 // insertUnacked keeps QU ordered by meta sequence number.
 func (c *Conn) insertUnacked(pkt *Packet) {
-	if c.unackedQ.contains(pkt) {
-		return
-	}
-	pkts := c.unackedQ.all()
-	idx := sort.Search(len(pkts), func(i int) bool { return pkts[i].Seq > pkt.Seq })
-	c.unackedQ.pkts = append(c.unackedQ.pkts, nil)
-	copy(c.unackedQ.pkts[idx+1:], c.unackedQ.pkts[idx:])
-	c.unackedQ.pkts[idx] = pkt
-	c.unackedQ.in[pkt] = true
+	c.unackedQ.insertBySeq(pkt)
 }
 
 // insertSendQ reinserts pkt into Q in sequence order.
 func (c *Conn) insertSendQ(pkt *Packet) {
-	if c.sendQ.contains(pkt) {
-		return
-	}
-	pkts := c.sendQ.all()
-	idx := sort.Search(len(pkts), func(i int) bool { return pkts[i].Seq > pkt.Seq })
-	c.sendQ.pkts = append(c.sendQ.pkts, nil)
-	copy(c.sendQ.pkts[idx+1:], c.sendQ.pkts[idx:])
-	c.sendQ.pkts[idx] = pkt
-	c.sendQ.in[pkt] = true
+	c.sendQ.insertBySeq(pkt)
 }
 
 func (c *Conn) pktOf(h runtime.PacketHandle) *Packet {

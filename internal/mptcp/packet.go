@@ -12,6 +12,7 @@
 package mptcp
 
 import (
+	"sort"
 	"time"
 )
 
@@ -35,6 +36,10 @@ type Packet struct {
 	// MetaAcked is set once the cumulative DATA_ACK covers the packet;
 	// acked packets are automatically removed from all queues (§3.1).
 	MetaAcked bool
+
+	// consumedGen stamps the applyActions pass (Conn.applyGen) that
+	// pushed or dropped the packet, replacing a per-pass map.
+	consumedGen uint64
 }
 
 // sentOn reports a prior transmission on the subflow id.
@@ -45,6 +50,12 @@ func (p *Packet) sentOn(id int) bool { return p.SentOnMask&(1<<uint(id)) != 0 }
 type packetList struct {
 	pkts []*Packet
 	in   map[*Packet]bool
+	// ver counts membership mutations. The snapshot layer compares it
+	// across scheduler executions to decide whether lazily-materialized
+	// packet views may be reused (incremental snapshot reuse, §4.1);
+	// property-only mutations that keep membership intact must bump it
+	// explicitly (see Conn.applyActions).
+	ver uint64
 }
 
 func newPacketList() *packetList {
@@ -63,18 +74,26 @@ func (l *packetList) pushBack(p *Packet) bool {
 	}
 	l.pkts = append(l.pkts, p)
 	l.in[p] = true
+	l.ver++
 	return true
 }
 
-// pushFront prepends p unless already present (used to reinsert popped
-// packets that were neither pushed nor dropped — packets must not be
-// lost by design, §3.3).
-func (l *packetList) pushFront(p *Packet) {
+// insertBySeq inserts p at its sequence-ordered position unless already
+// present, reporting whether it was added. On a seq-sorted list this is
+// a sorted insert; reinserting popped-but-unconsumed packets this way
+// (packets must not be lost by design, §3.3) preserves the ordering
+// invariant that the sorted-insert binary searches rely on.
+func (l *packetList) insertBySeq(p *Packet) bool {
 	if l.in[p] {
-		return
+		return false
 	}
-	l.pkts = append([]*Packet{p}, l.pkts...)
+	idx := sort.Search(len(l.pkts), func(i int) bool { return l.pkts[i].Seq > p.Seq })
+	l.pkts = append(l.pkts, nil)
+	copy(l.pkts[idx+1:], l.pkts[idx:])
+	l.pkts[idx] = p
 	l.in[p] = true
+	l.ver++
+	return true
 }
 
 // remove deletes p, reporting whether it was present.
@@ -86,6 +105,7 @@ func (l *packetList) remove(p *Packet) bool {
 	for i, cand := range l.pkts {
 		if cand == p {
 			l.pkts = append(l.pkts[:i], l.pkts[i+1:]...)
+			l.ver++
 			return true
 		}
 	}

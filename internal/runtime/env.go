@@ -1,5 +1,16 @@
 package runtime
 
+// QueueSource materializes packet views on demand. A queue bound to a
+// source (see Arena.BindQueue) starts each execution with no view
+// contents at all; the first access to a position fills the recycled
+// view from the substrate. MaterializePacket must overwrite every
+// exported field of v (views are pooled, so stale fields from an
+// earlier snapshot are still present) and must describe a substrate
+// that does not change for the remainder of the execution.
+type QueueSource interface {
+	MaterializePacket(i int, v *PacketView)
+}
+
 // Queue is the snapshot of one packet queue presented to a scheduler
 // execution. The underlying packet slice is ordered by (meta) sequence
 // number, oldest first, exactly as the kernel's sk_write_queue would be
@@ -9,60 +20,142 @@ package runtime
 // this execution and records an ActionPop, so the queue view stays
 // consistent with the programming model (a popped packet is no longer
 // visible to subsequent TOP/POP/FILTER evaluations).
+//
+// A queue operates in one of two modes. The eager mode (NewQueue) wraps
+// a fully built []*PacketView. The arena mode (Arena.BindQueue) owns
+// recycled view storage and fills views lazily from a QueueSource as
+// Top/All/NextVisible/At touch positions — the paper's late
+// materialization (§4.1), which makes a snapshot whose packets are never
+// inspected cost nothing beyond the bind itself.
+//
+// All per-execution state (pop marks, materialization marks) is kept in
+// generation-stamped arrays: Reset and rebinding bump a counter instead
+// of clearing memory, so the steady-state cost of starting an execution
+// is O(1) per queue, not O(packets).
 type Queue struct {
-	id      QueueID
-	pkts    []*PacketView
-	popped  []bool
+	id   QueueID
+	n    int           // snapshot length
+	pkts []*PacketView // views for positions [0, n); may have extra capacity
+
+	// Arena mode: recycled view storage and the lazy-fill bookkeeping.
+	// src == nil means eager mode (views arrived fully built).
+	src     QueueSource
+	store   []PacketView
+	matGen  []uint32 // matGen[i] == matMark → store[i] is filled
+	matMark uint32
+
+	// Pop bookkeeping: popGen[i] == gen → position i consumed.
+	gen     uint32
+	popGen  []uint32
 	nPopped int
+	topHint int // all positions < topHint are consumed
 }
 
-// NewQueue wraps a packet snapshot slice as a queue view. The slice is
-// not copied; the substrate must not mutate it during execution.
+// NewQueue wraps a packet snapshot slice as an eager queue view. The
+// slice is not copied; the substrate must not mutate it during
+// execution.
 func NewQueue(id QueueID, pkts []*PacketView) *Queue {
-	return &Queue{id: id, pkts: pkts, popped: make([]bool, len(pkts))}
+	q := &Queue{id: id, n: len(pkts), pkts: pkts, gen: 1, popGen: make([]uint32, len(pkts))}
+	for i, p := range pkts {
+		p.pos = int32(i)
+	}
+	return q
+}
+
+// bind points the queue at a source of n packets for the next
+// execution. When reuse is true the caller asserts the substrate
+// content behind the source is unchanged since the previous bind, so
+// already-materialized views stay valid; otherwise every view is
+// invalidated (lazily — no memory is touched here). Pop state is always
+// per-execution and is cleared separately by Reset.
+func (q *Queue) bind(id QueueID, src QueueSource, n int, reuse bool) {
+	q.id = id
+	q.src = src
+	if n != q.n {
+		reuse = false
+	}
+	if n > len(q.store) {
+		// Grow the backing arrays. Views from earlier executions keep
+		// pointing into the old store, which is fine: snapshots are only
+		// referenced within their own execution.
+		newCap := n + n/2 + 8
+		q.store = make([]PacketView, newCap)
+		q.pkts = make([]*PacketView, newCap)
+		q.matGen = make([]uint32, newCap)
+		q.popGen = make([]uint32, newCap)
+		for i := range q.store {
+			q.pkts[i] = &q.store[i]
+			q.store[i].pos = int32(i)
+		}
+		q.gen = 1
+		q.matMark = 0
+		reuse = false
+	}
+	q.n = n
+	if !reuse {
+		q.matMark++
+		if q.matMark == 0 { // wraparound: marks in matGen could collide
+			for i := range q.matGen {
+				q.matGen[i] = 0
+			}
+			q.matMark = 1
+		}
+	}
 }
 
 // ID returns the queue's identity.
 func (q *Queue) ID() QueueID { return q.id }
 
 // Len returns the number of packets still visible in the queue.
-func (q *Queue) Len() int { return len(q.pkts) - q.nPopped }
+func (q *Queue) Len() int { return q.n - q.nPopped }
 
 // Empty reports whether no packets remain visible.
 func (q *Queue) Empty() bool { return q.Len() == 0 }
 
-// Top returns the first visible packet, or nil when empty.
+// popped reports whether position i was consumed this execution.
+func (q *Queue) popped(i int) bool { return q.popGen[i] == q.gen }
+
+// Top returns the first visible packet, or nil when empty. The scan
+// cursor only ever advances (pops are irrevocable within an execution),
+// so Top is amortized O(1).
 func (q *Queue) Top() *PacketView {
-	for i, p := range q.pkts {
-		if !q.popped[i] {
-			return p
-		}
+	for q.topHint < q.n && q.popped(q.topHint) {
+		q.topHint++
 	}
-	return nil
+	if q.topHint >= q.n {
+		return nil
+	}
+	return q.At(q.topHint)
 }
 
 // All calls fn for every visible packet in order; fn returning false
 // stops the walk. This is the primitive the declarative operations
-// (FILTER/MIN/MAX) build on, enabling late materialization.
+// (FILTER/MIN/MAX) build on; views materialize only as the walk
+// reaches them, so an early stop leaves the tail untouched.
 func (q *Queue) All(fn func(*PacketView) bool) {
-	for i, p := range q.pkts {
-		if q.popped[i] {
+	for i := q.topHint; i < q.n; i++ {
+		if q.popped(i) {
 			continue
 		}
-		if !fn(p) {
+		if !fn(q.At(i)) {
 			return
 		}
 	}
 }
 
-// Reset clears pop state so the same snapshot can be executed again
-// (used by the overhead benchmarks to time executions without
-// rebuilding the environment).
+// Reset clears pop state so the same snapshot can be executed again.
+// Materialized views stay valid: generation counters make the clear
+// O(1) regardless of queue length.
 func (q *Queue) Reset() {
-	for i := range q.popped {
-		q.popped[i] = false
+	q.gen++
+	if q.gen == 0 { // wraparound: stamps in popGen could collide
+		for i := range q.popGen {
+			q.popGen[i] = 0
+		}
+		q.gen = 1
 	}
 	q.nPopped = 0
+	q.topHint = 0
 }
 
 // At returns the packet at position i in the underlying snapshot,
@@ -70,17 +163,26 @@ func (q *Queue) Reset() {
 // stable for the whole execution; the bytecode VM encodes packet
 // handles as (queue, position) pairs.
 func (q *Queue) At(i int) *PacketView {
-	if i < 0 || i >= len(q.pkts) {
+	if i < 0 || i >= q.n {
 		return nil
 	}
-	return q.pkts[i]
+	p := q.pkts[i]
+	if q.src != nil && q.matGen[i] != q.matMark {
+		q.src.MaterializePacket(i, p)
+		q.matGen[i] = q.matMark
+	}
+	return p
 }
 
 // NextVisible returns the position of the first not-yet-popped packet
 // strictly after position `after` (start with -1), or -1 when none.
 func (q *Queue) NextVisible(after int) int {
-	for i := after + 1; i < len(q.pkts); i++ {
-		if i >= 0 && !q.popped[i] {
+	i := after + 1
+	if i < q.topHint {
+		i = q.topHint // everything below the hint is consumed
+	}
+	for ; i < q.n; i++ {
+		if !q.popped(i) {
 			return i
 		}
 	}
@@ -89,19 +191,32 @@ func (q *Queue) NextVisible(after int) int {
 
 // PopPacket marks p as consumed and returns whether it was visible.
 // It supports popping from the middle of the queue, which the kernel
-// runtime implements with the augmented queue_position pointer.
+// runtime implements with the augmented queue_position pointer. The
+// common case — a view owned by this queue — is O(1) via the view's
+// recorded position; a foreign view degrades to a scan.
 func (q *Queue) PopPacket(p *PacketView) bool {
 	if p == nil {
 		return false
 	}
-	for i, cand := range q.pkts {
-		if cand == p && !q.popped[i] {
-			q.popped[i] = true
-			q.nPopped++
-			return true
+	i := int(p.pos)
+	if i < 0 || i >= q.n || q.pkts[i] != p {
+		i = -1
+		for j := 0; j < q.n; j++ {
+			if q.pkts[j] == p {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			return false
 		}
 	}
-	return false
+	if q.popped(i) {
+		return false
+	}
+	q.popGen[i] = q.gen
+	q.nPopped++
+	return true
 }
 
 // Env is the complete execution environment for one scheduler run:
@@ -118,6 +233,13 @@ type Env struct {
 	// before emitting an action so the recorded Action carries the
 	// program location (source line or bytecode pc) that decided it.
 	Site int32
+
+	// Cached ActionPush count: valid while pushSeen == len(Actions).
+	// Callers that truncate Actions directly (the guard rebuilds the
+	// queue in place) invalidate the cache by changing the length;
+	// PushCount then recounts once and re-caches.
+	pushes   int
+	pushSeen int
 }
 
 // NewEnv assembles an environment. Any nil queue is replaced by an
@@ -145,10 +267,14 @@ func NewEnv(subflows []*SubflowView, sendQ, unackedQ, reinjectQ *Queue, regs *[N
 }
 
 // Reset clears the action queue and pop state for re-execution of the
-// same snapshot (overhead benchmarks). Registers are preserved.
+// same snapshot (overhead benchmarks, compressed executions).
+// Registers are preserved, and so is the Actions capacity — in steady
+// state no append in the hot path allocates.
 func (e *Env) Reset() {
 	e.Actions = e.Actions[:0]
 	e.Site = 0
+	e.pushes = 0
+	e.pushSeen = 0
 	e.SendQ.Reset()
 	e.UnackedQ.Reset()
 	e.ReinjectQ.Reset()
@@ -194,6 +320,9 @@ func (e *Env) Pop(id QueueID, p *PacketView) bool {
 		return false
 	}
 	e.Actions = append(e.Actions, Action{Kind: ActionPop, Queue: id, Packet: p.Handle, Site: e.Site})
+	if e.pushSeen == len(e.Actions)-1 {
+		e.pushSeen = len(e.Actions)
+	}
 	return true
 }
 
@@ -204,6 +333,10 @@ func (e *Env) Push(sbf *SubflowView, p *PacketView) {
 		return
 	}
 	e.Actions = append(e.Actions, Action{Kind: ActionPush, Packet: p.Handle, Subflow: sbf.Handle, Site: e.Site})
+	if e.pushSeen == len(e.Actions)-1 {
+		e.pushes++
+		e.pushSeen = len(e.Actions)
+	}
 }
 
 // Drop records discarding p. Dropping nil is a graceful no-op.
@@ -212,17 +345,26 @@ func (e *Env) Drop(p *PacketView) {
 		return
 	}
 	e.Actions = append(e.Actions, Action{Kind: ActionDrop, Packet: p.Handle, Site: e.Site})
+	if e.pushSeen == len(e.Actions)-1 {
+		e.pushSeen = len(e.Actions)
+	}
 }
 
 // PushCount returns how many ActionPush entries were recorded. The
 // substrate's calling model uses it to decide whether another execution
-// may make progress (compressed executions, §4.1).
+// may make progress (compressed executions, §4.1). The count is
+// maintained incrementally; it only falls back to a recount after the
+// Actions slice was modified behind the environment's back.
 func (e *Env) PushCount() int {
-	n := 0
-	for _, a := range e.Actions {
-		if a.Kind == ActionPush {
-			n++
+	if e.pushSeen != len(e.Actions) {
+		n := 0
+		for i := range e.Actions {
+			if e.Actions[i].Kind == ActionPush {
+				n++
+			}
 		}
+		e.pushes = n
+		e.pushSeen = len(e.Actions)
 	}
-	return n
+	return e.pushes
 }

@@ -167,6 +167,11 @@ type PacketView struct {
 	// SentOnMask has bit i set when the packet was transmitted on the
 	// subflow with ID i.
 	SentOnMask uint64
+	// pos is the view's position inside its owning queue snapshot,
+	// maintained by Queue so PopPacket runs in O(1). A view shared
+	// between queues falls back to a linear scan in the non-owning
+	// queue (the position check is an identity comparison).
+	pos int32
 }
 
 // SentOn reports whether the packet was ever transmitted on sbf.

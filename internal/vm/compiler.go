@@ -54,7 +54,12 @@ func Compile(info *types.Info, opts Options) (*Program, error) {
 	if !opts.DisableOptimizations {
 		c.ir = optimize(c.ir)
 	}
-	insns, spills, err := allocate(c.ir, c.nv)
+	// Optimization may introduce vregs (hoisted canonical constants).
+	nv := c.nv
+	if mv := maxVreg(c.ir); mv > nv {
+		nv = mv
+	}
+	insns, spills, err := allocate(c.ir, nv)
 	if err != nil {
 		return nil, fmt.Errorf("vm: register allocation: %w", err)
 	}
@@ -128,17 +133,20 @@ func (c *comp) stmt(s lang.Stmt) {
 			c.stmt(inner)
 		}
 	case *lang.IfStmt:
-		cond := c.boolExpr(s.Cond)
-		jz := c.emit(OpJz, 0, cond, 0, 0)
+		jfs := c.condJumps(s.Cond, false)
 		for _, inner := range s.Then.Stmts {
 			c.stmt(inner)
 		}
 		if s.Else == nil {
-			c.patch(jz)
+			for _, j := range jfs {
+				c.patch(j)
+			}
 			return
 		}
 		jend := c.emit(OpJmp, 0, 0, 0, 0)
-		c.patch(jz)
+		for _, j := range jfs {
+			c.patch(j)
+		}
 		c.stmt(s.Else)
 		c.patch(jend)
 	case *lang.VarDecl:
@@ -160,12 +168,13 @@ func (c *comp) stmt(s lang.Stmt) {
 	case *lang.ForeachStmt:
 		sym := c.info.Defs[s]
 		mask := c.listMask(s.Iter)
-		loopVar := c.newv()
-		c.syms[sym] = loopVar
 		c.forEachSubflowIdx(func(idx int) {
-			in := c.newv()
-			c.emit(OpBitTest, in, mask, idx, 0)
-			skip := c.emit(OpJz, 0, in, 0, 0)
+			skip := c.emit(OpJbc, 0, mask, idx, 0)
+			// A fresh loop variable per unrolled iteration keeps each
+			// OpSbfRef single-assignment, so constant folding turns it
+			// into a hoistable constant handle.
+			loopVar := c.newv()
+			c.syms[sym] = loopVar
 			c.emit(OpSbfRef, loopVar, idx, 0, 0)
 			for _, inner := range s.Body.Stmts {
 				c.stmt(inner)
@@ -333,6 +342,111 @@ func (c *comp) intExpr(e lang.Expr) int {
 }
 
 // ---- Bool expressions ----
+
+// condJumps compiles e in branch context: the emitted code jumps when
+// the condition's truth equals want and falls through otherwise. The
+// returned instruction indices are the pending jumps, to be patched to
+// the branch target. NOT and short-circuit AND/OR become pure control
+// flow — no boolean is materialized — and comparisons emit fused
+// compare-and-branch instructions directly.
+func (c *comp) condJumps(e lang.Expr, want bool) []int {
+	switch e := e.(type) {
+	case *lang.BoolLit:
+		if e.Val == want {
+			return []int{c.emit(OpJmp, 0, 0, 0, 0)}
+		}
+		return nil
+	case *lang.UnaryExpr:
+		if e.Op == lang.NOT {
+			return c.condJumps(e.X, !want)
+		}
+	case *lang.BinaryExpr:
+		switch e.Op {
+		case lang.AND, lang.OR:
+			// Jumping on the truth of an AND (dually, the falsity of an
+			// OR) must prove both operands: the first operand's
+			// complement jumps land on the overall fall-through.
+			if (e.Op == lang.AND) == want {
+				around := c.condJumps(e.X, !want)
+				out := c.condJumps(e.Y, want)
+				for _, j := range around {
+					c.patch(j)
+				}
+				return out
+			}
+			out := c.condJumps(e.X, want)
+			return append(out, c.condJumps(e.Y, want)...)
+		case lang.LT, lang.LTE, lang.GT, lang.GTE:
+			x := c.intExpr(e.X)
+			y := c.intExpr(e.Y)
+			return []int{c.emit(cmpJump(e.Op, want), 0, x, y, 0)}
+		case lang.EQ, lang.NEQ:
+			x := c.anyExpr(e.X)
+			y := c.anyExpr(e.Y)
+			op := OpJeq
+			if (e.Op == lang.EQ) != want {
+				op = OpJne
+			}
+			return []int{c.emit(op, 0, x, y, 0)}
+		}
+	case *lang.MemberExpr:
+		if m := c.info.Members[e]; m.Kind == types.MemberSbfBool {
+			// The hottest predicate shape: test a subflow boolean
+			// property and branch, with no materialized 0/1.
+			recv := c.sbfExpr(e.Recv)
+			op := OpJsbnz
+			if !want {
+				op = OpJsbz
+			}
+			return []int{c.emit(op, 0, recv, int(m.SbfBool), 0)}
+		}
+		if c.info.Members[e].Kind == types.MemberEmpty {
+			// EMPTY is a zero test on the mask or top-packet handle.
+			var v int
+			if c.info.Members[e].RecvType == types.SubflowList {
+				v = c.listMask(e.Recv)
+			} else {
+				v = c.queueTop(e.Recv)
+			}
+			if want {
+				return []int{c.emit(OpJz, 0, v, 0, 0)}
+			}
+			return []int{c.emit(OpJnz, 0, v, 0, 0)}
+		}
+	}
+	v := c.boolExpr(e)
+	if want {
+		return []int{c.emit(OpJnz, 0, v, 0, 0)}
+	}
+	return []int{c.emit(OpJz, 0, v, 0, 0)}
+}
+
+// cmpJump maps an ordering comparison to the fused jump that is taken
+// when the comparison's truth equals want.
+func cmpJump(op lang.Kind, want bool) Op {
+	switch op {
+	case lang.LT:
+		if want {
+			return OpJlt
+		}
+		return OpJge
+	case lang.LTE:
+		if want {
+			return OpJle
+		}
+		return OpJgt
+	case lang.GT:
+		if want {
+			return OpJgt
+		}
+		return OpJle
+	default: // lang.GTE
+		if want {
+			return OpJge
+		}
+		return OpJlt
+	}
+}
 
 func (c *comp) boolExpr(e lang.Expr) int {
 	switch e := e.(type) {
@@ -504,15 +618,13 @@ func (c *comp) listMinMax(e *lang.MemberExpr, m *types.Member) int {
 	mask := c.listMask(e.Recv)
 	lam := e.Args[0].(*lang.Lambda)
 	paramSym := c.info.Defs[lam]
-	param := c.newv()
-	c.syms[paramSym] = param
 
 	best := c.imm(0)    // NULL
 	bestKey := c.imm(0) // irrelevant while best == 0
 	c.forEachSubflowIdx(func(idx int) {
-		in := c.newv()
-		c.emit(OpBitTest, in, mask, idx, 0)
-		skip := c.emit(OpJz, 0, in, 0, 0)
+		skip := c.emit(OpJbc, 0, mask, idx, 0)
+		param := c.newv()
+		c.syms[paramSym] = param
 		c.emit(OpSbfRef, param, idx, 0, 0)
 		key := c.intExpr(lam.Body)
 		// take if best == NULL or key beats bestKey
@@ -555,12 +667,8 @@ func (c *comp) listGet(e *lang.MemberExpr) int {
 	seen := c.imm(0)
 	one := c.imm(1)
 	c.forEachSubflowIdx(func(idx int) {
-		in := c.newv()
-		c.emit(OpBitTest, in, mask, idx, 0)
-		skip := c.emit(OpJz, 0, in, 0, 0)
-		isTarget := c.newv()
-		c.emit(OpEq, isTarget, seen, t, 0)
-		notTarget := c.emit(OpJz, 0, isTarget, 0, 0)
+		skip := c.emit(OpJbc, 0, mask, idx, 0)
+		notTarget := c.emit(OpJne, 0, seen, t, 0)
 		c.emit(OpSbfRef, res, idx, 0, 0)
 		c.patch(notTarget)
 		c.emit(OpAdd, seen, seen, one, 0)
@@ -599,18 +707,17 @@ func (c *comp) listMask(e lang.Expr) int {
 		inner := c.listMask(e.Recv)
 		lam := e.Args[0].(*lang.Lambda)
 		paramSym := c.info.Defs[lam]
-		param := c.newv()
-		c.syms[paramSym] = param
 		mask := c.imm(0)
 		c.forEachSubflowIdx(func(idx int) {
-			in := c.newv()
-			c.emit(OpBitTest, in, inner, idx, 0)
-			skip := c.emit(OpJz, 0, in, 0, 0)
+			skip := c.emit(OpJbc, 0, inner, idx, 0)
+			param := c.newv()
+			c.syms[paramSym] = param
 			c.emit(OpSbfRef, param, idx, 0, 0)
-			pred := c.boolExpr(lam.Body)
-			fail := c.emit(OpJz, 0, pred, 0, 0)
+			fails := c.condJumps(lam.Body, false)
 			c.emit(OpBitSet, mask, mask, idx, 0)
-			c.patch(fail)
+			for _, at := range fails {
+				c.patch(at)
+			}
 			c.patch(skip)
 		})
 		return mask
@@ -674,8 +781,7 @@ func (c *comp) queueScan(recv lang.Expr, body func(pkt int) (breaks []int)) {
 			c.syms[paramSym] = param
 		}
 		c.emit(OpMov, param, pkt, 0, 0)
-		pred := c.boolExpr(lam.Body)
-		continues = append(continues, c.emit(OpJz, 0, pred, 0, 0))
+		continues = append(continues, c.condJumps(lam.Body, false)...)
 	}
 	breaks := body(pkt)
 	for _, at := range continues {

@@ -88,6 +88,36 @@ const (
 	OpLoadSlot  // dst = spill[K]
 	OpStoreSlot // spill[K] = a
 
+	// Fused compare-and-branch, produced by the optimizer from a
+	// comparison whose only consumer is the adjacent conditional jump
+	// (the dominant pattern in compiled scheduler code: every FILTER
+	// predicate, IF condition and loop bound lowers to compare+branch).
+	OpJeq // if a == b: pc += K
+	OpJne // if a != b: pc += K
+	OpJlt // if a < b:  pc += K
+	OpJle // if a <= b: pc += K
+	OpJgt // if a > b:  pc += K
+	OpJge // if a >= b: pc += K
+
+	// Zero-compare branches, the immediate-free special case the
+	// optimizer reaches for when one comparison operand is a known
+	// constant zero (queue-scan exhaustion tests, NULL checks).
+	OpJltz // if a < 0:  pc += K
+	OpJlez // if a <= 0: pc += K
+	OpJgtz // if a > 0:  pc += K
+	OpJgez // if a >= 0: pc += K
+
+	// Fused environment-test branches, emitted by the compiler's
+	// branch-context condition codegen for the two hottest predicate
+	// shapes in scheduler code: subflow boolean properties (THROTTLED,
+	// BACKUP, CWND_AVAILABLE, ...) and subflow-mask membership tests.
+	// For OpJsbz/OpJsbnz the B field is the property index, not a
+	// register (K already carries the jump offset).
+	OpJsbz  // if subflow(a) is NULL or !Bools[B]: pc += K
+	OpJsbnz // if subflow(a) is non-NULL and Bools[B]: pc += K
+	OpJbc   // if (a >> b) & 1 == 0: pc += K
+	OpJbs   // if (a >> b) & 1 == 1: pc += K
+
 	opCount
 )
 
@@ -131,6 +161,20 @@ var opNames = [...]string{
 	OpDrop:        "drop",
 	OpLoadSlot:    "loadslot",
 	OpStoreSlot:   "storeslot",
+	OpJeq:         "jeq",
+	OpJne:         "jne",
+	OpJlt:         "jlt",
+	OpJle:         "jle",
+	OpJgt:         "jgt",
+	OpJge:         "jge",
+	OpJltz:        "jltz",
+	OpJlez:        "jlez",
+	OpJgtz:        "jgtz",
+	OpJgez:        "jgez",
+	OpJsbz:        "jsbz",
+	OpJsbnz:       "jsbnz",
+	OpJbc:         "jbc",
+	OpJbs:         "jbs",
 }
 
 // String returns the opcode mnemonic.
@@ -162,8 +206,12 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Dst, in.A, in.B)
 	case OpJmp:
 		return fmt.Sprintf("%s %+d", in.Op, in.K)
-	case OpJz, OpJnz:
+	case OpJz, OpJnz, OpJltz, OpJlez, OpJgtz, OpJgez:
 		return fmt.Sprintf("%s r%d, %+d", in.Op, in.A, in.K)
+	case OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge, OpJbc, OpJbs:
+		return fmt.Sprintf("%s r%d, r%d, %+d", in.Op, in.A, in.B, in.K)
+	case OpJsbz, OpJsbnz:
+		return fmt.Sprintf("%s r%d, #%d, %+d", in.Op, in.A, in.B, in.K)
 	case OpLoadReg, OpLoadSlot:
 		return fmt.Sprintf("%s r%d, [%d]", in.Op, in.Dst, in.K)
 	case OpStoreReg, OpStoreSlot:

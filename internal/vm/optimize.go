@@ -6,6 +6,17 @@ package vm
 //
 //   - jump threading: a jump whose target is an unconditional jump is
 //     retargeted to the final destination
+//   - block-local constant folding: immediates propagate through moves
+//     and pure ALU ops; branches on known conditions become jumps/no-ops
+//     (this is what collapses the constant subflow masks and bounds that
+//     specialization bakes in)
+//   - compare-and-branch fusion: a comparison (or boolean NOT) whose
+//     only consumer is the adjacent conditional jump fuses into one
+//     OpJeq..OpJge instruction (or an inverted OpJz/OpJnz)
+//   - move coalescing: `op t, ...; mov d, t` with t used once collapses
+//     into `op d, ...`
+//   - dead-def elimination: a pure instruction whose result is never
+//     read afterwards (global liveness) is dropped
 //   - dead-code elimination: instructions unreachable from the entry
 //     are removed (with jump offsets remapped)
 //   - trivial-move removal: `mov r, r` becomes a no-op and is dropped
@@ -13,22 +24,113 @@ package vm
 // All passes preserve semantics exactly; the three-way differential
 // tests exercise them on every randomly generated program.
 
-// optimize applies the IR passes until a fixpoint (bounded).
+// optimize applies the IR passes until a fixpoint (bounded), then
+// hoists rematerialized constants into an entry preamble and cleans up
+// once more.
 func optimize(ir []irIns) []irIns {
-	for round := 0; round < 4; round++ {
-		changed := false
-		ir, changed = threadJumps(ir)
-		ir2, changed2 := eliminateDead(ir)
-		ir = ir2
-		if !changed && !changed2 {
+	ir = fixpoint(ir)
+	if out, hoisted := hoistConsts(ir); hoisted {
+		ir = fixpoint(out)
+	}
+	return ir
+}
+
+func fixpoint(ir []irIns) []irIns {
+	for round := 0; round < 10; round++ {
+		out, c1 := threadJumps(ir)
+		c2 := condJumpThread(out)
+		c3 := constFold(out)
+		c4 := fuseCompareBranch(out)
+		c5 := zeroCompareJumps(out)
+		c6 := coalesceMovs(out)
+		c7 := deadDefs(out)
+		out, c8 := eliminateDead(out)
+		ir = out
+		if !c1 && !c2 && !c3 && !c4 && !c5 && !c6 && !c7 && !c8 {
 			break
 		}
 	}
 	return ir
 }
 
+// hoistConsts merges globally-constant vregs (see globalConsts) holding
+// the same value into one canonical vreg defined once in an entry
+// preamble, no-op-ing the scattered movimm defs. Specialized unrolled
+// code rematerializes the same loop indices and handles many times;
+// after hoisting each distinct value costs one instruction per
+// execution. Prepending is safe: jump offsets are relative, so the
+// uniform shift preserves every edge, and no jump can target the
+// preamble (offsets only reach existing instructions).
+func hoistConsts(ir []irIns) ([]irIns, bool) {
+	nv := maxVreg(ir)
+	if nv == 0 {
+		return ir, false
+	}
+	gknown, gval := globalConsts(ir, nv)
+	// Hoisting pays off only for values rematerialized at 2+ sites:
+	// one def site merely moves to the preamble.
+	defSites := make(map[int64]int)
+	for _, in := range ir {
+		if in.op == OpMovImm && in.dst < nv && gknown[in.dst] {
+			defSites[in.k]++
+		}
+	}
+	canon := make(map[int64]int) // value → canonical vreg
+	next := nv
+	var order []int64 // deterministic preamble order: first def wins
+	for _, in := range ir {
+		if in.op == OpMovImm && in.dst < nv && gknown[in.dst] && defSites[in.k] > 1 {
+			if _, ok := canon[in.k]; !ok {
+				canon[in.k] = next
+				next++
+				order = append(order, in.k)
+			}
+		}
+	}
+	if len(canon) == 0 {
+		return ir, false
+	}
+	out := make([]irIns, 0, len(ir)+len(canon))
+	for _, k := range order {
+		out = append(out, irIns{op: OpMovImm, dst: canon[k], k: k})
+	}
+	for _, in := range ir {
+		if in.op == OpMovImm && in.dst < nv && gknown[in.dst] {
+			if _, ok := canon[in.k]; ok {
+				// The value now lives in the canonical vreg.
+				in.op, in.k = OpNop, 0
+				out = append(out, in)
+				continue
+			}
+		}
+		r := roles[in.op]
+		if r.readsA && in.a < nv && gknown[in.a] {
+			if cv, ok := canon[gval[in.a]]; ok {
+				in.a = cv
+			}
+		}
+		if r.readsB && in.b < nv && gknown[in.b] {
+			if cv, ok := canon[gval[in.b]]; ok {
+				in.b = cv
+			}
+		}
+		out = append(out, in)
+	}
+	return out, true
+}
+
 // isJump reports whether the op transfers control via K.
-func isJump(op Op) bool { return op == OpJmp || op == OpJz || op == OpJnz }
+func isJump(op Op) bool {
+	switch op {
+	case OpJmp, OpJz, OpJnz, OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge,
+		OpJltz, OpJlez, OpJgtz, OpJgez, OpJsbz, OpJsbnz, OpJbc, OpJbs:
+		return true
+	}
+	return false
+}
+
+// isCondJump reports a jump with a fall-through successor.
+func isCondJump(op Op) bool { return isJump(op) && op != OpJmp }
 
 // threadJumps retargets jumps that land on unconditional jumps and
 // drops self-moves.
@@ -69,8 +171,740 @@ func threadJumps(ir []irIns) ([]irIns, bool) {
 			in.op = OpNop
 			changed = true
 		}
+		if in.op == OpJmp && in.k == 0 {
+			// Jump to the next instruction: pure fall-through.
+			in.op = OpNop
+			changed = true
+		}
 	}
 	return out, changed
+}
+
+// condJumpThread retargets a conditional jump whose destination is
+// another conditional jump testing the same condition: the second
+// test's outcome is already decided on arrival, so the first jump can
+// go straight to where the second one would. Nothing executes between
+// the two (the destination IS the second jump), so the tested registers
+// are untouched in between.
+func condJumpThread(ir []irIns) bool {
+	sameCond := func(a, b irIns) bool {
+		if a.op != b.op {
+			return false
+		}
+		return condOperandsEqual(a, b)
+	}
+	changed := false
+	for i := range ir {
+		in := &ir[i]
+		if !isCondJump(in.op) {
+			continue
+		}
+		t := i + 1 + int(in.k)
+		if t < 0 || t >= len(ir) || t == i {
+			continue
+		}
+		if sameCond(*in, ir[t]) {
+			// Taken here → taken there too: land beyond the second jump.
+			next := t + 1 + int(ir[t].k)
+			if next >= 0 && next < len(ir) && next != t && next != i {
+				in.k = int64(next - i - 1)
+				changed = true
+			}
+		} else if invCond(*in, ir[t]) {
+			// Taken here → NOT taken there: fall through the second jump.
+			if t+1 < len(ir) {
+				in.k = int64(t - i)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// invCond reports that jump b's condition is the exact complement of
+// jump a's over identical operands, so a taken implies b not taken.
+func invCond(a, b irIns) bool {
+	var inv Op
+	switch a.op {
+	case OpJz:
+		inv = OpJnz
+	case OpJnz:
+		inv = OpJz
+	case OpJeq:
+		inv = OpJne
+	case OpJne:
+		inv = OpJeq
+	case OpJlt:
+		inv = OpJge
+	case OpJge:
+		inv = OpJlt
+	case OpJle:
+		inv = OpJgt
+	case OpJgt:
+		inv = OpJle
+	case OpJltz:
+		inv = OpJgez
+	case OpJgez:
+		inv = OpJltz
+	case OpJlez:
+		inv = OpJgtz
+	case OpJgtz:
+		inv = OpJlez
+	case OpJsbz:
+		inv = OpJsbnz
+	case OpJsbnz:
+		inv = OpJsbz
+	case OpJbc:
+		inv = OpJbs
+	case OpJbs:
+		inv = OpJbc
+	default:
+		return false
+	}
+	if b.op != inv {
+		return false
+	}
+	return condOperandsEqual(a, b)
+}
+
+// condOperandsEqual compares the condition operands of two jumps with
+// the same (or complementary) opcode. OpJsbz/OpJsbnz carry a property
+// index in B that roles does not describe as a register read, so it is
+// compared explicitly.
+func condOperandsEqual(a, b irIns) bool {
+	r := roles[a.op]
+	if r.readsA && a.a != b.a {
+		return false
+	}
+	if r.readsB && a.b != b.b {
+		return false
+	}
+	if (a.op == OpJsbz || a.op == OpJsbnz) && a.b != b.b {
+		return false
+	}
+	return true
+}
+
+// blockLeaders marks basic-block entry points: instruction 0, every
+// jump target, and every instruction following a jump.
+func blockLeaders(ir []irIns) []bool {
+	leader := make([]bool, len(ir)+1)
+	if len(ir) > 0 {
+		leader[0] = true
+	}
+	for i, in := range ir {
+		if isJump(in.op) {
+			t := i + 1 + int(in.k)
+			if t >= 0 && t <= len(ir) {
+				leader[t] = true
+			}
+			if i+1 <= len(ir) {
+				leader[i+1] = true
+			}
+		}
+	}
+	return leader
+}
+
+// readCounts tallies how many instruction operands read each vreg.
+func readCounts(ir []irIns, nv int) []int {
+	counts := make([]int, nv)
+	for _, in := range ir {
+		r := roles[in.op]
+		if r.readsA {
+			counts[in.a]++
+		}
+		if r.readsB {
+			counts[in.b]++
+		}
+	}
+	return counts
+}
+
+func maxVreg(ir []irIns) int {
+	nv := 0
+	for _, in := range ir {
+		r := roles[in.op]
+		if r.readsA && in.a >= nv {
+			nv = in.a + 1
+		}
+		if r.readsB && in.b >= nv {
+			nv = in.b + 1
+		}
+		if r.writesDst && in.dst >= nv {
+			nv = in.dst + 1
+		}
+	}
+	return nv
+}
+
+// globalConsts finds vregs whose every definition is OpMovImm of one
+// value and whose first definition precedes the first read: those hold
+// that constant everywhere. This is what carries specialization-time
+// constants (subflow masks, unrolled loop indices) across the block
+// boundaries that conditional branches introduce.
+func globalConsts(ir []irIns, nv int) ([]bool, []int64) {
+	const (
+		unseen = iota
+		constant
+		dynamic
+	)
+	state := make([]uint8, nv)
+	val := make([]int64, nv)
+	firstRead := make([]int, nv)
+	firstDef := make([]int, nv)
+	for v := range firstRead {
+		firstRead[v] = len(ir)
+		firstDef[v] = len(ir)
+	}
+	for i, in := range ir {
+		r := roles[in.op]
+		if r.readsA && in.a < nv && i < firstRead[in.a] {
+			firstRead[in.a] = i
+		}
+		if r.readsB && in.b < nv && i < firstRead[in.b] {
+			firstRead[in.b] = i
+		}
+		if r.writesDst && in.dst < nv {
+			if i < firstDef[in.dst] {
+				firstDef[in.dst] = i
+			}
+			if in.op == OpMovImm {
+				switch state[in.dst] {
+				case unseen:
+					state[in.dst], val[in.dst] = constant, in.k
+				case constant:
+					if val[in.dst] != in.k {
+						state[in.dst] = dynamic
+					}
+				}
+			} else {
+				state[in.dst] = dynamic
+			}
+		}
+	}
+	known := make([]bool, nv)
+	for v := range known {
+		known[v] = state[v] == constant && firstDef[v] < firstRead[v]
+	}
+	return known, val
+}
+
+// constFold propagates constants and folds pure instructions whose
+// operands are all known, turning decided branches into unconditional
+// jumps or no-ops. Constants are tracked block-locally plus globally
+// (single-valued vregs, see globalConsts). Arithmetic replicates the
+// VM exactly: int64 wraparound, and division or modulo by zero yields
+// 0 (no exceptions by design, §3.3).
+func constFold(ir []irIns) bool {
+	leader := blockLeaders(ir)
+	nv := maxVreg(ir)
+	gknown, gval := globalConsts(ir, nv)
+	konst := make([]int64, nv)
+	known := make([]bool, nv)
+	changed := false
+	for i := range ir {
+		if i < len(leader) && leader[i] {
+			for v := range known {
+				known[v] = false
+			}
+		}
+		in := &ir[i]
+		var va, vb int64
+		ka, kb := false, false
+		if roles[in.op].readsA && in.a < nv {
+			if known[in.a] {
+				ka, va = true, konst[in.a]
+			} else if gknown[in.a] {
+				ka, va = true, gval[in.a]
+			}
+		}
+		if roles[in.op].readsB && in.b < nv {
+			if known[in.b] {
+				kb, vb = true, konst[in.b]
+			} else if gknown[in.b] {
+				kb, vb = true, gval[in.b]
+			}
+		}
+		setConst := func(v int64) {
+			in.op, in.k = OpMovImm, v
+			changed = true
+		}
+		switch in.op {
+		case OpMovImm:
+			// Recorded below.
+		case OpMov:
+			if ka {
+				setConst(va)
+			}
+		case OpAdd:
+			if ka && kb {
+				setConst(va + vb)
+			}
+		case OpSub:
+			if ka && kb {
+				setConst(va - vb)
+			}
+		case OpMul:
+			if ka && kb {
+				setConst(va * vb)
+			}
+		case OpDiv:
+			if ka && kb {
+				if vb == 0 {
+					setConst(0)
+				} else {
+					setConst(va / vb)
+				}
+			}
+		case OpMod:
+			if ka && kb {
+				if vb == 0 {
+					setConst(0)
+				} else {
+					setConst(va % vb)
+				}
+			}
+		case OpNeg:
+			if ka {
+				setConst(-va)
+			}
+		case OpNot:
+			if ka {
+				setConst(foldB2i(va == 0))
+			}
+		case OpEq:
+			if ka && kb {
+				setConst(foldB2i(va == vb))
+			}
+		case OpNe:
+			if ka && kb {
+				setConst(foldB2i(va != vb))
+			}
+		case OpLt:
+			if ka && kb {
+				setConst(foldB2i(va < vb))
+			}
+		case OpLe:
+			if ka && kb {
+				setConst(foldB2i(va <= vb))
+			}
+		case OpGt:
+			if ka && kb {
+				setConst(foldB2i(va > vb))
+			}
+		case OpGe:
+			if ka && kb {
+				setConst(foldB2i(va >= vb))
+			}
+		case OpPopcnt:
+			if ka {
+				setConst(popcount(va))
+			}
+		case OpBitSet:
+			if ka && kb {
+				setConst(va | int64(uint64(1)<<uint(vb&63)))
+			}
+		case OpBitTest:
+			if ka && kb {
+				setConst((va >> uint(vb&63)) & 1)
+			}
+		case OpSbfRef:
+			// The handle encoding is pure arithmetic (index + 1), so a
+			// constant index — the unrolled-loop case — folds entirely.
+			if ka {
+				setConst(va + 1)
+			}
+		case OpJz:
+			if ka {
+				if va == 0 {
+					in.op = OpJmp
+				} else {
+					in.op, in.k = OpNop, 0
+				}
+				changed = true
+			}
+		case OpJnz:
+			if ka {
+				if va != 0 {
+					in.op = OpJmp
+				} else {
+					in.op, in.k = OpNop, 0
+				}
+				changed = true
+			}
+		case OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge:
+			if ka && kb {
+				var take bool
+				switch in.op {
+				case OpJeq:
+					take = va == vb
+				case OpJne:
+					take = va != vb
+				case OpJlt:
+					take = va < vb
+				case OpJle:
+					take = va <= vb
+				case OpJgt:
+					take = va > vb
+				case OpJge:
+					take = va >= vb
+				}
+				if take {
+					in.op = OpJmp
+				} else {
+					in.op, in.k = OpNop, 0
+				}
+				changed = true
+			}
+		case OpJltz:
+			if ka {
+				if va < 0 {
+					in.op = OpJmp
+				} else {
+					in.op, in.k = OpNop, 0
+				}
+				changed = true
+			}
+		case OpJlez:
+			if ka {
+				if va <= 0 {
+					in.op = OpJmp
+				} else {
+					in.op, in.k = OpNop, 0
+				}
+				changed = true
+			}
+		case OpJgtz:
+			if ka {
+				if va > 0 {
+					in.op = OpJmp
+				} else {
+					in.op, in.k = OpNop, 0
+				}
+				changed = true
+			}
+		case OpJgez:
+			if ka {
+				if va >= 0 {
+					in.op = OpJmp
+				} else {
+					in.op, in.k = OpNop, 0
+				}
+				changed = true
+			}
+		case OpJbc, OpJbs:
+			if ka && kb {
+				bit := (va >> uint(vb&63)) & 1
+				if (bit == 0) == (in.op == OpJbc) {
+					in.op = OpJmp
+				} else {
+					in.op, in.k = OpNop, 0
+				}
+				changed = true
+			}
+		}
+		// Update the constant state with this instruction's result.
+		if roles[in.op].writesDst && in.dst < nv {
+			if in.op == OpMovImm {
+				known[in.dst], konst[in.dst] = true, in.k
+			} else {
+				known[in.dst] = false
+			}
+		}
+	}
+	return changed
+}
+
+func foldB2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fusedJump maps a comparison opcode to the fused jump taken when the
+// comparison holds (neg false) or when it fails (neg true).
+func fusedJump(op Op, neg bool) (Op, bool) {
+	type pair struct{ pos, neg Op }
+	var p pair
+	switch op {
+	case OpEq:
+		p = pair{OpJeq, OpJne}
+	case OpNe:
+		p = pair{OpJne, OpJeq}
+	case OpLt:
+		p = pair{OpJlt, OpJge}
+	case OpLe:
+		p = pair{OpJle, OpJgt}
+	case OpGt:
+		p = pair{OpJgt, OpJle}
+	case OpGe:
+		p = pair{OpJge, OpJlt}
+	default:
+		return OpNop, false
+	}
+	if neg {
+		return p.neg, true
+	}
+	return p.pos, true
+}
+
+// fuseCompareBranch rewrites `cmp t, a, b; jnz t, L` into a single
+// fused compare-and-branch (and `jz t, L` into its inversion), plus
+// `not t, a; jz/jnz t, L` into the opposite plain branch — provided t
+// dies at the jump (liveness, so multi-def short-circuit chains fuse
+// too) and no other control flow can enter between the pair.
+func fuseCompareBranch(ir []irIns) bool {
+	nv := maxVreg(ir)
+	if nv == 0 {
+		return false
+	}
+	liveOut, words := liveSets(ir, nv)
+	leader := blockLeaders(ir)
+	changed := false
+	for i := 0; i+1 < len(ir); i++ {
+		def := &ir[i]
+		jmp := &ir[i+1]
+		if (jmp.op != OpJz && jmp.op != OpJnz) || jmp.a != def.dst {
+			continue
+		}
+		// The jump must be reachable only by falling out of the compare:
+		// a side entry would evaluate the fused condition on unrelated
+		// register contents.
+		if leader[i+1] {
+			continue
+		}
+		if !roles[def.op].writesDst || def.dst >= nv {
+			continue
+		}
+		// t must die at the jump: a later read would miss the value.
+		j := i + 1
+		if bitSet(liveOut[j*words:(j+1)*words], def.dst) {
+			continue
+		}
+		switch def.op {
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			op, ok := fusedJump(def.op, jmp.op == OpJz)
+			if !ok {
+				continue
+			}
+			jmp.op, jmp.a, jmp.b = op, def.a, def.b
+			def.op, def.k = OpNop, 0
+			changed = true
+		case OpNot:
+			if jmp.op == OpJz {
+				jmp.op = OpJnz
+			} else {
+				jmp.op = OpJz
+			}
+			jmp.a = def.a
+			def.op, def.k = OpNop, 0
+			changed = true
+		}
+	}
+	return changed
+}
+
+// coalesceMovs collapses `op t, ...; mov d, t` into `op d, ...` when t
+// is read only by that move, the pair sits in one basic block, and d is
+// untouched in between.
+func coalesceMovs(ir []irIns) bool {
+	nv := maxVreg(ir)
+	counts := readCounts(ir, nv)
+	leader := blockLeaders(ir)
+	changed := false
+	for j := range ir {
+		mv := &ir[j]
+		if mv.op != OpMov || mv.a >= nv || counts[mv.a] != 1 || mv.a == mv.dst {
+			continue
+		}
+		// A side entry at the move would bypass the retargeted def.
+		if leader[j] {
+			continue
+		}
+		// Walk back to t's def within the block.
+		for i := j - 1; i >= 0; i-- {
+			in := &ir[i]
+			r := roles[in.op]
+			if r.writesDst && in.dst == mv.a {
+				// Found the def. Retarget it unless d is used in between
+				// (the scan above already proved it is not).
+				in.dst = mv.dst
+				mv.op, mv.a, mv.k = OpNop, 0, 0
+				changed = true
+				break
+			}
+			// d read, written, or block boundary in between: give up.
+			if (r.readsA && in.a == mv.dst) || (r.readsB && in.b == mv.dst) ||
+				(r.writesDst && in.dst == mv.dst) || leader[i+1] {
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// sideEffectFree reports ops whose only observable effect is writing
+// dst; these may be dropped when the result is dead. Queue and subflow
+// reads are pure — only the action ops, register-file stores, control
+// flow and OpReturn have effects beyond dst.
+func sideEffectFree(op Op) bool {
+	switch op {
+	case OpPop, OpPush, OpDrop, OpStoreReg, OpStoreSlot, OpReturn:
+		return false
+	}
+	return !isJump(op)
+}
+
+// bitSet reports whether vreg v is present in the bitset.
+func bitSet(set []uint64, v int) bool { return set[v/64]&(1<<(v%64)) != 0 }
+
+// liveSets computes per-instruction live-out bitsets with a global
+// backward dataflow over the CFG. liveOut[i*words:(i+1)*words] is the
+// set of vregs read on some path after instruction i executes.
+func liveSets(ir []irIns, nv int) (liveOut []uint64, words int) {
+	n := len(ir)
+	words = (nv + 63) / 64
+	liveOut = make([]uint64, n*words)
+	liveIn := make([]uint64, n*words)
+	set := func(s []uint64, v int) { s[v/64] |= 1 << (v % 64) }
+	for changedFlow := true; changedFlow; {
+		changedFlow = false
+		for i := n - 1; i >= 0; i-- {
+			in := ir[i]
+			out := liveOut[i*words : (i+1)*words]
+			// Successors.
+			merge := func(succ int) {
+				if succ < 0 || succ >= n {
+					return
+				}
+				src := liveIn[succ*words : (succ+1)*words]
+				for w := range out {
+					if out[w]|src[w] != out[w] {
+						out[w] |= src[w]
+						changedFlow = true
+					}
+				}
+			}
+			switch {
+			case in.op == OpReturn:
+			case in.op == OpJmp:
+				merge(i + 1 + int(in.k))
+			case isCondJump(in.op):
+				merge(i + 1)
+				merge(i + 1 + int(in.k))
+			default:
+				merge(i + 1)
+			}
+			// liveIn = (liveOut − def) ∪ use.
+			inSet := liveIn[i*words : (i+1)*words]
+			r := roles[in.op]
+			for w := range inSet {
+				v := out[w]
+				if r.writesDst {
+					if dw := in.dst / 64; dw == w {
+						v &^= 1 << (in.dst % 64)
+					}
+				}
+				if v|inSet[w] != inSet[w] {
+					inSet[w] |= v
+					changedFlow = true
+				}
+			}
+			if r.readsA && !bitSet(inSet, in.a) {
+				set(inSet, in.a)
+				changedFlow = true
+			}
+			if r.readsB && !bitSet(inSet, in.b) {
+				set(inSet, in.b)
+				changedFlow = true
+			}
+		}
+	}
+	return liveOut, words
+}
+
+// zeroCompareJumps rewrites fused compare-and-branch instructions whose
+// one operand is a known constant zero into the single-operand
+// zero-compare forms, freeing the constant's defining movimm to die.
+func zeroCompareJumps(ir []irIns) bool {
+	nv := maxVreg(ir)
+	if nv == 0 {
+		return false
+	}
+	gknown, gval := globalConsts(ir, nv)
+	isZero := func(v int) bool { return v < nv && gknown[v] && gval[v] == 0 }
+	changed := false
+	for i := range ir {
+		in := &ir[i]
+		switch in.op {
+		case OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge:
+		default:
+			continue
+		}
+		if isZero(in.b) {
+			switch in.op {
+			case OpJeq:
+				in.op = OpJz
+			case OpJne:
+				in.op = OpJnz
+			case OpJlt:
+				in.op = OpJltz
+			case OpJle:
+				in.op = OpJlez
+			case OpJgt:
+				in.op = OpJgtz
+			case OpJge:
+				in.op = OpJgez
+			}
+			changed = true
+		} else if isZero(in.a) {
+			// 0 OP b ⇔ b OP' 0 with the comparison mirrored.
+			in.a = in.b
+			switch in.op {
+			case OpJeq:
+				in.op = OpJz
+			case OpJne:
+				in.op = OpJnz
+			case OpJlt:
+				in.op = OpJgtz
+			case OpJle:
+				in.op = OpJgez
+			case OpJgt:
+				in.op = OpJltz
+			case OpJge:
+				in.op = OpJlez
+			}
+			changed = true
+		}
+	}
+	return changed
+}
+
+// deadDefs removes pure instructions whose destination is dead: never
+// read on any path from the instruction (global backward liveness over
+// the CFG).
+func deadDefs(ir []irIns) bool {
+	n := len(ir)
+	nv := maxVreg(ir)
+	if n == 0 || nv == 0 {
+		return false
+	}
+	liveOut, words := liveSets(ir, nv)
+	changed := false
+	for i := range ir {
+		in := &ir[i]
+		r := roles[in.op]
+		if in.op == OpNop || !r.writesDst || !sideEffectFree(in.op) {
+			continue
+		}
+		if !bitSet(liveOut[i*words:(i+1)*words], in.dst) {
+			in.op, in.k = OpNop, 0
+			changed = true
+		}
+	}
+	return changed
 }
 
 // eliminateDead removes instructions that cannot execute (unreachable

@@ -45,10 +45,6 @@ func (pr *Profile) ExecProfile(env *runtime.Env) error {
 	steps := uint64(0)
 	for pc := 0; pc < len(insns); pc++ {
 		steps++
-		if steps > MaxSteps {
-			pr.Steps += steps
-			return ErrStepBudget
-		}
 		pr.Hits[pc]++
 		in := &insns[pc]
 		switch in.Op {
@@ -99,13 +95,121 @@ func (pr *Profile) ExecProfile(env *runtime.Env) error {
 			regs[in.Dst] = (regs[in.A] >> uint(regs[in.B]&63)) & 1
 		case OpJmp:
 			pc += int(in.K)
+			if in.K < 0 && steps > MaxSteps {
+				goto budget
+			}
 		case OpJz:
 			if regs[in.A] == 0 {
 				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
 			}
 		case OpJnz:
 			if regs[in.A] != 0 {
 				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJeq:
+			if regs[in.A] == regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJne:
+			if regs[in.A] != regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJlt:
+			if regs[in.A] < regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJle:
+			if regs[in.A] <= regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJgt:
+			if regs[in.A] > regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJge:
+			if regs[in.A] >= regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJltz:
+			if regs[in.A] < 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJlez:
+			if regs[in.A] <= 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJgtz:
+			if regs[in.A] > 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJgez:
+			if regs[in.A] >= 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJsbz:
+			// Mirrors Exec: NULL subflows read every property as false.
+			if sbf := sbfView(env, regs[in.A]); sbf == nil || !sbf.Bools[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJsbnz:
+			if sbf := sbfView(env, regs[in.A]); sbf != nil && sbf.Bools[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJbc:
+			if (regs[in.A]>>uint(regs[in.B]&63))&1 == 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJbs:
+			if (regs[in.A]>>uint(regs[in.B]&63))&1 != 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
 			}
 		case OpReturn:
 			pr.Steps += steps
@@ -142,7 +246,12 @@ func (pr *Profile) ExecProfile(env *runtime.Env) error {
 		case OpSentOn:
 			regs[in.Dst] = b2i(pktView(env, regs[in.A]).SentOn(sbfView(env, regs[in.B])))
 		case OpQNext:
-			regs[in.Dst] = int64(env.Queue(runtime.QueueID(in.K)).NextVisible(int(regs[in.A])))
+			// Mirrors Exec: a nil queue reads as exhausted, never a crash.
+			if q := env.Queue(runtime.QueueID(in.K)); q != nil {
+				regs[in.Dst] = int64(q.NextVisible(int(regs[in.A])))
+			} else {
+				regs[in.Dst] = -1
+			}
 		case OpPktRef:
 			regs[in.Dst] = (in.K+1)<<32 | (regs[in.A] + 1)
 		case OpPop:
@@ -159,12 +268,18 @@ func (pr *Profile) ExecProfile(env *runtime.Env) error {
 		case OpStoreSlot:
 			spills[in.K] = regs[in.A]
 		default:
+			// Mirrors Exec: executed steps are credited even when the
+			// program faults on an invalid opcode.
+			pr.Steps += steps
 			return fmt.Errorf("vm: invalid opcode %d at pc %d", int(in.Op), pc)
 		}
 	}
 	pr.Steps += steps
 	pr.Runs++
 	return nil
+budget:
+	pr.Steps += steps
+	return ErrStepBudget
 }
 
 func popcount(v int64) int64 {

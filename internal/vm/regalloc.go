@@ -75,6 +75,20 @@ var roles = map[Op]opRoles{
 	OpDrop:        {readsA: true},
 	OpLoadSlot:    {writesDst: true},
 	OpStoreSlot:   {readsA: true},
+	OpJeq:         {readsA: true, readsB: true},
+	OpJne:         {readsA: true, readsB: true},
+	OpJlt:         {readsA: true, readsB: true},
+	OpJle:         {readsA: true, readsB: true},
+	OpJgt:         {readsA: true, readsB: true},
+	OpJge:         {readsA: true, readsB: true},
+	OpJltz:        {readsA: true},
+	OpJlez:        {readsA: true},
+	OpJgtz:        {readsA: true},
+	OpJgez:        {readsA: true},
+	OpJsbz:        {readsA: true}, // B is a property index, not a register
+	OpJsbnz:       {readsA: true},
+	OpJbc:         {readsA: true, readsB: true},
+	OpJbs:         {readsA: true, readsB: true},
 }
 
 // buildIntervals computes conservative live intervals and extends them
@@ -110,8 +124,7 @@ func buildIntervals(ir []irIns, nv int) []interval {
 	type edge struct{ t, j int }
 	var back []edge
 	for j, in := range ir {
-		switch in.op {
-		case OpJmp, OpJz, OpJnz:
+		if isJump(in.op) {
 			t := j + 1 + int(in.k)
 			if t <= j {
 				back = append(back, edge{t: t, j: j})
@@ -257,6 +270,10 @@ func allocate(ir []irIns, nv int) ([]Instr, int, error) {
 		groupStart[i] = len(out)
 		r := roles[in.op]
 		ni := Instr{Op: in.op, K: in.k}
+		if in.op == OpJsbz || in.op == OpJsbnz {
+			// B carries a property index, not a register.
+			ni.B = uint8(in.b)
+		}
 		if r.readsA {
 			l, ok := locs[in.a]
 			if !ok {
@@ -305,8 +322,7 @@ func allocate(ir []irIns, nv int) ([]Instr, int, error) {
 	// Fix jump offsets: a jump at old index i with offset k targeted
 	// old index i+1+k; it must now reach the start of that group.
 	for i, in := range ir {
-		switch in.op {
-		case OpJmp, OpJz, OpJnz:
+		if isJump(in.op) {
 			oldTarget := i + 1 + int(in.k)
 			if oldTarget < 0 || oldTarget > len(ir) {
 				return nil, 0, fmt.Errorf("jump at %d targets out-of-range %d", i, oldTarget)

@@ -43,10 +43,14 @@ func Verify(p *Program) error {
 			return fmt.Errorf("instruction %d (%s): destination register out of range", i, in)
 		}
 		switch in.Op {
-		case OpJmp, OpJz, OpJnz:
+		case OpJmp, OpJz, OpJnz, OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge,
+			OpJltz, OpJlez, OpJgtz, OpJgez, OpJsbz, OpJsbnz, OpJbc, OpJbs:
 			target := i + 1 + int(in.K)
 			if target < 0 || target >= n {
 				return fmt.Errorf("instruction %d (%s): jump target %d out of range", i, in, target)
+			}
+			if (in.Op == OpJsbz || in.Op == OpJsbnz) && int(in.B) >= runtime.NumSubflowBoolProps {
+				return fmt.Errorf("instruction %d (%s): subflow bool property out of range", i, in)
 			}
 		case OpLoadReg, OpStoreReg:
 			if in.K < 0 || in.K >= runtime.NumRegisters {

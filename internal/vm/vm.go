@@ -25,7 +25,19 @@ var (
 // programs, mirroring the isolation duty of the kernel runtime.
 const MaxSteps = 1 << 22
 
+// spillStackSlots is the spill count served from a stack buffer; real
+// scheduler programs spill a handful of values at most, so steady-state
+// execution allocates nothing.
+const spillStackSlots = 16
+
 // Exec runs one scheduler execution of p against env.
+//
+// The step budget is enforced on taken backward jumps only: the program
+// counter otherwise increases monotonically, so a forward-only stretch
+// is bounded by the program length and a loop must pass through a
+// backward jump on every iteration. This keeps the budget exact to
+// within one pass over the program while removing a compare from every
+// dispatched instruction.
 func (p *Program) Exec(env *runtime.Env) error {
 	if p.SpecializedSubflows >= 0 && len(env.SubflowViews) != p.SpecializedSubflows {
 		return ErrSpecializationMismatch
@@ -34,18 +46,19 @@ func (p *Program) Exec(env *runtime.Env) error {
 		return fmt.Errorf("vm: %d subflows exceed the supported maximum %d", len(env.SubflowViews), runtime.MaxSubflows)
 	}
 	var regs [NumPhysRegs]int64
+	var spillBuf [spillStackSlots]int64
 	var spills []int64
 	if p.SpillSlots > 0 {
-		spills = make([]int64, p.SpillSlots)
+		if p.SpillSlots <= spillStackSlots {
+			spills = spillBuf[:p.SpillSlots]
+		} else {
+			spills = make([]int64, p.SpillSlots)
+		}
 	}
 	insns := p.Insns
 	steps := 0
 	for pc := 0; pc < len(insns); pc++ {
 		steps++
-		if steps > MaxSteps {
-			p.StepCounter.Add(int64(steps))
-			return ErrStepBudget
-		}
 		in := &insns[pc]
 		switch in.Op {
 		case OpNop:
@@ -95,13 +108,122 @@ func (p *Program) Exec(env *runtime.Env) error {
 			regs[in.Dst] = (regs[in.A] >> uint(regs[in.B]&63)) & 1
 		case OpJmp:
 			pc += int(in.K)
+			if in.K < 0 && steps > MaxSteps {
+				goto budget
+			}
 		case OpJz:
 			if regs[in.A] == 0 {
 				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
 			}
 		case OpJnz:
 			if regs[in.A] != 0 {
 				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJeq:
+			if regs[in.A] == regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJne:
+			if regs[in.A] != regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJlt:
+			if regs[in.A] < regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJle:
+			if regs[in.A] <= regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJgt:
+			if regs[in.A] > regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJge:
+			if regs[in.A] >= regs[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJltz:
+			if regs[in.A] < 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJlez:
+			if regs[in.A] <= 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJgtz:
+			if regs[in.A] > 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJgez:
+			if regs[in.A] >= 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJsbz:
+			// A NULL subflow reads every property as false, matching
+			// OpSbfBoolProp's graceful-NULL semantics.
+			if sbf := sbfView(env, regs[in.A]); sbf == nil || !sbf.Bools[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJsbnz:
+			if sbf := sbfView(env, regs[in.A]); sbf != nil && sbf.Bools[in.B] {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJbc:
+			if (regs[in.A]>>uint(regs[in.B]&63))&1 == 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
+			}
+		case OpJbs:
+			if (regs[in.A]>>uint(regs[in.B]&63))&1 != 0 {
+				pc += int(in.K)
+				if in.K < 0 && steps > MaxSteps {
+					goto budget
+				}
 			}
 		case OpReturn:
 			p.StepCounter.Add(int64(steps))
@@ -137,7 +259,14 @@ func (p *Program) Exec(env *runtime.Env) error {
 		case OpSentOn:
 			regs[in.Dst] = b2i(pktView(env, regs[in.A]).SentOn(sbfView(env, regs[in.B])))
 		case OpQNext:
-			regs[in.Dst] = int64(env.Queue(runtime.QueueID(in.K)).NextVisible(int(regs[in.A])))
+			// The verifier rejects out-of-range queue ids, but guard the
+			// lookup anyway: hand-assembled programs bypass Verify, and a
+			// nil queue must read as exhausted (-1), not crash the VM.
+			if q := env.Queue(runtime.QueueID(in.K)); q != nil {
+				regs[in.Dst] = int64(q.NextVisible(int(regs[in.A])))
+			} else {
+				regs[in.Dst] = -1
+			}
 		case OpPktRef:
 			regs[in.Dst] = (in.K+1)<<32 | (regs[in.A] + 1)
 		case OpPop:
@@ -154,11 +283,18 @@ func (p *Program) Exec(env *runtime.Env) error {
 		case OpStoreSlot:
 			spills[in.K] = regs[in.A]
 		default:
+			// Credit the executed steps before failing: the steps metric
+			// must account for every dispatched instruction, including
+			// the one that faulted.
+			p.StepCounter.Add(int64(steps))
 			return fmt.Errorf("vm: invalid opcode %d at pc %d", int(in.Op), pc)
 		}
 	}
 	p.StepCounter.Add(int64(steps))
 	return nil
+budget:
+	p.StepCounter.Add(int64(steps))
+	return ErrStepBudget
 }
 
 func b2i(b bool) int64 {

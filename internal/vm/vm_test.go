@@ -305,3 +305,75 @@ func TestMustCompilePanics(t *testing.T) {
 	}()
 	MustCompile(nil)
 }
+
+func TestVerifyQueueIDs(t *testing.T) {
+	// Every queue-id-carrying opcode must reject ids beyond RQ and
+	// negative ids, mirroring the eBPF loader's bounds discipline.
+	mk := func(insns ...Instr) *Program {
+		return &Program{Insns: append(insns, Instr{Op: OpReturn}), SpecializedSubflows: -1}
+	}
+	for _, op := range []Op{OpQNext, OpPktRef, OpPop} {
+		if err := Verify(mk(Instr{Op: op, K: int64(runtime.QueueReinject) + 1})); err == nil {
+			t.Errorf("%s: Verify accepted an out-of-range queue id", op)
+		}
+		if err := Verify(mk(Instr{Op: op, K: -1})); err == nil {
+			t.Errorf("%s: Verify accepted a negative queue id", op)
+		}
+		if err := Verify(mk(Instr{Op: op, K: int64(runtime.QueueReinject)})); err != nil {
+			t.Errorf("%s: Verify rejected a valid queue id: %v", op, err)
+		}
+	}
+}
+
+func TestVerifyFusedBranches(t *testing.T) {
+	mk := func(insns ...Instr) *Program {
+		return &Program{Insns: append(insns, Instr{Op: OpReturn}), SpecializedSubflows: -1}
+	}
+	fused := []Op{OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge,
+		OpJltz, OpJlez, OpJgtz, OpJgez, OpJsbz, OpJsbnz, OpJbc, OpJbs}
+	for _, op := range fused {
+		if err := Verify(mk(Instr{Op: op, K: 99})); err == nil {
+			t.Errorf("%s: Verify accepted an out-of-range jump target", op)
+		}
+		if err := Verify(mk(Instr{Op: op, K: -2})); err == nil {
+			t.Errorf("%s: Verify accepted a jump before the program start", op)
+		}
+		if err := Verify(mk(Instr{Op: op, K: 0})); err != nil {
+			t.Errorf("%s: Verify rejected a valid jump: %v", op, err)
+		}
+	}
+	// OpJsbz/OpJsbnz carry a subflow bool property index in B.
+	for _, op := range []Op{OpJsbz, OpJsbnz} {
+		bad := mk(Instr{Op: op, B: uint8(runtime.NumSubflowBoolProps), K: 0})
+		if err := Verify(bad); err == nil {
+			t.Errorf("%s: Verify accepted an out-of-range property index", op)
+		}
+	}
+}
+
+func TestVMNilQueueReadsAsExhausted(t *testing.T) {
+	// Hand-assembled program (bypassing the compiler, whose queue ids
+	// are always valid): qnext against an environment whose queues are
+	// unbound must read as exhausted (-1), never crash. A bare Env has
+	// nil queue views, the harshest case the guard must absorb.
+	p := &Program{
+		Insns: []Instr{
+			{Op: OpMovImm, Dst: 0, K: -1},
+			{Op: OpQNext, Dst: 1, A: 0, K: int64(runtime.QueueSend)},
+			{Op: OpStoreReg, A: 1, K: 0},
+			{Op: OpReturn},
+		},
+		SpecializedSubflows: -1,
+	}
+	if err := Verify(p); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	env := &runtime.Env{Regs: new([runtime.NumRegisters]int64)}
+	env.Regs[0] = 77
+	if err := p.Exec(env); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if got := env.Reg(0); got != -1 {
+		t.Errorf("qnext on a nil queue stored %d, want -1", got)
+	}
+}

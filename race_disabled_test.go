@@ -1,0 +1,5 @@
+//go:build !race
+
+package progmp
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package progmp
+
+// raceEnabled reports that the race detector is instrumenting this
+// build; its allocation behaviour differs from production builds.
+const raceEnabled = true
