@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments fmt vet clean
+.PHONY: all build test test-short race cover bench experiments fmt vet lint clean
 
 all: build test
 
@@ -33,6 +33,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: the DSL admission gate over the
+# scheduler corpus and shipped examples, then the Go-convention passes.
+lint:
+	$(GO) run ./cmd/progmp-vet -all examples/schedulers
+	$(GO) run ./tools/lint ./...
 
 clean:
 	$(GO) clean ./...

@@ -276,5 +276,21 @@ func writeSummary(w io.Writer, events []progmp.TraceEvent, dropped uint64) error
 	if pushes > 0 {
 		fmt.Fprintf(w, "attribution: %d/%d transmissions trace to a retained scheduler execution\n", attributed, pushes)
 	}
+	// Quarantine events carry the static analyzer's warning count at
+	// admission in Site: a non-zero count means the supervisor had to
+	// degrade a scheduler the admission gate had already flagged.
+	var quarantines int
+	var admissionWarn int32
+	for _, ev := range events {
+		if ev.Kind == obs.EvGuardQuarantine {
+			quarantines++
+			if ev.Site > admissionWarn {
+				admissionWarn = ev.Site
+			}
+		}
+	}
+	if quarantines > 0 && admissionWarn > 0 {
+		fmt.Fprintf(w, "quarantined scheduler was admitted with %d analyzer warning(s); run progmp-vet on it\n", admissionWarn)
+	}
 	return nil
 }

@@ -14,6 +14,7 @@
 //	schedulers                   names available to compile and swap
 //	compile <name|file> [backend]  verify + compile without installing
 //	swap    <name|file> [backend]  hot-swap the connection's scheduler
+//	                             (-force installs despite analyzer warnings)
 //	getreg  <R1..R8|idx>         read a scheduler register
 //	setreg  <R1..R8|idx> <value> write a scheduler register
 //	send    <bytes> [prop]       enqueue bytes with a scheduling intent
@@ -34,6 +35,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +52,7 @@ import (
 func main() {
 	addr := flag.String("s", "/tmp/progmp.sock", "server address: Unix socket path or host:port")
 	connID := flag.Int("conn", 1, "target connection id (see list)")
+	force := flag.Bool("force", false, "swap: install despite static-analyzer warnings")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: progmpctl [-s ADDR] [-conn N] <command> [args]\n")
 		fmt.Fprintf(os.Stderr, "commands: ping list schedulers compile swap getreg setreg send metrics watch\n")
@@ -60,13 +63,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *connID, flag.Args()); err != nil {
+	if err := run(*addr, *connID, *force, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "progmpctl:", err)
+		printDiags(err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, connID int, args []string) error {
+func run(addr string, connID int, force bool, args []string) error {
 	network := "unix"
 	if !strings.Contains(addr, "/") && strings.Contains(addr, ":") {
 		network = "tcp"
@@ -112,13 +116,27 @@ func run(addr string, connID int, args []string) error {
 			return err
 		}
 		fmt.Printf("ok: %s on %s backend, %d bytes resident\n", res.Name, res.Backend, res.MemoryBytes)
+		if res.StepBound != "" {
+			fmt.Printf("step bound: %s (%d steps at reference size)\n", res.StepBound, res.StepBoundSteps)
+		}
+		for _, d := range res.Diagnostics {
+			fmt.Printf("%s: %s\n", res.Name, d)
+		}
+		if res.Warnings > 0 {
+			fmt.Printf("%d warning(s): swap will refuse this program without -force\n", res.Warnings)
+		}
 		return nil
 	case "swap":
 		name, src, backend, err := programArgs(rest)
 		if err != nil {
 			return err
 		}
-		res, err := c.Swap(connID, name, src, backend)
+		var res ctl.SwapResult
+		if force {
+			res, err = c.SwapForce(connID, name, src, backend)
+		} else {
+			res, err = c.Swap(connID, name, src, backend)
+		}
 		if err != nil {
 			return err
 		}
@@ -190,6 +208,18 @@ func run(addr string, connID int, args []string) error {
 		return watch(c, connID, rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// printDiags renders the analyzer's structured findings when a
+// compile or swap was refused.
+func printDiags(err error) {
+	var de *ctl.DiagError
+	if !errors.As(err, &de) {
+		return
+	}
+	for _, d := range de.Diags {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
 	}
 }
 

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"progmp/internal/schedlib"
+)
+
+// expectDiag asserts that the report contains a diagnostic with the
+// given rule at the given line (line 0 means any line).
+func expectDiag(t *testing.T, rep *Report, rule string, line int) {
+	t.Helper()
+	for _, d := range rep.Diagnostics {
+		if d.Rule == rule && (line == 0 || d.Line == line) {
+			if d.Severity != RuleSeverity[rule] {
+				t.Errorf("rule %s reported with severity %s, want %s", rule, d.Severity, RuleSeverity[rule])
+			}
+			return
+		}
+	}
+	t.Errorf("missing %s diagnostic at line %d; got:\n%s", rule, line, rep)
+}
+
+func expectNoDiag(t *testing.T, rep *Report, rule string) {
+	t.Helper()
+	for _, d := range rep.Diagnostics {
+		if d.Rule == rule {
+			t.Errorf("unexpected %s diagnostic: %s", rule, d)
+		}
+	}
+}
+
+// The golden per-rule cases: seeded-buggy schedulers that the gate
+// must flag with the right rule id and position.
+func TestRuleNoPush(t *testing.T) {
+	rep := AnalyzeSource(`
+IF (R1 > 0) {
+    SET(R2, 1);
+}
+RETURN;
+`, Options{})
+	expectDiag(t, rep, RuleNoPush, 0)
+}
+
+func TestRuleDupPushStraightLine(t *testing.T) {
+	rep := AnalyzeSource(`
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleDupPush, 5)
+}
+
+func TestRuleDupPushLoopInvariant(t *testing.T) {
+	rep := AnalyzeSource(`
+VAR best = SUBFLOWS.MIN(s => s.RTT);
+FOREACH (VAR s IN SUBFLOWS) {
+    IF (best != NULL) {
+        best.PUSH(Q.TOP);
+    }
+}
+`, Options{})
+	expectDiag(t, rep, RuleDupPush, 5)
+}
+
+// Pushing via the loop variable is the legitimate redundancy idiom and
+// must stay silent.
+func TestDupPushLoopVariantSilent(t *testing.T) {
+	rep := AnalyzeSource(`
+FOREACH (VAR s IN SUBFLOWS) {
+    IF (s.HAS_WINDOW_FOR(Q.TOP)) {
+        s.PUSH(Q.TOP);
+    }
+}
+`, Options{})
+	expectNoDiag(t, rep, RuleDupPush)
+}
+
+// A POP between two pushes of queue-head expressions changes what
+// Q.TOP denotes, so no duplicate is reported.
+func TestDupPushInvalidatedByPop(t *testing.T) {
+	rep := AnalyzeSource(`
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+    DROP(Q.POP());
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectNoDiag(t, rep, RuleDupPush)
+}
+
+func TestRulePopDiscard(t *testing.T) {
+	rep := AnalyzeSource(`
+VAR p = Q.POP();
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RulePopDiscard, 2)
+}
+
+func TestRuleDeadBranch(t *testing.T) {
+	rep := AnalyzeSource(`
+IF (1 > 2) {
+    SET(R1, 1);
+}
+IF (2 > 1) {
+    SET(R2, 1);
+} ELSE {
+    SET(R3, 1);
+}
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleDeadBranch, 2)
+	expectDiag(t, rep, RuleDeadBranch, 7)
+}
+
+func TestRuleFalseFilter(t *testing.T) {
+	rep := AnalyzeSource(`
+VAR none = SUBFLOWS.FILTER(s => 1 > 2);
+FOREACH (VAR s IN none) {
+    s.PUSH(Q.TOP);
+}
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleFalseFilter, 2)
+	// The provably empty list also makes the FOREACH dead.
+	expectDiag(t, rep, RuleDeadBranch, 3)
+}
+
+func TestRuleDivZero(t *testing.T) {
+	rep := AnalyzeSource(`
+SET(R1, 5 / 0);
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleDivZero, 2)
+}
+
+func TestRuleOverflow(t *testing.T) {
+	rep := AnalyzeSource(`
+SET(R1, 4611686018427387904 * 4);
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleOverflow, 2)
+}
+
+func TestRuleStepBudget(t *testing.T) {
+	rep := AnalyzeSource(`
+FOREACH (VAR s IN SUBFLOWS) {
+    IF (Q.FILTER(p => Q.COUNT > 0).COUNT > 0) {
+        s.PUSH(Q.TOP);
+    }
+}
+`, Options{})
+	expectDiag(t, rep, RuleStepBudget, 0)
+	if rep.StepBoundAt <= 0 {
+		t.Errorf("step bound not recorded: %q at %d", rep.StepBound, rep.StepBoundAt)
+	}
+	if !strings.Contains(rep.StepBound, "N") {
+		t.Errorf("step bound %q should depend on queue depth N", rep.StepBound)
+	}
+}
+
+func TestRuleUnreachable(t *testing.T) {
+	rep := AnalyzeSource(`
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+RETURN;
+SET(R1, 1);
+`, Options{})
+	expectDiag(t, rep, RuleUnreachable, 7)
+}
+
+func TestRuleRQIgnoredInfo(t *testing.T) {
+	rep := AnalyzeSource(`
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleRQIgnored, 0)
+	// info-only reports are still Clean.
+	if !rep.Clean() {
+		t.Errorf("info-only report should be Clean; got:\n%s", rep)
+	}
+}
+
+func TestRuleUseBeforeDef(t *testing.T) {
+	rep := AnalyzeSource(`
+IF (missing != NULL) {
+    missing.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleUseBeforeDef, 2)
+	if !rep.HasErrors() {
+		t.Error("use-before-def must be an error")
+	}
+}
+
+func TestRuleSingleAssignment(t *testing.T) {
+	rep := AnalyzeSource(`
+VAR x = 1;
+VAR x = 2;
+`, Options{})
+	expectDiag(t, rep, RuleSingleAssignment, 3)
+}
+
+func TestRulePurity(t *testing.T) {
+	rep := AnalyzeSource(`
+IF (Q.POP() != NULL) {
+    RETURN;
+}
+`, Options{})
+	expectDiag(t, rep, RulePurity, 0)
+}
+
+func TestRuleSyntax(t *testing.T) {
+	rep := AnalyzeSource(`IF (((`, Options{})
+	expectDiag(t, rep, RuleSyntax, 0)
+	if !rep.HasErrors() {
+		t.Error("syntax failures must be errors")
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	src := `
+//vet:ignore pop-discard
+VAR p = Q.POP();
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`
+	rep := AnalyzeSource(src, Options{})
+	expectNoDiag(t, rep, RulePopDiscard)
+	if rep.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", rep.Suppressed)
+	}
+	// Bare marker silences every rule on the next line.
+	rep = AnalyzeSource(strings.Replace(src, "//vet:ignore pop-discard", "//vet:ignore", 1), Options{})
+	expectNoDiag(t, rep, RulePopDiscard)
+}
+
+// The shipped scheduler library must be admissible: no errors, no
+// warnings. Infos (rq-ignored on the deliberate redundancy designs)
+// are allowed.
+func TestSchedlibCorpusClean(t *testing.T) {
+	for name, src := range schedlib.All {
+		rep := AnalyzeSource(src, Options{})
+		if !rep.Clean() {
+			t.Errorf("schedlib %s is not clean under progmp-vet:\n%s", name, rep)
+		}
+		if rep.StepBoundAt <= 0 {
+			t.Errorf("schedlib %s: missing step bound", name)
+		}
+	}
+}
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{SevInfo, SevWarning, SevError} {
+		data, err := sev.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatal(err)
+		}
+		if back != sev {
+			t.Errorf("round trip %v -> %s -> %v", sev, data, back)
+		}
+	}
+	var bad Severity
+	if err := bad.UnmarshalJSON([]byte(`"fatal"`)); err == nil {
+		t.Error("expected error for unknown severity name")
+	}
+}
+
+func TestRejectErrorMessage(t *testing.T) {
+	rep := AnalyzeSource(`VAR x = 1; VAR x = 2;`, Options{})
+	err := &RejectError{Name: "bad", Report: rep}
+	msg := err.Error()
+	for _, want := range []string{`"bad"`, "error", RuleSingleAssignment} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("RejectError message %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func analyzeOK(t *testing.T, src string) *Report {
+	t.Helper()
+	rep := AnalyzeSource(src, Options{})
+	if rep.HasErrors() {
+		t.Fatalf("program does not check:\n%s", rep)
+	}
+	return rep
+}
+
+func TestPolyArithmetic(t *testing.T) {
+	p := constPoly(3).add(sTerm).add(sTerm.mul(nTerm).mul(nTerm))
+	if got := p.eval(2, 10); got != 3+2+2*10*10 {
+		t.Errorf("eval = %d, want %d", got, 3+2+2*10*10)
+	}
+	if got := p.String(); got != "3 + S + S·N^2" {
+		t.Errorf("String = %q", got)
+	}
+	if got := constPoly(0).String(); got != "0" {
+		t.Errorf("zero poly = %q", got)
+	}
+}
+
+func TestPolySaturation(t *testing.T) {
+	big := constPoly(math.MaxInt64).add(constPoly(math.MaxInt64))
+	if got := big.eval(1, 1); got != math.MaxInt64 {
+		t.Errorf("saturating add = %d", got)
+	}
+	deep := sTerm
+	for i := 0; i < 2*maxExponent; i++ {
+		deep = deep.mul(sTerm)
+	}
+	// Exponent clamping keeps the representation finite and eval sound.
+	if got := deep.eval(2, 1); got != 1<<maxExponent {
+		t.Errorf("clamped eval = %d, want %d", got, 1<<maxExponent)
+	}
+}
+
+func TestSatHelpers(t *testing.T) {
+	if v, ovf := satAdd(math.MaxInt64, 1); !ovf || v != math.MaxInt64 {
+		t.Errorf("satAdd overflow: %d %v", v, ovf)
+	}
+	if v, ovf := satAdd(math.MinInt64, -1); !ovf || v != math.MinInt64 {
+		t.Errorf("satAdd underflow: %d %v", v, ovf)
+	}
+	if v, ovf := satMul(math.MaxInt64, 2); !ovf || v != math.MaxInt64 {
+		t.Errorf("satMul overflow: %d %v", v, ovf)
+	}
+	if v, ovf := satMul(3, 4); ovf || v != 12 {
+		t.Errorf("satMul plain: %d %v", v, ovf)
+	}
+}
+
+// A straight-line program's bound is a constant: no S or N terms.
+func TestCostStraightLine(t *testing.T) {
+	rep := analyzeOK(t, `
+SET(R1, R2 + 3);
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+RETURN;
+`)
+	// SUBFLOWS.MIN is a list scan, so S appears; N must not.
+	if strings.Contains(rep.StepBound, "N") {
+		t.Errorf("no queue scan, but bound %q mentions N", rep.StepBound)
+	}
+	if !strings.Contains(rep.StepBound, "S") {
+		t.Errorf("list MIN should contribute an S term: %q", rep.StepBound)
+	}
+}
+
+// FOREACH over SUBFLOWS multiplies the body by S; a queue MIN through
+// a filter chain multiplies its predicates by N.
+func TestCostShapes(t *testing.T) {
+	loop := analyzeOK(t, `
+FOREACH (VAR s IN SUBFLOWS) {
+    s.PUSH(Q.TOP);
+}
+`)
+	if !strings.Contains(loop.StepBound, "S") {
+		t.Errorf("FOREACH bound %q lacks S", loop.StepBound)
+	}
+
+	scan := analyzeOK(t, `
+VAR old = Q.FILTER(p => p.SENT_COUNT > 0).MIN(p => p.SEQ);
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (old != NULL AND sbf != NULL) {
+    sbf.PUSH(old);
+}
+`)
+	if !strings.Contains(scan.StepBound, "N") {
+		t.Errorf("queue MIN bound %q lacks N", scan.StepBound)
+	}
+}
+
+// Nesting a queue scan inside a queue-filter predicate squares N; the
+// reference evaluation must blow past the budget while the simple scan
+// stays far under it.
+func TestCostBudgetSeparation(t *testing.T) {
+	simple := analyzeOK(t, `
+IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {
+    SUBFLOWS.MIN(s => s.RTT).PUSH(Q.POP());
+}
+`)
+	if simple.StepBoundAt <= 0 || simple.StepBoundAt > 1<<20 {
+		t.Errorf("simple scheduler bound %d out of expected range", simple.StepBoundAt)
+	}
+	expectNoDiag(t, simple, RuleStepBudget)
+
+	nested := AnalyzeSource(`
+FOREACH (VAR s IN SUBFLOWS) {
+    IF (Q.FILTER(p => Q.COUNT > p.SEQ).COUNT > 0) {
+        s.PUSH(Q.TOP);
+    }
+}
+`, Options{})
+	expectDiag(t, nested, RuleStepBudget, 0)
+	if nested.StepBoundAt <= simple.StepBoundAt {
+		t.Errorf("nested bound %d should exceed simple bound %d", nested.StepBoundAt, simple.StepBoundAt)
+	}
+}
+
+// Chained queue filters through variables are resolved when costing
+// the final scan.
+func TestCostChainedFilters(t *testing.T) {
+	rep := analyzeOK(t, `
+VAR unsent = Q.FILTER(p => p.SENT_COUNT == 0);
+VAR small = unsent.FILTER(p => p.SIZE < 1000);
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (!small.EMPTY AND sbf != NULL) {
+    sbf.PUSH(small.POP());
+}
+`)
+	if !strings.Contains(rep.StepBound, "N") {
+		t.Errorf("chained filter scan bound %q lacks N", rep.StepBound)
+	}
+}
+
+// Tightening the budget makes an otherwise fine scheduler trip the
+// step-budget rule: the comparison uses Options, not a constant.
+func TestCostRespectsOptions(t *testing.T) {
+	src := `
+IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {
+    SUBFLOWS.MIN(s => s.RTT).PUSH(Q.POP());
+}
+`
+	rep := AnalyzeSource(src, Options{StepBudget: 10})
+	expectDiag(t, rep, RuleStepBudget, 0)
+}

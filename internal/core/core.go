@@ -15,6 +15,7 @@ import (
 	"time"
 	"unsafe"
 
+	"progmp/internal/analysis"
 	"progmp/internal/compile"
 	"progmp/internal/interp"
 	"progmp/internal/lang"
@@ -135,6 +136,11 @@ type Scheduler struct {
 	// lastFallbackErr retains the most recent fallback failure for
 	// diagnostics (the proc-style error surface).
 	lastFallbackErr atomic.Pointer[fallbackErr]
+
+	// report is the static-analysis report from admission: warnings and
+	// infos that did not block loading but are surfaced through tooling
+	// (progmp-vet, ctl compile, the guard's quarantine trace).
+	report *analysis.Report
 }
 
 type fallbackErr struct{ err error }
@@ -150,12 +156,20 @@ func Load(name, src string, backend Backend) (*Scheduler, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: checking scheduler %q: %w", name, err)
 	}
+	// Static analysis runs before any back-end sees the program: hard
+	// errors reject admission outright, warnings and infos ride along
+	// on the scheduler for tooling and the control-plane gate.
+	report := analysis.Analyze(info, analysis.Options{})
+	if report.HasErrors() {
+		return nil, fmt.Errorf("core: %w", &analysis.RejectError{Name: name, Report: report})
+	}
 	s := &Scheduler{
 		name:      name,
 		info:      info,
 		backend:   backend,
 		compiling: make(map[int]bool),
 		metrics:   obs.NewRegistry(),
+		report:    report,
 	}
 	s.specialized.Store(new([runtime.MaxSubflows + 1]*vm.Program))
 	s.mExecutions = s.metrics.Counter(MetricExecutions)
@@ -202,6 +216,16 @@ func (s *Scheduler) Info() *types.Info { return s.info }
 
 // Source returns the original specification text.
 func (s *Scheduler) Source() string { return s.info.Prog.Source }
+
+// AnalysisReport returns the static-analysis report recorded at
+// admission (never nil for a loaded scheduler).
+func (s *Scheduler) AnalysisReport() *analysis.Report { return s.report }
+
+// AdmissionWarnings returns the number of analyzer warnings the
+// program carried when it was admitted. The guard stamps this into
+// quarantine trace events so operators can see whether a misbehaving
+// scheduler was flagged before it ever ran.
+func (s *Scheduler) AdmissionWarnings() int { return s.report.Warnings() }
 
 // SetSynchronousSpecialization forces specialization to happen inline
 // rather than in a background goroutine. Used by tests and benchmarks

@@ -189,3 +189,48 @@ func TestFallbackErrorsObservable(t *testing.T) {
 		t.Error("no EvSchedFallback event recorded")
 	}
 }
+
+// Loading attaches the static-analysis report; a clean scheduler has a
+// step bound and no admission warnings.
+func TestLoadAttachesAnalysisReport(t *testing.T) {
+	s, err := Load("minrtt", minRTT, BackendInterpreter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.AnalysisReport()
+	if rep == nil {
+		t.Fatal("AnalysisReport() = nil")
+	}
+	if rep.StepBoundAt <= 0 {
+		t.Errorf("step bound missing: %q at %d", rep.StepBound, rep.StepBoundAt)
+	}
+	if s.AdmissionWarnings() != 0 {
+		t.Errorf("AdmissionWarnings = %d for a clean scheduler:\n%s", s.AdmissionWarnings(), rep)
+	}
+}
+
+// A scheduler admitted with warnings keeps them on the report; the
+// guard reads AdmissionWarnings when it quarantines.
+func TestLoadKeepsAdmissionWarnings(t *testing.T) {
+	s, err := Load("nopush", `SET(R1, R1 + 1);`, BackendVM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.AdmissionWarnings() == 0 {
+		t.Errorf("no-push scheduler admitted without warnings:\n%s", s.AnalysisReport())
+	}
+	if !strings.Contains(s.StatusReport(), "step bound") {
+		t.Error("StatusReport missing step bound line")
+	}
+	if !strings.Contains(s.StatusReport(), "analysis") {
+		t.Error("StatusReport missing analysis summary line")
+	}
+}
+
+// Front-end failures surface through Load as errors (the analyzer
+// re-expresses them with rule ids for the ctl layer).
+func TestLoadRejectsCheckerErrors(t *testing.T) {
+	if _, err := Load("bad", `missing.PUSH(Q.TOP);`, BackendInterpreter); err == nil {
+		t.Fatal("Load accepted a program with an undeclared identifier")
+	}
+}

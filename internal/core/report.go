@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"progmp/internal/analysis"
 )
 
 // StatusReport renders a proc-style status page for a scheduler — the
@@ -25,6 +27,12 @@ func (s *Scheduler) StatusReport() string {
 	}
 	fmt.Fprintf(&b, "  memory           %d B program, %d B per instance\n", s.MemoryFootprint(), InstanceFootprint())
 	fmt.Fprintf(&b, "  frame slots      %d\n", s.info.NumSlots)
+	if s.report != nil {
+		fmt.Fprintf(&b, "  step bound       %s (%d steps at reference size)\n", s.report.StepBound, s.report.StepBoundAt)
+		if n := len(s.report.Diagnostics); n > 0 {
+			fmt.Fprintf(&b, "  analysis         %d warning(s), %d info(s)\n", s.report.Warnings(), s.report.Count(analysis.SevInfo))
+		}
+	}
 
 	var regs []string
 	for i := 0; i < len(s.info.RegsRead); i++ {

@@ -131,6 +131,9 @@ func (c *Client) Call(req Request) (json.RawMessage, error) {
 		return nil, err
 	}
 	if !resp.OK {
+		if len(resp.Diags) > 0 {
+			return nil, &DiagError{Msg: "ctl: " + resp.Error, Diags: resp.Diags}
+		}
 		return nil, fmt.Errorf("ctl: %s", resp.Error)
 	}
 	return resp.Result, nil
@@ -189,10 +192,21 @@ func (c *Client) Compile(name, src, backend string) (CompileResult, error) {
 	return out, err
 }
 
-// Swap hot-swaps the scheduler of connection conn (0 = first).
+// Swap hot-swaps the scheduler of connection conn (0 = first). The
+// server refuses programs carrying analyzer warnings; the returned
+// error is a *DiagError with the structured findings. Use SwapForce to
+// override.
 func (c *Client) Swap(conn int, name, src, backend string) (SwapResult, error) {
 	var out SwapResult
 	err := c.call(Request{Verb: VerbSwap, Conn: conn, Name: name, Src: src, Backend: backend}, &out)
+	return out, err
+}
+
+// SwapForce is Swap with the static-analysis admission gate overridden
+// for warning-level findings. Errors still refuse.
+func (c *Client) SwapForce(conn int, name, src, backend string) (SwapResult, error) {
+	var out SwapResult
+	err := c.call(Request{Verb: VerbSwap, Conn: conn, Name: name, Src: src, Backend: backend, Force: true}, &out)
 	return out, err
 }
 

@@ -3,6 +3,7 @@ package ctl_test
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"path/filepath"
@@ -381,5 +382,89 @@ func TestUnsubscribeUnknown(t *testing.T) {
 	}
 	if resp.OK || !strings.Contains(resp.Error, "no subscription") {
 		t.Fatalf("unsubscribe(42) response: %+v", resp)
+	}
+}
+
+// The static-analysis admission gate: compile reports structured
+// diagnostics, swap refuses warning-carrying programs unless forced.
+func TestAnalysisAdmissionGate(t *testing.T) {
+	h := startHarness(t, false)
+	c := h.client
+
+	// A clean corpus scheduler compiles with a step bound and no
+	// warnings.
+	cr, err := c.Compile("minRTT", "", "")
+	if err != nil {
+		t.Fatalf("Compile(minRTT): %v", err)
+	}
+	if cr.Warnings != 0 {
+		t.Fatalf("minRTT compiled with %d warnings: %+v", cr.Warnings, cr.Diagnostics)
+	}
+	if cr.StepBound == "" || cr.StepBoundSteps <= 0 {
+		t.Fatalf("compile result missing step bound: %+v", cr)
+	}
+
+	// A rejected program returns structured diagnostics, not just a
+	// flat error string.
+	_, err = c.Compile("", "missing.PUSH(Q.TOP);", "")
+	if err == nil {
+		t.Fatal("compiling an undeclared-identifier program should fail")
+	}
+	var de *ctl.DiagError
+	if !errors.As(err, &de) {
+		t.Fatalf("Compile error is %T (%v), want *ctl.DiagError", err, err)
+	}
+	found := false
+	for _, d := range de.Diags {
+		if d.Rule == "use-before-def" && d.Severity.String() == "error" && d.Line == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no use-before-def error diagnostic in %+v", de.Diags)
+	}
+
+	// A program that type-checks but carries warnings (never pushes)
+	// compiles with the diagnostics attached...
+	noPush := "SET(R1, R1 + 1);"
+	cr, err = c.Compile("", noPush, "")
+	if err != nil {
+		t.Fatalf("Compile(no-push): %v", err)
+	}
+	if cr.Warnings == 0 {
+		t.Fatalf("no-push program compiled without warnings: %+v", cr)
+	}
+
+	// ...but swap refuses it, with the same structured findings.
+	_, err = c.Swap(1, "", noPush, "")
+	if err == nil {
+		t.Fatal("swap of a warning-carrying program should be refused")
+	}
+	if !errors.As(err, &de) {
+		t.Fatalf("Swap error is %T (%v), want *ctl.DiagError", err, err)
+	}
+	hasNoPush := false
+	for _, d := range de.Diags {
+		if d.Rule == "no-push" {
+			hasNoPush = true
+		}
+	}
+	if !hasNoPush {
+		t.Fatalf("refusal diagnostics missing no-push: %+v", de.Diags)
+	}
+	if got, err := c.List(); err != nil || got.Conns[0].Scheduler != "minRTT" {
+		t.Fatalf("refused swap must not install: scheduler=%q err=%v", got.Conns[0].Scheduler, err)
+	}
+
+	// Force overrides warnings (never errors).
+	sw, err := c.SwapForce(1, "", noPush, "")
+	if err != nil {
+		t.Fatalf("SwapForce: %v", err)
+	}
+	if sw.Scheduler != "adhoc" {
+		t.Fatalf("forced swap installed %q, want adhoc", sw.Scheduler)
+	}
+	if _, err := c.SwapForce(1, "", "missing.PUSH(Q.TOP);", ""); err == nil {
+		t.Fatal("force must not override error-severity findings")
 	}
 }

@@ -25,6 +25,7 @@ package ctl
 import (
 	"encoding/json"
 
+	"progmp/internal/analysis"
 	"progmp/internal/obs"
 )
 
@@ -64,6 +65,10 @@ type Request struct {
 	Sub     uint64   `json:"sub,omitempty"`
 	Kinds   []string `json:"kinds,omitempty"`
 	Buf     int      `json:"buf,omitempty"`
+	// Force overrides the static-analysis admission gate on swap:
+	// programs carrying analyzer warnings are installed anyway. Errors
+	// are never forceable.
+	Force bool `json:"force,omitempty"`
 }
 
 // Response is one server→client line: a call result (Result set on
@@ -75,7 +80,21 @@ type Response struct {
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Event  *obs.JSONLEvent `json:"event,omitempty"`
+	// Diags carries the static analyzer's structured findings
+	// (rule id, severity, position) when a compile or swap is refused,
+	// so clients can render more than a flat error string.
+	Diags []analysis.Diagnostic `json:"diags,omitempty"`
 }
+
+// DiagError is the client-side form of a refusal that carried
+// structured diagnostics.
+type DiagError struct {
+	Msg   string
+	Diags []analysis.Diagnostic
+}
+
+// Error returns the server's message.
+func (e *DiagError) Error() string { return e.Msg }
 
 // PingResult answers VerbPing.
 type PingResult struct {
@@ -126,6 +145,17 @@ type CompileResult struct {
 	Name        string `json:"name"`
 	Backend     string `json:"backend"`
 	MemoryBytes int    `json:"memory_bytes"`
+	// Diagnostics are the analyzer's non-fatal findings (warnings and
+	// infos) recorded at admission.
+	Diagnostics []analysis.Diagnostic `json:"diagnostics,omitempty"`
+	// Warnings counts the warning-severity diagnostics; a non-zero
+	// count means swap will refuse this program without Force.
+	Warnings int `json:"warnings,omitempty"`
+	// StepBound is the static worst-case step count as a polynomial in
+	// S (subflows) and N (queue depth); StepBoundSteps is its value at
+	// the reference environment size.
+	StepBound      string `json:"step_bound,omitempty"`
+	StepBoundSteps int64  `json:"step_bound_steps,omitempty"`
 }
 
 // SwapResult answers VerbSwap.

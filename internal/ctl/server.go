@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"progmp"
+	"progmp/internal/analysis"
 	"progmp/internal/obs"
 )
 
@@ -299,25 +300,48 @@ func (se *session) schedulers(req Request) {
 
 // resolveProgram turns a request's Src/Name/Backend fields into a
 // compiled, verified scheduler. Pure CPU: safe off the sim goroutine.
-func (se *session) resolveProgram(req Request) (*progmp.Scheduler, error) {
+// The resolved source text is returned alongside so handlers can run
+// the analyzer for structured diagnostics when loading fails.
+func (se *session) resolveProgram(req Request) (*progmp.Scheduler, string, error) {
 	name, src := req.Name, req.Src
 	if src == "" {
 		if name == "" {
-			return nil, fmt.Errorf("compile needs name or src")
+			return nil, "", fmt.Errorf("compile needs name or src")
 		}
 		var ok bool
 		src, ok = se.srv.opts.Sources[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown scheduler %q", name)
+			return nil, "", fmt.Errorf("unknown scheduler %q", name)
 		}
 	} else if name == "" {
 		name = "adhoc"
 	}
 	backend, err := parseBackend(req.Backend)
 	if err != nil {
-		return nil, err
+		return nil, src, err
 	}
-	return progmp.LoadSchedulerBackend(name, src, backend)
+	prog, err := progmp.LoadSchedulerBackend(name, src, backend)
+	return prog, src, err
+}
+
+// writeReject refuses a request with the analyzer's structured
+// diagnostics attached to the error response.
+func (se *session) writeReject(id uint64, err error, diags []analysis.Diagnostic) {
+	se.write(Response{ID: id, Error: err.Error(), Diags: diags})
+}
+
+// rejectDiags extracts the diagnostics to attach to a failed
+// compile/swap: the structured report when the front end or analyzer
+// refused the source, nil for transport-level failures.
+func rejectDiags(src string, err error) []analysis.Diagnostic {
+	if src == "" || err == nil {
+		return nil
+	}
+	rep := analysis.AnalyzeSource(src, analysis.Options{})
+	if len(rep.Diagnostics) == 0 {
+		return nil
+	}
+	return rep.Diagnostics
 }
 
 func parseBackend(s string) (progmp.Backend, error) {
@@ -334,15 +358,20 @@ func parseBackend(s string) (progmp.Backend, error) {
 }
 
 func (se *session) compile(req Request) {
-	prog, err := se.resolveProgram(req)
+	prog, src, err := se.resolveProgram(req)
 	if err != nil {
-		se.writeError(req.ID, err)
+		se.writeReject(req.ID, err, rejectDiags(src, err))
 		return
 	}
+	rep := prog.AnalysisReport()
 	se.writeResult(req.ID, CompileResult{
-		Name:        prog.Name(),
-		Backend:     prog.Backend().String(),
-		MemoryBytes: prog.MemoryFootprint(),
+		Name:           prog.Name(),
+		Backend:        prog.Backend().String(),
+		MemoryBytes:    prog.MemoryFootprint(),
+		Diagnostics:    rep.Diagnostics,
+		Warnings:       rep.Warnings(),
+		StepBound:      rep.StepBound,
+		StepBoundSteps: rep.StepBoundAt,
 	})
 }
 
@@ -352,9 +381,18 @@ func (se *session) swap(req Request) {
 		se.writeError(req.ID, err)
 		return
 	}
-	prog, err := se.resolveProgram(req)
+	prog, src, err := se.resolveProgram(req)
 	if err != nil {
-		se.writeError(req.ID, err)
+		se.writeReject(req.ID, err, rejectDiags(src, err))
+		return
+	}
+	// The admission gate: programs carrying analyzer warnings are not
+	// installed on a live connection unless the caller forces it.
+	if rep := prog.AnalysisReport(); !rep.Clean() && !req.Force {
+		se.writeReject(req.ID,
+			fmt.Errorf("scheduler %q refused by admission gate: %d analyzer warning(s); set force to install anyway",
+				prog.Name(), rep.Warnings()),
+			rep.Diagnostics)
 		return
 	}
 	var res SwapResult

@@ -458,7 +458,7 @@ func (s *Supervisor) quarantine(env *runtime.Env) {
 	s.mQuarantines.Add(1)
 	s.gState.Set(int64(StateQuarantined))
 	backoff := s.backoff
-	s.event(obs.EvGuardQuarantine, backoff.Microseconds())
+	s.eventSite(obs.EvGuardQuarantine, backoff.Microseconds(), admissionWarnings(s.inner))
 	if s.backoff < s.cfg.MaxBackoff {
 		s.backoff *= 2
 		if s.backoff > s.cfg.MaxBackoff {
@@ -504,6 +504,13 @@ func (s *Supervisor) restore() {
 
 // event records one supervision event through the attached tracer.
 func (s *Supervisor) event(kind obs.EventKind, aux int64) {
+	s.eventSite(kind, aux, 0)
+}
+
+// eventSite is event with the Site field set: supervision events carry
+// no program counter, so quarantine reuses Site for the static
+// analyzer's warning count at admission (see AdmissionReporter).
+func (s *Supervisor) eventSite(kind obs.EventKind, aux int64, site int32) {
 	if s.tracer == nil {
 		return
 	}
@@ -511,5 +518,27 @@ func (s *Supervisor) event(kind obs.EventKind, aux int64) {
 	if s.cfg.Now != nil {
 		at = s.cfg.Now()
 	}
-	s.tracer.Record(obs.Event{At: at, Kind: kind, Conn: s.connID, Seq: -1, Sbf: -1, Aux: aux})
+	s.tracer.Record(obs.Event{At: at, Kind: kind, Conn: s.connID, Seq: -1, Sbf: -1, Aux: aux, Site: site})
+}
+
+// AdmissionReporter is optionally implemented by supervised schedulers
+// that passed through the static-analysis admission gate (core.Load
+// does). When the inner scheduler reports warnings, quarantine events
+// carry the count in Site: a scheduler admitted with findings and
+// later quarantined is the analyzer's "told you so" signal, and
+// progmp-trace surfaces it.
+type AdmissionReporter interface {
+	AdmissionWarnings() int
+}
+
+// admissionWarnings extracts the analyzer warning count recorded at
+// admission, 0 when the scheduler does not expose one.
+func admissionWarnings(inner Scheduler) int32 {
+	if r, ok := inner.(AdmissionReporter); ok {
+		n := r.AdmissionWarnings()
+		if n > 0 {
+			return int32(n)
+		}
+	}
+	return 0
 }

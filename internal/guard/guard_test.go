@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"progmp/internal/core"
 	"progmp/internal/mptcp"
 	"progmp/internal/mptcp/sched"
 	"progmp/internal/netsim"
@@ -367,5 +368,62 @@ func TestWorkAvailable(t *testing.T) {
 	env.SubflowViews[0].Ints[runtime.SbfSkbsInFlight] = 10
 	if workAvailable(env) {
 		t.Error("exhausted cwnd must not count as available")
+	}
+}
+
+// TestQuarantineCarriesAdmissionWarnings is the analyzer/supervisor
+// composition: a DSL scheduler that the static-analysis admission gate
+// flagged (no-push) but that was installed anyway must, when the
+// supervisor quarantines it for stalling, stamp the analyzer's warning
+// count into the quarantine event's Site field.
+func TestQuarantineCarriesAdmissionWarnings(t *testing.T) {
+	// SET-only program: admitted with a no-push warning, then stalls.
+	sched, err := core.Load("noPush", "SET(R1, R1 + 1);", core.BackendInterpreter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warnings := sched.AdmissionWarnings()
+	if warnings == 0 {
+		t.Fatal("test premise broken: no-push program carries no analyzer warnings")
+	}
+
+	eng := netsim.NewEngine(3)
+	conn := mptcp.NewConn(eng, mptcp.Config{})
+	link := netsim.NewLink(eng, netsim.PathConfig{
+		Name: "p", Rate: netsim.ConstantRate(3e6), Delay: 5 * time.Millisecond,
+	})
+	if _, err := conn.AddSubflow(mptcp.SubflowConfig{Name: "p", Link: link}); err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewTracer(4096)
+	conn.Instrument(tracer, nil)
+	sup := New(sched, Config{
+		StallExecs:     4,
+		StallTimeout:   20 * time.Millisecond,
+		ProbationAfter: time.Second,
+		Now:            eng.Now,
+		After:          func(d time.Duration, fn func()) { eng.After(d, fn) },
+		Wake:           conn.Kick,
+	})
+	sup.Instrument(tracer, conn.TraceConnID(), nil)
+	conn.SetScheduler(sup)
+	eng.After(0, func() { conn.Send(64<<10, 0) })
+	eng.RunUntil(30 * time.Second)
+
+	if sup.Quarantines == 0 {
+		t.Fatal("stalling no-push scheduler never quarantined")
+	}
+	var sawQuarantine bool
+	for _, ev := range tracer.Events() {
+		if ev.Kind != obs.EvGuardQuarantine {
+			continue
+		}
+		sawQuarantine = true
+		if ev.Site != int32(warnings) {
+			t.Errorf("quarantine event Site = %d, want admission warning count %d", ev.Site, warnings)
+		}
+	}
+	if !sawQuarantine {
+		t.Fatal("no quarantine event in the trace")
 	}
 }

@@ -51,7 +51,7 @@ const (
 	EvGuardPanic      // supervised scheduler panicked (execution discarded)
 	EvGuardBadAction  // supervisor stripped invalid actions (Aux = count)
 	EvGuardStall      // stall strike: work available, no actions for K executions
-	EvGuardQuarantine // user scheduler quarantined (Aux = probation backoff in µs)
+	EvGuardQuarantine // user scheduler quarantined (Aux = probation backoff in µs, Site = analyzer warnings at admission)
 	EvGuardProbe      // probation began: user scheduler on trial
 	EvGuardRestore    // user scheduler re-promoted after clean trials
 	// Control-plane events (package ctl and the hot-swap path).
@@ -125,7 +125,9 @@ type Event struct {
 	// Site is the decision site inside the scheduler program that
 	// recorded the action: the source line for the interpreter and
 	// compiled back-ends, the bytecode pc for the VM, 0 for native
-	// schedulers. Only PUSH/POP/DROP events carry a site.
+	// schedulers. Only PUSH/POP/DROP events carry a site, with one
+	// reuse: GUARD_QUARANTINE carries the static analyzer's warning
+	// count at admission (supervision events have no program counter).
 	Site int32
 	Kind EventKind
 }

@@ -11,6 +11,10 @@ import (
 var (
 	ErrEmptyProgram = errors.New("empty program")
 	ErrNoReturn     = errors.New("program does not end with return")
+	// ErrNoTermination is returned when some reachable instruction has
+	// no control-flow path to an OpReturn: execution entering it can
+	// only leave via the step budget, never by terminating.
+	ErrNoTermination = errors.New("reachable code has no path to a return instruction")
 )
 
 // Verify checks a program the way the eBPF loader would before
@@ -76,6 +80,87 @@ func Verify(p *Program) error {
 			if in.K < 0 || int(in.K) >= p.SpillSlots {
 				return fmt.Errorf("instruction %d (%s): spill slot out of range", i, in)
 			}
+		}
+	}
+	return verifyTermination(p)
+}
+
+// verifyTermination checks that every instruction reachable from entry
+// has a control-flow path to an OpReturn. The trailing-return check
+// above is not enough: a program whose last instruction is OpReturn
+// can still trap execution in a jump cycle that the return never
+// post-dominates (e.g. `movimm; jmp -1; return`). Forward
+// reachability from instruction 0 then backward reachability from the
+// reachable returns finds any such trap.
+func verifyTermination(p *Program) error {
+	n := len(p.Insns)
+
+	// succs lists instruction i's control-flow successors. OpReturn
+	// halts; OpJmp transfers unconditionally; conditional jumps fall
+	// through or take the target.
+	succs := func(i int) []int {
+		in := p.Insns[i]
+		switch in.Op {
+		case OpReturn:
+			return nil
+		case OpJmp:
+			return []int{i + 1 + int(in.K)}
+		case OpJz, OpJnz, OpJeq, OpJne, OpJlt, OpJle, OpJgt, OpJge,
+			OpJltz, OpJlez, OpJgtz, OpJgez, OpJsbz, OpJsbnz, OpJbc, OpJbs:
+			return []int{i + 1, i + 1 + int(in.K)}
+		}
+		if i+1 < n {
+			return []int{i + 1}
+		}
+		return nil
+	}
+
+	reachable := make([]bool, n)
+	stack := []int{0}
+	reachable[0] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range succs(i) {
+			if !reachable[s] {
+				reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+
+	// Backward reachability from every reachable return, over the
+	// reversed edges.
+	preds := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		if !reachable[i] {
+			continue
+		}
+		for _, s := range succs(i) {
+			preds[s] = append(preds[s], int32(i))
+		}
+	}
+	reaches := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if reachable[i] && p.Insns[i].Op == OpReturn {
+			reaches[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pr := range preds[i] {
+			if !reaches[pr] {
+				reaches[pr] = true
+				stack = append(stack, int(pr))
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if reachable[i] && !reaches[i] {
+			return fmt.Errorf("instruction %d (%s): %w", i, p.Insns[i], ErrNoTermination)
 		}
 	}
 	return nil

@@ -209,6 +209,43 @@ func TestVerifyRejectsCorruptPrograms(t *testing.T) {
 	}
 }
 
+// Regression: a program can end in OpReturn and still trap execution
+// in a jump cycle the return never post-dominates. Verify must reject
+// any reachable instruction with no path to a return.
+func TestVerifyRejectsReturnlessCycle(t *testing.T) {
+	trapped := &Program{Insns: []Instr{
+		{Op: OpMovImm, Dst: 0, K: 1},
+		{Op: OpJmp, K: -1}, // jumps back to the movimm forever
+		{Op: OpReturn},     // syntactically present, never reachable as an exit
+	}}
+	err := Verify(trapped)
+	if !errors.Is(err, ErrNoTermination) {
+		t.Fatalf("Verify = %v, want ErrNoTermination", err)
+	}
+
+	// A conditional escape from the cycle makes the same shape legal:
+	// loops are allowed, only return-free traps are not.
+	escapable := &Program{Insns: []Instr{
+		{Op: OpMovImm, Dst: 0, K: 1},
+		{Op: OpJz, A: 0, K: -1},
+		{Op: OpReturn},
+	}}
+	if err := Verify(escapable); err != nil {
+		t.Fatalf("Verify rejected an escapable loop: %v", err)
+	}
+
+	// An unreachable cycle is dead code, not a trap.
+	deadCycle := &Program{Insns: []Instr{
+		{Op: OpJmp, K: 2},
+		{Op: OpJmp, K: -1},
+		{Op: OpJmp, K: -2},
+		{Op: OpReturn},
+	}}
+	if err := Verify(deadCycle); err != nil {
+		t.Fatalf("Verify rejected a program with an unreachable cycle: %v", err)
+	}
+}
+
 func TestVMSpillPressure(t *testing.T) {
 	// Build an expression wide enough to exceed 14 allocatable
 	// registers so the allocator must spill; semantics must hold.

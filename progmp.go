@@ -26,6 +26,7 @@ import (
 	"io"
 	"time"
 
+	"progmp/internal/analysis"
 	"progmp/internal/core"
 	"progmp/internal/guard"
 	"progmp/internal/lang"
@@ -80,6 +81,20 @@ func CheckScheduler(src string) error {
 	}
 	_, err = types.Check(prog)
 	return err
+}
+
+// AnalysisReport is the static analyzer's verdict on a scheduler
+// program: diagnostics (rule id, severity, position) plus the proven
+// worst-case step bound. See docs/ANALYSIS.md for the rule catalogue.
+type AnalysisReport = analysis.Report
+
+// VetScheduler runs the full static analyzer over a scheduler
+// specification — the same pass that gates LoadScheduler and the
+// control plane's swap verb — and returns the report regardless of
+// whether the program would be admitted. Programs that fail to parse
+// or type-check report those failures as error-severity diagnostics.
+func VetScheduler(src string) *AnalysisReport {
+	return analysis.AnalyzeSource(src, analysis.Options{})
 }
 
 // LoadScheduler compiles a specification on the default back-end (the

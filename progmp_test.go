@@ -190,3 +190,17 @@ func TestRunAllDrains(t *testing.T) {
 		t.Errorf("RunAll did not drain: fired=%v now=%v", fired, net.Now())
 	}
 }
+
+func TestVetScheduler(t *testing.T) {
+	if rep := VetScheduler(Schedulers["minRTT"]); !rep.Clean() {
+		t.Errorf("minRTT must vet clean: %v", rep.Diagnostics)
+	} else if rep.StepBoundAt == 0 {
+		t.Error("clean program must carry a step bound")
+	}
+	if rep := VetScheduler("SET(R1, R1 + 1);"); rep.Warnings() == 0 {
+		t.Error("no-push program must carry warnings")
+	}
+	if rep := VetScheduler("IF ("); rep.Errors() == 0 {
+		t.Error("unparseable program must carry error diagnostics")
+	}
+}

@@ -1,0 +1,366 @@
+// Command lint runs the repository's project-specific Go checks: the
+// conventions go vet cannot know about because they are ProgMP-Go
+// idioms, not Go idioms. It is deliberately stdlib-only (go/ast,
+// go/parser, go/token) so it works in the offline build environment;
+// the passes are syntactic, package-at-a-time, in the shape of
+// golang.org/x/tools/go/analysis without the dependency.
+//
+// Usage:
+//
+//	go run ./tools/lint ./...
+//	go run ./tools/lint internal/obs internal/core
+//
+// Each argument is a directory (one package) or a dir/... pattern
+// (every package below it). Exit status is 1 when any diagnostic is
+// reported, 2 on usage or parse errors.
+//
+// The passes:
+//
+//	eventkind   obs.Event composite literals must set Kind explicitly.
+//	            A zero-Kind event records as NONE and silently defeats
+//	            trace-kind filtering, so the field is required even
+//	            when other fields identify the site.
+//	metricname  Metric names passed to Counter/Gauge/Histogram must be
+//	            lower_snake components joined by dots with at least one
+//	            dot (namespace.metric), matching the names the ctl
+//	            metrics verb and progmp-trace print.
+//	metrickind  The same metric name must not be registered as more
+//	            than one kind in a package: the obs registry resolves
+//	            such conflicts at runtime by returning a detached
+//	            metric, so the second registration is a silent no-op.
+//
+// Test files are exempt from the metric passes (tests intentionally
+// exercise conflicts) but not from eventkind.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Pass is one analyzer's view of one package: its parsed files and a
+// sink for diagnostics.
+type Pass struct {
+	Fset   *token.FileSet
+	Files  []*ast.File
+	report func(pos token.Pos, format string, args ...any)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, format, args...)
+}
+
+// An Analyzer is one named check run over every package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+	// SkipTests exempts _test.go files from this pass.
+	SkipTests bool
+}
+
+// analyzers is the registry, in report order.
+var analyzers = []*Analyzer{
+	{
+		Name: "eventkind",
+		Doc:  "obs.Event composite literals must set Kind explicitly",
+		Run:  runEventKind,
+	},
+	{
+		Name:      "metricname",
+		Doc:       "metric names are dot-separated lower_snake components",
+		Run:       runMetricName,
+		SkipTests: true,
+	},
+	{
+		Name:      "metrickind",
+		Doc:       "one metric name, one metric kind per package",
+		Run:       runMetricKind,
+		SkipTests: true,
+	},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lint [dir|dir/... ...]")
+		return 2
+	}
+	dirs, err := expandArgs(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, dir := range dirs {
+		n, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lint: %s: %v\n", dir, err)
+			return 2
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// expandArgs resolves dir and dir/... arguments into the sorted list of
+// directories that contain Go files.
+func expandArgs(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, arg := range args {
+		root, recursive := strings.CutSuffix(arg, "/...")
+		if root == "." || root == "" {
+			root = "."
+		}
+		if !recursive {
+			info, err := os.Stat(root)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				return nil, fmt.Errorf("%s is not a directory", root)
+			}
+			add(root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// lintDir parses the package in dir and runs every analyzer over it,
+// printing diagnostics. It returns the number of findings.
+func lintDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pkg := pkgs[name]
+		var files, nonTest []*ast.File
+		fileNames := make([]string, 0, len(pkg.Files))
+		for fname := range pkg.Files {
+			fileNames = append(fileNames, fname)
+		}
+		sort.Strings(fileNames)
+		for _, fname := range fileNames {
+			f := pkg.Files[fname]
+			files = append(files, f)
+			if !strings.HasSuffix(fname, "_test.go") {
+				nonTest = append(nonTest, f)
+			}
+		}
+		for _, a := range analyzers {
+			in := files
+			if a.SkipTests {
+				in = nonTest
+			}
+			pass := &Pass{
+				Fset:  fset,
+				Files: in,
+				report: func(pos token.Pos, format string, args ...any) {
+					findings++
+					fmt.Printf("%s: %s [%s]\n", fset.Position(pos), fmt.Sprintf(format, args...), a.Name)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	return findings, nil
+}
+
+// isEventLiteral reports whether lit composes an obs.Event (spelled
+// obs.Event outside the package or Event inside it). Purely syntactic:
+// a same-named type in an unrelated package would also match, which is
+// acceptable for a project-local lint.
+func isEventLiteral(lit *ast.CompositeLit) bool {
+	switch t := lit.Type.(type) {
+	case *ast.Ident:
+		return t.Name == "Event"
+	case *ast.SelectorExpr:
+		x, ok := t.X.(*ast.Ident)
+		return ok && x.Name == "obs" && t.Sel.Name == "Event"
+	}
+	return false
+}
+
+func runEventKind(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isEventLiteral(lit) {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					// Positional literal: Kind is set by position, but the
+					// form is fragile against field reordering; require keys.
+					pass.Reportf(lit.Pos(), "obs.Event literal uses positional fields; use Kind: ... form")
+					return true
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
+					return true
+				}
+			}
+			pass.Reportf(lit.Pos(), "obs.Event literal does not set Kind; a zero Kind records as NONE and defeats trace filtering")
+			return true
+		})
+	}
+}
+
+// metricCalls visits every Counter/Gauge/Histogram method call whose
+// single argument includes a string literal, yielding the call, the
+// method name, the literal (unquoted), and whether the literal is the
+// whole name (exact) or just the constant prefix of a concatenation.
+func metricCalls(f *ast.File, visit func(call *ast.CallExpr, method, name string, exact bool)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		method := sel.Sel.Name
+		if method != "Counter" && method != "Gauge" && method != "Histogram" {
+			return true
+		}
+		name, exact, ok := stringPrefix(call.Args[0])
+		if !ok {
+			return true
+		}
+		visit(call, method, name, exact)
+		return true
+	})
+}
+
+// stringPrefix extracts the constant prefix of a metric-name argument:
+// a plain string literal (exact), or the left side of a `"lit" + expr`
+// concatenation (dynamic suffixes like subflow keys are fine — the
+// namespace prefix is what the convention governs).
+func stringPrefix(e ast.Expr) (name string, exact, ok bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return "", false, false
+		}
+		s, err := strconv.Unquote(e.Value)
+		if err != nil {
+			return "", false, false
+		}
+		return s, true, true
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			name, _, ok = stringPrefix(e.X)
+			return name, false, ok
+		}
+	}
+	return "", false, false
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*\.?$`)
+
+func runMetricName(pass *Pass) {
+	for _, f := range pass.Files {
+		metricCalls(f, func(call *ast.CallExpr, method, name string, exact bool) {
+			if !metricNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q is not dot-separated lower_snake (want e.g. \"conn.pushes\")", name)
+				return
+			}
+			if exact && !strings.Contains(name, ".") {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q has no namespace; prefix it like \"conn.%s\"", name, name)
+			}
+		})
+	}
+}
+
+func runMetricKind(pass *Pass) {
+	type firstUse struct {
+		method string
+		pos    token.Pos
+	}
+	seen := map[string]firstUse{}
+	for _, f := range pass.Files {
+		metricCalls(f, func(call *ast.CallExpr, method, name string, exact bool) {
+			// Concatenated names are not statically comparable; only exact
+			// literals participate in conflict detection.
+			if !exact {
+				return
+			}
+			if prev, ok := seen[name]; ok {
+				if prev.method != method {
+					pass.Reportf(call.Pos(),
+						"metric %q registered as %s here but as %s at %s; the second registration is a detached no-op",
+						name, method, prev.method, pass.Fset.Position(prev.pos))
+				}
+				return
+			}
+			seen[name] = firstUse{method: method, pos: call.Pos()}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runPass parses src as one file and runs the named analyzer over it,
+// returning the diagnostic messages.
+func runPass(t *testing.T, name, src string) []string {
+	t.Helper()
+	var a *Analyzer
+	for _, cand := range analyzers {
+		if cand.Name == name {
+			a = cand
+		}
+	}
+	if a == nil {
+		t.Fatalf("no analyzer %q", name)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var got []string
+	pass := &Pass{
+		Fset:  fset,
+		Files: []*ast.File{f},
+		report: func(pos token.Pos, format string, args ...any) {
+			got = append(got, fset.Position(pos).String()+": "+fmt.Sprintf(format, args...))
+		},
+	}
+	a.Run(pass)
+	return got
+}
+
+func TestEventKindPass(t *testing.T) {
+	src := `package p
+import "progmp/internal/obs"
+func f(tr *obs.Tracer) {
+	tr.Record(obs.Event{Kind: obs.EvPush, Seq: 1}) // ok
+	tr.Record(obs.Event{Seq: 1})                   // missing Kind
+	tr.Record(obs.Event{})                         // empty: missing Kind
+	_ = obs.Snapshot{}                             // unrelated literal: ok
+}`
+	got := runPass(t, "eventkind", src)
+	if len(got) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(got), got)
+	}
+	for _, d := range got {
+		if !strings.Contains(d, "Kind") {
+			t.Errorf("diagnostic should name the Kind field: %s", d)
+		}
+	}
+}
+
+func TestEventKindInsidePackage(t *testing.T) {
+	src := `package obs
+func f(tr *Tracer) {
+	tr.Record(Event{Kind: EvPush}) // ok
+	tr.Record(Event{Seq: 3})       // missing Kind
+}`
+	if got := runPass(t, "eventkind", src); len(got) != 1 {
+		t.Fatalf("got %v, want one diagnostic", got)
+	}
+}
+
+func TestMetricNamePass(t *testing.T) {
+	src := `package p
+func f(reg *Registry, key string) {
+	reg.Counter("conn.pushes")        // ok
+	reg.Gauge("guard.state")          // ok
+	reg.Counter("sbf." + key + ".x")  // ok: prefix matches, suffix dynamic
+	reg.Counter("Conn.Pushes")        // bad case
+	reg.Counter("pushes")             // no namespace
+	reg.Histogram("conn..oops")       // empty component
+}`
+	got := runPass(t, "metricname", src)
+	if len(got) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(got), got)
+	}
+}
+
+func TestMetricKindPass(t *testing.T) {
+	src := `package p
+func f(reg *Registry, key string) {
+	reg.Counter("conn.pushes")
+	reg.Counter("conn.pushes")       // same kind: ok
+	reg.Gauge("conn.pushes")         // conflict
+	reg.Counter("sbf." + key)        // concatenated: exempt
+	reg.Histogram("sbf." + key)      // concatenated: exempt
+}`
+	got := runPass(t, "metrickind", src)
+	if len(got) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "conn.pushes") {
+		t.Errorf("diagnostic should name the metric: %s", got[0])
+	}
+}
+
+func TestLintDirSkipsTestsForMetricPasses(t *testing.T) {
+	dir := t.TempDir()
+	lib := `package p
+type R struct{}
+func (R) Counter(string) {}
+func (R) Gauge(string) {}
+`
+	test := `package p
+func f(reg R) {
+	reg.Counter("x") // metricname violation, but in a test file
+	reg.Gauge("x")   // metrickind violation, but in a test file
+}`
+	if err := os.WriteFile(filepath.Join(dir, "lib.go"), []byte(lib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "lib_test.go"), []byte(test), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("test files should be exempt from metric passes; got %d findings", n)
+	}
+}
+
+func TestRepoIsLintClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("module root not found")
+	}
+	dirs, err := expandArgs([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, dir := range dirs {
+		n, err := lintDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		total += n
+	}
+	if total != 0 {
+		t.Fatalf("repository has %d lint finding(s); run `go run ./tools/lint ./...`", total)
+	}
+}
