@@ -88,6 +88,10 @@ func main() {
 	chaos := flag.String("chaos", "", "run a chaos soak instead: scenario name or \"all\" (see -chaos list)")
 	ctlAddr := flag.String("ctl", "", "serve the control plane on ADDR (a Unix socket path, or host:port for TCP) and run live")
 	pace := flag.Float64("pace", 0, "live pacing with -ctl: virtual seconds per wall second (1 = real time, 0 = real time default, <0 = unpaced)")
+	conns := flag.Int("conns", 1, "number of connections (each with its own scheduler instance and metrics registry)")
+	metricsInterval := flag.Duration("metrics-interval", 0, "sample aggregated fleet metrics every D of virtual time")
+	metricsOut := flag.String("metrics-out", "", "write the sampled metrics time-series as JSONL to FILE (implies -metrics-interval 100ms)")
+	metricsHTTP := flag.String("metrics-http", "", "serve the OpenMetrics exposition on host:port")
 	flag.Var(&paths, "path", "path spec name:rateBps:delay:loss:pref|backup (repeatable)")
 	flag.Parse()
 
@@ -98,10 +102,28 @@ func main() {
 		}
 		return
 	}
-	if err := run(*scheduler, *backend, *send, *prop, *seed, *duration, *reg1, *cc, *pathmgr, *trace, *metrics, *guard, *ctlAddr, *pace, paths); err != nil {
+	obsCfg := obsOptions{
+		Conns:    *conns,
+		Interval: *metricsInterval,
+		Out:      *metricsOut,
+		HTTP:     *metricsHTTP,
+	}
+	if obsCfg.Out != "" && obsCfg.Interval <= 0 {
+		obsCfg.Interval = 100 * time.Millisecond
+	}
+	if err := run(*scheduler, *backend, *send, *prop, *seed, *duration, *reg1, *cc, *pathmgr, *trace, *metrics, *guard, *ctlAddr, *pace, paths, obsCfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mpsim:", err)
 		os.Exit(1)
 	}
+}
+
+// obsOptions groups the fleet-observability knobs: connection count,
+// time-series sampling, and the exposition endpoint.
+type obsOptions struct {
+	Conns    int
+	Interval time.Duration
+	Out      string
+	HTTP     string
 }
 
 // loadScheduler resolves a built-in name or a source file on the
@@ -164,7 +186,7 @@ func runChaos(scenario string, seed int64, scheduler, backend string) error {
 	return nil
 }
 
-func run(scheduler, backend string, send int, prop, seed int64, duration time.Duration, reg1 int64, cc string, pathmgr bool, trace string, metrics, guard bool, ctlAddr string, pace float64, paths pathFlags) error {
+func run(scheduler, backend string, send int, prop, seed int64, duration time.Duration, reg1 int64, cc string, pathmgr bool, trace string, metrics, guard bool, ctlAddr string, pace float64, paths pathFlags, o obsOptions) error {
 	sched, err := loadScheduler(scheduler, backend)
 	if err != nil {
 		return err
@@ -174,6 +196,9 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 			{Name: "wifi", RateBps: 3e6, OneWayDelay: 5 * time.Millisecond},
 			{Name: "lte", RateBps: 8e6, OneWayDelay: 20 * time.Millisecond, Backup: true},
 		}
+	}
+	if o.Conns < 1 {
+		o.Conns = 1
 	}
 	nw := progmp.NewNetwork(seed)
 	conn, err := nw.Dial(progmp.ConnConfig{CongestionControl: cc}, paths...)
@@ -192,11 +217,20 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		// The control plane needs a tracer for its subscribe verb.
 		tracer = progmp.NewTracer(0)
 	}
-	if metrics || ctlAddr != "" {
+	wantFleet := o.Conns > 1 || o.Interval > 0 || o.Out != "" || o.HTTP != ""
+	if metrics || ctlAddr != "" || wantFleet {
 		reg = progmp.NewMetrics()
 	}
 	if tracer != nil || reg != nil {
 		conn.Instrument(tracer, reg)
+	}
+	// The fleet tier: every connection's registry feeds one aggregator,
+	// so the ctl metrics-agg verb, the HTTP exposition and the
+	// time-series recorder see the whole run.
+	var agg *progmp.MetricsAggregator
+	if reg != nil {
+		agg = progmp.NewMetricsAggregator()
+		agg.Attach(progmp.MetricsLabels{Conn: "c1", Scheduler: scheduler}, reg)
 	}
 	if pathmgr {
 		conn.EnablePathManager(progmp.PathManagerConfig{PromoteBackupOnDeath: true})
@@ -213,8 +247,57 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		}
 	})
 	nw.At(0, func() { conn.SendWithIntent(send, prop) })
+
+	// Secondary connections (-conns): same paths, a fresh scheduler
+	// instance and an own labeled registry each, same transfer size.
+	extras := make([]*progmp.Conn, 0, o.Conns-1)
+	for i := 2; i <= o.Conns; i++ {
+		xc, err := nw.Dial(progmp.ConnConfig{CongestionControl: cc}, paths...)
+		if err != nil {
+			return err
+		}
+		xs, err := loadScheduler(scheduler, backend)
+		if err != nil {
+			return err
+		}
+		xc.SetScheduler(xs)
+		xreg := progmp.NewMetrics()
+		xc.Instrument(nil, xreg)
+		agg.Attach(progmp.MetricsLabels{Conn: fmt.Sprintf("c%d", i), Scheduler: scheduler}, xreg)
+		nw.At(0, func() { xc.SendWithIntent(send, prop) })
+		extras = append(extras, xc)
+	}
+
+	// Time-series recorder: samples on the virtual clock via a
+	// self-rescheduling event, so it works identically under Run and
+	// RunLive.
+	var series *progmp.MetricsTimeSeries
+	if o.Interval > 0 {
+		series = progmp.NewMetricsTimeSeries(agg, 0)
+		var tick func()
+		next := o.Interval
+		tick = func() {
+			series.Sample(nw.Now())
+			next += o.Interval
+			if next <= duration {
+				nw.At(next, tick)
+			}
+		}
+		nw.At(o.Interval, tick)
+	}
+	if o.HTTP != "" {
+		hsrv := ctl.NewServer(ctl.Options{Network: nw, Agg: agg})
+		hln, err := net.Listen("tcp", o.HTTP)
+		if err != nil {
+			return err
+		}
+		go hsrv.ServeMetricsHTTP(hln)
+		defer hsrv.Close()
+		fmt.Printf("metrics http    http://%s/metrics\n", hln.Addr())
+	}
+
 	if ctlAddr != "" {
-		if err := runWithControlPlane(nw, conn, tracer, reg, ctlAddr, pace, duration); err != nil {
+		if err := runWithControlPlane(nw, conn, extras, tracer, reg, agg, ctlAddr, pace, duration); err != nil {
 			return err
 		}
 	} else {
@@ -252,6 +335,33 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		}
 		fmt.Printf("trace           %s (%d events, %d overwritten)\n", trace, len(tracer.Events()), tracer.Dropped())
 	}
+	if len(extras) > 0 {
+		done := 0
+		for _, xc := range extras {
+			if xc.AllAcked() {
+				done++
+			}
+		}
+		fmt.Printf("fleet           %d connections (%d secondary complete)\n", len(extras)+1, done)
+	}
+	if series != nil {
+		if o.Out != "" {
+			f, err := os.Create(o.Out)
+			if err != nil {
+				return err
+			}
+			if err := series.WriteJSONL(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("metrics series  %s (%d samples, %d overwritten)\n", o.Out, series.Len(), series.Dropped())
+		} else {
+			fmt.Printf("metrics series  %d samples retained (%d overwritten)\n", series.Len(), series.Dropped())
+		}
+	}
 	if reg != nil && metrics {
 		fmt.Print(reg.Render())
 	}
@@ -260,7 +370,7 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 
 // runWithControlPlane drives the scenario with RunLive while a ctl
 // server on addr lets a second process (progmpctl) steer it.
-func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, tracer *progmp.Tracer, reg *progmp.Metrics, addr string, pace float64, duration time.Duration) error {
+func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, extras []*progmp.Conn, tracer *progmp.Tracer, reg *progmp.Metrics, agg *progmp.MetricsAggregator, addr string, pace float64, duration time.Duration) error {
 	network := "unix"
 	if !strings.Contains(addr, "/") && strings.Contains(addr, ":") {
 		network = "tcp"
@@ -272,8 +382,11 @@ func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, tracer *progmp.T
 	if err != nil {
 		return err
 	}
-	srv := ctl.NewServer(ctl.Options{Network: nw, Tracer: tracer, Metrics: reg})
+	srv := ctl.NewServer(ctl.Options{Network: nw, Tracer: tracer, Metrics: reg, Agg: agg})
 	srv.Register("mpsim", conn)
+	for i, xc := range extras {
+		srv.Register(fmt.Sprintf("mpsim%d", i+2), xc)
+	}
 	go srv.Serve(ln)
 	if pace == 0 {
 		pace = 1 // real time, so there is something to steer

@@ -22,11 +22,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
 
 	"progmp"
+	"progmp/internal/ctl"
 	"progmp/internal/obs"
 )
 
@@ -97,9 +99,20 @@ func main() {
 	kinds := flag.String("kinds", "", "comma-separated event kinds to keep (e.g. PUSH,DROP); empty keeps all")
 	metrics := flag.Bool("metrics", false, "append the metrics registry to stderr")
 	guard := flag.Bool("guard", false, "run the scheduler under supervision so GUARD_* transitions appear in the trace")
+	top := flag.Bool("top", false, "live fleet summary of a running control plane instead of a replay (progmp-top mode)")
+	topAddr := flag.String("s", "/tmp/progmp.sock", "-top: control-plane address (Unix socket path or host:port)")
+	topInterval := flag.Duration("interval", time.Second, "-top: refresh interval")
+	topCount := flag.Int("count", 0, "-top: number of refreshes (0 = until interrupted)")
 	flag.Var(&paths, "path", "path spec name:rateBps:delay:loss:pref|backup (repeatable)")
 	flag.Parse()
 
+	if *top {
+		if err := runTop(*topAddr, *topInterval, *topCount); err != nil {
+			fmt.Fprintln(os.Stderr, "progmp-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	sc := scenario{
 		scheduler: *scheduler, backend: *backend, send: *send, prop: *prop,
 		seed: *seed, duration: *duration, reg1: *reg1, cc: *cc,
@@ -293,4 +306,87 @@ func writeSummary(w io.Writer, events []progmp.TraceEvent, dropped uint64) error
 		fmt.Fprintf(w, "quarantined scheduler was admitted with %d analyzer warning(s); run progmp-vet on it\n", admissionWarn)
 	}
 	return nil
+}
+
+// runTop is progmp-top: a live fleet dashboard over a running control
+// plane. Each frame shows the connection table (list verb) and the
+// fleet-aggregated metrics (metrics-agg verb) — totals, hot-path
+// latency quantiles, control-plane self-metrics.
+func runTop(addr string, interval time.Duration, count int) error {
+	network := "unix"
+	if !strings.Contains(addr, "/") && strings.Contains(addr, ":") {
+		network = "tcp"
+	}
+	c, err := ctl.Dial(network, addr)
+	if err != nil {
+		return fmt.Errorf("connecting to %s://%s: %w", network, addr, err)
+	}
+	defer c.Close()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	for i := 0; count <= 0 || i < count; i++ {
+		if i > 0 {
+			select {
+			case <-sig:
+				return nil
+			case <-time.After(interval):
+			}
+		}
+		frame, err := topFrame(c)
+		if err != nil {
+			return err
+		}
+		if count != 1 {
+			// Clear and home between refreshes; a single-shot frame
+			// (-count 1) stays pipeable.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Print(frame)
+	}
+	return nil
+}
+
+// topFrame renders one dashboard frame.
+func topFrame(c *ctl.Client) (string, error) {
+	ping, err := c.Ping()
+	if err != nil {
+		return "", err
+	}
+	list, err := c.List()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "progmp-top  virtual %v  conns %d\n",
+		(time.Duration(ping.NowUS) * time.Microsecond).Round(time.Millisecond), len(list.Conns))
+	for _, ci := range list.Conns {
+		sched := ci.Scheduler
+		if ci.Supervised {
+			sched += " guarded:" + ci.GuardState
+		}
+		fmt.Fprintf(&b, "  conn %-2d %-10s %-24s queued=%-6d unacked=%-6d allAcked=%v\n",
+			ci.ID, ci.Name, sched, ci.QueuedSegs, ci.UnackedSegs, ci.AllAcked)
+	}
+	// Fleet aggregation is optional server-side; a server without an
+	// aggregator still gets the connection table.
+	agg, err := c.MetricsAgg("json")
+	if err != nil || agg.Snapshot == nil {
+		fmt.Fprintf(&b, "fleet metrics unavailable: no aggregator attached\n")
+		return b.String(), nil
+	}
+	snap := agg.Snapshot
+	fmt.Fprintf(&b, "fleet    %d metric sources\n", agg.NumSources)
+	for _, name := range []string{"conn.sched_execs", "conn.pushes", "conn.reinjects", "conn.drops", "ctl.requests"} {
+		if v, ok := snap.Counters[name]; ok {
+			fmt.Fprintf(&b, "  %-24s %12d\n", name, v)
+		}
+	}
+	for _, name := range []string{"conn.sched_exec_ns", "conn.sched_apply_ns", "ctl.request_ns"} {
+		if h, ok := snap.Hists[name]; ok && h.Count > 0 {
+			fmt.Fprintf(&b, "  %-24s n=%-9d p50=%-7d p99=%-7d p999=%d ns\n",
+				name, h.Count, h.P50, h.P99, h.P999)
+		}
+	}
+	return b.String(), nil
 }

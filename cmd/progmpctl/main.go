@@ -19,6 +19,7 @@
 //	setreg  <R1..R8|idx> <value> write a scheduler register
 //	send    <bytes> [prop]       enqueue bytes with a scheduling intent
 //	metrics                      metrics registry snapshot
+//	metrics-agg [json|text]      fleet-wide aggregated metrics (text = OpenMetrics)
 //	watch   [kinds...]           stream trace events as JSONL (ctrl-C to stop)
 //
 // ADDR is a Unix socket path (default /tmp/progmp.sock) or host:port
@@ -55,7 +56,7 @@ func main() {
 	force := flag.Bool("force", false, "swap: install despite static-analyzer warnings")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: progmpctl [-s ADDR] [-conn N] <command> [args]\n")
-		fmt.Fprintf(os.Stderr, "commands: ping list schedulers compile swap getreg setreg send metrics watch\n")
+		fmt.Fprintf(os.Stderr, "commands: ping list schedulers compile swap getreg setreg send metrics metrics-agg watch\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -203,6 +204,32 @@ func run(addr string, connID int, force bool, args []string) error {
 			return err
 		}
 		printMetrics(snap)
+		return nil
+	case "metrics-agg":
+		format := ""
+		if len(rest) > 0 {
+			format = rest[0]
+		}
+		switch format {
+		case "text":
+			res, err := c.MetricsAgg("text")
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Text)
+		case "", "json":
+			res, err := c.MetricsAgg("json")
+			if err != nil {
+				return err
+			}
+			buf, err := json.MarshalIndent(res.Snapshot, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(buf))
+		default:
+			return fmt.Errorf("metrics-agg: unknown format %q (json, text)", format)
+		}
 		return nil
 	case "watch":
 		return watch(c, connID, rest)

@@ -1,0 +1,109 @@
+package benchrec
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{
+		Schema: Schema, GitRev: "abc1234", GoVersion: "go1.22", Seed: 7,
+		Experiments: []Experiment{
+			{Name: "fig9_vm_2sbf", NsPerOp: 100, VsNative: 1.5},
+			{Name: "hotpath_instrumented", NsPerOp: 90, AllocsPerOp: 0, P50NS: 80, P99NS: 200, P999NS: 400},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GitRev != rec.GitRev || len(back.Experiments) != 2 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Experiments[1].P99NS != 200 {
+		t.Fatalf("quantile lost: %+v", back.Experiments[1])
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteFile(path, Record{Schema: "other/v9"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema accepted: %v", err)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := Record{Experiments: []Experiment{
+		{Name: "a", NsPerOp: 100, VsNative: 2.0, AllocsPerOp: 0},
+		{Name: "gone", NsPerOp: 50},
+	}}
+	th := Thresholds{NsTol: 0.10, RelTol: 0.10}
+
+	ok := Record{Experiments: []Experiment{
+		{Name: "a", NsPerOp: 109, VsNative: 2.1, AllocsPerOp: 0},
+		{Name: "new", NsPerOp: 9999}, // unmatched: ignored
+	}}
+	if regs := Compare(base, ok, th); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+
+	bad := Record{Experiments: []Experiment{
+		{Name: "a", NsPerOp: 150, VsNative: 2.5, AllocsPerOp: 1},
+	}}
+	regs := Compare(base, bad, th)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions (allocs, ns, ratio), got %v", regs)
+	}
+	for _, want := range []string{"allocs/op", "ns/op", "vs_native"} {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no %s regression in %v", want, regs)
+		}
+	}
+}
+
+func TestMeasureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement run")
+	}
+	rec, err := Measure(7, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Schema != Schema || rec.GoVersion == "" {
+		t.Fatalf("bad header: %+v", rec)
+	}
+	byName := map[string]Experiment{}
+	for _, e := range rec.Experiments {
+		byName[e.Name] = e
+	}
+	hot, ok := byName["hotpath_instrumented"]
+	if !ok {
+		t.Fatalf("no hotpath experiment in %v", rec.Experiments)
+	}
+	if hot.AllocsPerOp != 0 {
+		t.Fatalf("instrumented hot path allocates %.2f/op, want 0", hot.AllocsPerOp)
+	}
+	if hot.P50NS <= 0 || hot.P99NS < hot.P50NS {
+		t.Fatalf("quantiles out of order: %+v", hot)
+	}
+	if vm, ok := byName["fig9_vm_2sbf"]; !ok || vm.VsNative <= 0 {
+		t.Fatalf("fig9 vm row missing or unratioed: %+v", vm)
+	}
+	if fp, ok := byName["conn_footprint"]; !ok || fp.BytesPerConn <= 0 {
+		t.Fatalf("footprint row missing or zero: %+v", fp)
+	}
+}

@@ -234,6 +234,15 @@ func (c *Client) Metrics() (MetricsResult, error) {
 	return out, err
 }
 
+// MetricsAgg fetches the fleet-wide aggregated metrics. Format "json"
+// (or "") returns the structured snapshot, "text" the OpenMetrics
+// exposition.
+func (c *Client) MetricsAgg(format string) (MetricsAggResult, error) {
+	var out MetricsAggResult
+	err := c.call(Request{Verb: VerbMetricsAgg, Format: format}, &out)
+	return out, err
+}
+
 // Stream is a live trace-event subscription. Drain Events promptly:
 // frames arriving while the local buffer is full are dropped (counted
 // by Dropped), independent of the server-side subscription buffer.

@@ -1,0 +1,60 @@
+package ctl
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"progmp/internal/obs"
+)
+
+// NewMetricsHandler returns an http.Handler serving the aggregator's
+// current state in the OpenMetrics text exposition format (scrapeable
+// by Prometheus). Aggregation happens per request; registries are read
+// with atomic loads, so scrapes never block the data path.
+func NewMetricsHandler(agg *obs.Aggregator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		if r.Method == http.MethodHead {
+			return
+		}
+		// Errors past the header are client disconnects; nothing to do.
+		_ = obs.WriteOpenMetrics(w, agg.Aggregate())
+	})
+}
+
+// ServeMetricsHTTP serves the /metrics exposition endpoint on ln until
+// the listener fails or the server is closed (which returns nil). The
+// root path answers like /metrics for curl convenience. Requires
+// Options.Agg; call from a goroutine, like Serve.
+func (s *Server) ServeMetricsHTTP(ln net.Listener) error {
+	if s.opts.Agg == nil {
+		ln.Close()
+		return fmt.Errorf("ctl: metrics HTTP endpoint needs Options.Agg")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("ctl: server closed")
+	}
+	s.lns = append(s.lns, ln)
+	s.mu.Unlock()
+
+	mux := http.NewServeMux()
+	h := NewMetricsHandler(s.opts.Agg)
+	mux.Handle("/metrics", h)
+	mux.Handle("/", h)
+	err := http.Serve(ln, mux)
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil
+	}
+	return err
+}

@@ -40,6 +40,7 @@ const (
 	VerbSetReg      = "setreg"      // write a scheduler register
 	VerbSend        = "send"        // enqueue bytes, optionally with a scheduling intent
 	VerbMetrics     = "metrics"     // snapshot a connection's metrics registry
+	VerbMetricsAgg  = "metrics-agg" // fleet-wide aggregated metrics (JSON or OpenMetrics text)
 	VerbSubscribe   = "subscribe"   // stream live trace events
 	VerbUnsubscribe = "unsubscribe" // end a subscription
 )
@@ -69,6 +70,9 @@ type Request struct {
 	// programs carrying analyzer warnings are installed anyway. Errors
 	// are never forceable.
 	Force bool `json:"force,omitempty"`
+	// Format selects the metrics-agg payload: "json" (structured
+	// snapshot, the default) or "text" (OpenMetrics exposition).
+	Format string `json:"format,omitempty"`
 }
 
 // Response is one server→client line: a call result (Result set on
@@ -181,3 +185,12 @@ type SubscribeResult struct {
 
 // MetricsResult answers VerbMetrics.
 type MetricsResult = obs.Snapshot
+
+// MetricsAggResult answers VerbMetricsAgg: exactly one of Snapshot
+// (format "json") or Text (format "text", the OpenMetrics exposition)
+// is populated.
+type MetricsAggResult struct {
+	NumSources int              `json:"num_sources"`
+	Snapshot   *obs.AggSnapshot `json:"snapshot,omitempty"`
+	Text       string           `json:"text,omitempty"`
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"progmp"
 	"progmp/internal/analysis"
@@ -17,13 +18,16 @@ import (
 const maxLine = 4 << 20
 
 // Options configures a Server. Network is required. Tracer enables the
-// subscribe verb, Metrics the metrics verb; either may be nil. Sources
-// is the scheduler corpus available by name to compile and swap (nil
-// selects progmp.Schedulers, the paper's corpus).
+// subscribe verb, Metrics the metrics verb; either may be nil. Agg
+// enables the metrics-agg verb and the HTTP exposition endpoint: the
+// fleet aggregator the embedder attaches its per-connection registries
+// to. Sources is the scheduler corpus available by name to compile and
+// swap (nil selects progmp.Schedulers, the paper's corpus).
 type Options struct {
 	Network *progmp.Network
 	Tracer  *progmp.Tracer
 	Metrics *progmp.Metrics
+	Agg     *obs.Aggregator
 	Sources map[string]string
 }
 
@@ -39,6 +43,12 @@ type namedConn struct {
 type Server struct {
 	opts Options
 
+	// Control-plane self-metrics, resolved once from Options.Metrics
+	// (nil handles are no-ops when no registry is attached): request
+	// count and round-trip handling latency of every verb.
+	mRequests  *obs.Counter
+	mRequestNS *obs.Histogram
+
 	mu       sync.Mutex
 	conns    []namedConn
 	lns      []net.Listener
@@ -51,7 +61,12 @@ func NewServer(opts Options) *Server {
 	if opts.Sources == nil {
 		opts.Sources = progmp.Schedulers
 	}
-	return &Server{opts: opts, sessions: map[*session]struct{}{}}
+	return &Server{
+		opts:       opts,
+		mRequests:  opts.Metrics.Counter("ctl.requests"),
+		mRequestNS: opts.Metrics.Histogram("ctl.request_ns"),
+		sessions:   map[*session]struct{}{},
+	}
 }
 
 // Register exposes conn under the given display name and returns its
@@ -195,7 +210,16 @@ func (se *session) writeResult(id uint64, result any) {
 	se.write(Response{ID: id, OK: true, Result: raw})
 }
 
+// handle dispatches one request, feeding the server's self-metrics:
+// ctl.requests counts verbs handled, ctl.request_ns times the handler
+// (for subscribe, the acknowledgement; event frames stream on their own
+// goroutine).
 func (se *session) handle(req Request) {
+	se.srv.mRequests.Add(1)
+	if se.srv.mRequestNS != nil {
+		t0 := time.Now()
+		defer func() { se.srv.mRequestNS.Observe(int64(time.Since(t0))) }()
+	}
 	switch req.Verb {
 	case VerbPing:
 		se.ping(req)
@@ -215,6 +239,8 @@ func (se *session) handle(req Request) {
 		se.send(req)
 	case VerbMetrics:
 		se.metrics(req)
+	case VerbMetricsAgg:
+		se.metricsAgg(req)
 	case VerbSubscribe:
 		se.subscribe(req)
 	case VerbUnsubscribe:
@@ -490,6 +516,28 @@ func (se *session) metrics(req Request) {
 		return
 	}
 	se.writeResult(req.ID, se.srv.opts.Metrics.Snapshot())
+}
+
+func (se *session) metricsAgg(req Request) {
+	agg := se.srv.opts.Agg
+	if agg == nil {
+		se.writeError(req.ID, fmt.Errorf("metrics aggregator not attached"))
+		return
+	}
+	// Registries are read with atomic loads, so aggregation runs off the
+	// simulation goroutine without a Network.Do round-trip.
+	snap := agg.Aggregate()
+	res := MetricsAggResult{NumSources: snap.NumSources}
+	switch req.Format {
+	case "", "json":
+		res.Snapshot = &snap
+	case "text":
+		res.Text = obs.RenderOpenMetrics(snap)
+	default:
+		se.writeError(req.ID, fmt.Errorf("unknown metrics format %q (json, text)", req.Format))
+		return
+	}
+	se.writeResult(req.ID, res)
 }
 
 func (se *session) subscribe(req Request) {

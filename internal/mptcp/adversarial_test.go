@@ -7,6 +7,7 @@ import (
 
 	"progmp/internal/core"
 	"progmp/internal/netsim"
+	"progmp/internal/obs"
 	"progmp/internal/runtime"
 	"progmp/internal/schedlib"
 )
@@ -231,5 +232,48 @@ func TestScheduleSteadyStateZeroAlloc(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(200, conn.Kick); n != 0 {
 		t.Fatalf("steady-state scheduling pass allocates %.1f times per trigger, want 0", n)
+	}
+}
+
+// TestInstrumentedScheduleZeroAlloc is the metrics-on variant of
+// TestScheduleSteadyStateZeroAlloc: with a registry attached, the
+// scheduling block additionally reads the clock and feeds the
+// conn.sched_exec_ns / conn.sched_apply_ns latency histograms, and must
+// still allocate nothing per trigger.
+func TestInstrumentedScheduleZeroAlloc(t *testing.T) {
+	eng := netsim.NewEngine(4)
+	conn := NewConn(eng, Config{})
+	for _, name := range []string{"a", "b"} {
+		link := netsim.NewLink(eng, netsim.PathConfig{
+			Name: name, Rate: netsim.ConstantRate(10e6), Delay: 20 * time.Millisecond,
+		})
+		if _, err := conn.AddSubflow(SubflowConfig{Name: name, Link: link}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := core.MustLoad("minRTT", schedlib.All["minRTT"], core.BackendVM)
+	s.SetSynchronousSpecialization(true)
+	conn.SetScheduler(s)
+	reg := obs.NewRegistry()
+	conn.Instrument(nil, reg)
+	eng.RunUntil(10 * time.Millisecond)
+
+	conn.Send(1<<20, 0)
+	for i := 0; i < 64; i++ {
+		conn.Kick()
+	}
+	execs := reg.Counter("conn.sched_execs").Value()
+	if n := testing.AllocsPerRun(200, conn.Kick); n != 0 {
+		t.Fatalf("instrumented scheduling pass allocates %.1f times per trigger, want 0", n)
+	}
+	h := reg.Histogram("conn.sched_exec_ns")
+	if h.Count() <= execs {
+		t.Fatalf("exec latency histogram did not advance: count %d, execs before %d", h.Count(), execs)
+	}
+	if h.Quantile(0.50) <= 0 {
+		t.Fatalf("exec latency p50 = %d, want > 0", h.Quantile(0.50))
+	}
+	if a := reg.Histogram("conn.sched_apply_ns"); a.Count() != h.Count() {
+		t.Fatalf("apply histogram count %d != exec count %d", a.Count(), h.Count())
 	}
 }

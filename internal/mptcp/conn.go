@@ -149,6 +149,11 @@ type Conn struct {
 	mAcks      *obs.Counter
 	mEnqueued  *obs.Counter
 	mRegOOB    *obs.Counter
+	// Hot-path latency histograms (ns): scheduler execution and action
+	// application. Timed only when resolved, so the uninstrumented path
+	// pays one nil check and no clock reads.
+	mExecNS  *obs.Histogram
+	mApplyNS *obs.Histogram
 
 	// Stats.
 	SchedulerExecutions int64
@@ -203,6 +208,8 @@ func (c *Conn) Instrument(t *obs.Tracer, reg *obs.Registry) {
 		c.mAcks = reg.Counter("conn.acks")
 		c.mEnqueued = reg.Counter("conn.enqueued_segments")
 		c.mRegOOB = reg.Counter("api.register_oob")
+		c.mExecNS = reg.Histogram("conn.sched_exec_ns")
+		c.mApplyNS = reg.Histogram("conn.sched_apply_ns")
 		c.receiver.instrument(reg)
 		for _, s := range c.subflows {
 			s.instrument(reg)
@@ -537,10 +544,24 @@ func (c *Conn) schedule() {
 			c.curExec = c.tracer.NextExecID()
 			c.trace(obs.EvExecStart, -1, -1, int64(iter), 0)
 		}
-		c.sched.Exec(env)
-		c.SchedulerExecutions++
-		c.mExecs.Add(1)
-		progress := c.applyActions(env)
+		var progress bool
+		if c.mExecNS != nil {
+			// time.Now/Since are allocation-free, so the instrumented
+			// hot path stays 0 allocs/op (benchmark-gated).
+			t0 := time.Now()
+			c.sched.Exec(env)
+			c.mExecNS.Observe(int64(time.Since(t0)))
+			c.SchedulerExecutions++
+			c.mExecs.Add(1)
+			t1 := time.Now()
+			progress = c.applyActions(env)
+			c.mApplyNS.Observe(int64(time.Since(t1)))
+		} else {
+			c.sched.Exec(env)
+			c.SchedulerExecutions++
+			c.mExecs.Add(1)
+			progress = c.applyActions(env)
+		}
 		if c.tracer != nil {
 			c.trace(obs.EvExecEnd, -1, -1, int64(len(env.Actions)), 0)
 			c.curExec = 0

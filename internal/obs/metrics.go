@@ -103,8 +103,11 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum()) / float64(n)
 }
 
-// Quantile approximates the q-quantile (0..1) as the upper bound of
-// the bucket containing it. Safe on nil.
+// Quantile approximates the q-quantile (0..1): the rank's bucket is
+// located and the value is linearly interpolated between the bucket's
+// bounds by the rank's position among the bucket's observations, so
+// tight latency distributions are not quantized to the next power of
+// two. Safe on nil.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
@@ -113,22 +116,111 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if n == 0 {
 		return 0
 	}
-	rank := int64(q * float64(n-1))
+	var buckets [histBuckets]int64
+	for i := range buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return quantileOf(&buckets, n, q)
+}
+
+// quantileOf computes the interpolated q-quantile of a bucket array
+// with n total observations (shared by Histogram.Quantile and the
+// aggregator's merged histograms).
+func quantileOf(buckets *[histBuckets]int64, n int64, q float64) int64 {
+	// Round the rank rather than truncate so high quantiles of small
+	// populations (p999 of 3 observations) select the top sample.
+	rank := int64(q*float64(n-1) + 0.5)
 	var seen int64
 	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen > rank {
-			if i == 0 {
-				return 0
-			}
-			if i >= 63 {
-				return 1<<63 - 1
-			}
-			return 1 << uint(i)
+		cnt := buckets[i]
+		seen += cnt
+		if seen <= rank {
+			continue
 		}
+		if i == 0 {
+			return 0
+		}
+		// Bucket i holds [2^(i-1), 2^i); place the rank within it.
+		lo := float64(int64(1) << uint(i-1))
+		hi := lo * 2
+		if i >= 63 {
+			hi = float64(1<<63 - 1)
+		}
+		before := seen - cnt
+		frac := float64(rank-before) / float64(cnt)
+		return int64(lo + (hi-lo)*frac)
 	}
 	return 1<<63 - 1
 }
+
+// Buckets copies the current bucket counts (bucket 0 holds values
+// <= 0, bucket i holds [2^(i-1), 2^i)). Safe on nil (returns zeros).
+func (h *Histogram) Buckets() [histBuckets]int64 {
+	var out [histBuckets]int64
+	if h == nil {
+		return out
+	}
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// NumHistBuckets exposes the histogram bucket count to consumers that
+// merge or expose raw buckets (the aggregator, the OpenMetrics
+// exporter).
+const NumHistBuckets = histBuckets
+
+// BucketUpperBound returns the exclusive upper bound of bucket i (the
+// OpenMetrics "le" boundary is BucketUpperBound(i)-1, inclusive).
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 1 // bucket 0 holds values <= 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1 << uint(i)
+}
+
+// MetricKind discriminates the registry's metric types.
+type MetricKind uint8
+
+// The metric kinds, in Each visitation order.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the metric kind as spelled in Render output.
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("MetricKind(%d)", int(k))
+}
+
+// Metric is the common interface of the registry's metric handles
+// (*Counter, *Gauge, *Histogram), for consumers that visit a registry
+// generically via Each.
+type Metric interface {
+	Kind() MetricKind
+}
+
+// Kind identifies a *Counter.
+func (c *Counter) Kind() MetricKind { return KindCounter }
+
+// Kind identifies a *Gauge.
+func (g *Gauge) Kind() MetricKind { return KindGauge }
+
+// Kind identifies a *Histogram.
+func (h *Histogram) Kind() MetricKind { return KindHistogram }
 
 // Registry holds named metrics. Metric handles are created on first
 // use and stable thereafter, so hot paths resolve them once and then
@@ -200,20 +292,55 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Each visits every registered metric without copying the metric
+// maps: counters, then gauges, then histograms, each in registration-
+// independent map order. The registry lock is held for the duration,
+// so fn must not create metrics on r (reads of other metrics and of
+// the visited handles are fine — values are atomics). Safe on nil.
+func (r *Registry) Each(fn func(name string, m Metric)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		fn(name, c)
+	}
+	for name, g := range r.gauges {
+		fn(name, g)
+	}
+	for name, h := range r.hists {
+		fn(name, h)
+	}
+}
+
 // Snapshot is a point-in-time copy of the registry's values.
 type Snapshot struct {
-	Counters map[string]int64
-	Gauges   map[string]int64
-	Hists    map[string]HistSnapshot
+	Counters map[string]int64        `json:"counters"`
+	Gauges   map[string]int64        `json:"gauges"`
+	Hists    map[string]HistSnapshot `json:"hists"`
 }
 
 // HistSnapshot summarizes one histogram.
 type HistSnapshot struct {
-	Count int64
-	Sum   int64
-	Mean  float64
-	P50   int64
-	P99   int64
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+}
+
+// summarize condenses a histogram into its snapshot form.
+func (h *Histogram) summarize() HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+	}
 }
 
 // Snapshot copies the registry's current values. Safe on nil.
@@ -223,26 +350,16 @@ func (r *Registry) Snapshot() Snapshot {
 		Gauges:   map[string]int64{},
 		Hists:    map[string]HistSnapshot{},
 	}
-	if r == nil {
-		return snap
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for name, c := range r.counters {
-		snap.Counters[name] = c.Value()
-	}
-	for name, g := range r.gauges {
-		snap.Gauges[name] = g.Value()
-	}
-	for name, h := range r.hists {
-		snap.Hists[name] = HistSnapshot{
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			Mean:  h.Mean(),
-			P50:   h.Quantile(0.50),
-			P99:   h.Quantile(0.99),
+	r.Each(func(name string, m Metric) {
+		switch m := m.(type) {
+		case *Counter:
+			snap.Counters[name] = m.Value()
+		case *Gauge:
+			snap.Gauges[name] = m.Value()
+		case *Histogram:
+			snap.Hists[name] = m.summarize()
 		}
-	}
+	})
 	return snap
 }
 
@@ -281,8 +398,8 @@ func (r *Registry) Render() string {
 	}
 	writeSection("histogram", histNames, func(name string) {
 		h := snap.Hists[name]
-		fmt.Fprintf(&b, "n=%d mean=%.1f p50<%d p99<%d sum=%d\n",
-			h.Count, h.Mean, h.P50, h.P99, h.Sum)
+		fmt.Fprintf(&b, "n=%d mean=%.1f p50=%d p99=%d p999=%d sum=%d\n",
+			h.Count, h.Mean, h.P50, h.P99, h.P999, h.Sum)
 	})
 	return b.String()
 }

@@ -201,15 +201,68 @@ func TestHistogramQuantiles(t *testing.T) {
 	for i := int64(1); i <= 1000; i++ {
 		h.Observe(i)
 	}
-	// Power-of-two buckets: the quantile is the upper bound of the
-	// bucket holding the rank, so p50 of 1..1000 lands in [512,1024).
-	if got := h.Quantile(0.5); got != 512 {
-		t.Fatalf("p50 = %d, want 512", got)
+	// Power-of-two buckets with linear interpolation inside the rank's
+	// bucket: p50 of uniform 1..1000 comes out within a few counts of
+	// the true median instead of being quantized to the bucket bound.
+	if got := h.Quantile(0.5); got < 490 || got > 510 {
+		t.Fatalf("p50 = %d, want ~500", got)
 	}
-	if got := h.Quantile(0.99); got != 1024 {
-		t.Fatalf("p99 = %d, want 1024", got)
+	// p99 (true 990) lands in [512,1024); interpolation keeps it well
+	// below the 1024 bound the pre-interpolation code reported.
+	if got := h.Quantile(0.99); got < 900 || got >= 1024 {
+		t.Fatalf("p99 = %d, want in [900,1024)", got)
 	}
 	if got := h.Mean(); got < 500 || got > 501 {
 		t.Fatalf("mean = %f, want 500.5", got)
 	}
+}
+
+func TestHistogramQuantileInterpolationTight(t *testing.T) {
+	// A tight latency distribution entirely inside one bucket: 200
+	// observations uniform over [520, 719] all land in [512, 1024).
+	// Bucket-bound quantiles would report 1024 for every percentile;
+	// interpolation must spread estimates across the bucket and order
+	// them.
+	h := &Histogram{}
+	for i := int64(0); i < 200; i++ {
+		h.Observe(520 + i)
+	}
+	p50, p99 := h.Quantile(0.50), h.Quantile(0.99)
+	if p50 >= p99 {
+		t.Fatalf("p50 %d >= p99 %d", p50, p99)
+	}
+	if p50 < 512 || p50 >= 1024 || p99 < 512 || p99 >= 1024 {
+		t.Fatalf("quantiles escaped the bucket: p50=%d p99=%d", p50, p99)
+	}
+	// The true p50 is ~620; allow the bucket's linear model its error
+	// but require it beats the 2x quantization of the bucket bound.
+	if p50 > 900 {
+		t.Fatalf("p50 = %d, interpolation not effective", p50)
+	}
+}
+
+func TestRegistryEach(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.count").Add(7)
+	reg.Gauge("a.gauge").Set(-3)
+	reg.Histogram("a.hist").Observe(9)
+	seen := map[string]MetricKind{}
+	reg.Each(func(name string, m Metric) {
+		seen[name] = m.Kind()
+	})
+	want := map[string]MetricKind{
+		"a.count": KindCounter,
+		"a.gauge": KindGauge,
+		"a.hist":  KindHistogram,
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("Each visited %v, want %v", seen, want)
+	}
+	for name, kind := range want {
+		if seen[name] != kind {
+			t.Fatalf("Each saw %q as %v, want %v", name, seen[name], kind)
+		}
+	}
+	var nilReg *Registry
+	nilReg.Each(func(string, Metric) { t.Fatal("nil registry visited a metric") })
 }

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// openMetricsPrefix namespaces every exposed metric.
+const openMetricsPrefix = "progmp_"
+
+// OpenMetricsContentType is the content type of the exposition format
+// (served by the ctl HTTP listener).
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// promName converts a registry metric name (dot-separated lower_snake,
+// e.g. "conn.sched_execs") to an OpenMetrics metric name
+// ("progmp_conn_sched_execs"). Characters outside [a-z0-9_] map to
+// '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(openMetricsPrefix) + len(name))
+	b.WriteString(openMetricsPrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set as {k="v",...}; "" for no labels.
+// Label values are escaped per the exposition format.
+func promLabels(pairs [][2]string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		v := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(kv[1])
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// series is one exposed sample line: a label set and its value.
+type series struct {
+	labels string
+	value  int64
+}
+
+// collectSeries groups one metric's per-source values by rendered
+// label set (duplicate label sets merge so the exposition never emits
+// the same series twice), in first-seen order.
+func collectSeries(sources []LabeledSnapshot, pick func(Snapshot) (int64, bool), sum bool) []series {
+	var order []string
+	byLabel := map[string]int64{}
+	for _, src := range sources {
+		v, ok := pick(src.Snap)
+		if !ok {
+			continue
+		}
+		key := promLabels(src.Labels.pairs())
+		if _, seen := byLabel[key]; !seen {
+			order = append(order, key)
+			byLabel[key] = v
+		} else if sum {
+			byLabel[key] += v
+		} else {
+			byLabel[key] = v // gauge semantics: last wins
+		}
+	}
+	out := make([]series, 0, len(order))
+	for _, key := range order {
+		out = append(out, series{labels: key, value: byLabel[key]})
+	}
+	return out
+}
+
+// WriteOpenMetrics renders an aggregated snapshot in the OpenMetrics
+// text exposition format (also accepted by Prometheus): counters and
+// gauges as per-source labeled series (conn/scheduler/path labels),
+// histograms as the cross-source bucket merge with cumulative le
+// buckets. Output is deterministic: metric names sort, sources keep
+// attach order.
+func WriteOpenMetrics(w io.Writer, snap AggSnapshot) error {
+	bw := bufio.NewWriter(w)
+
+	for _, name := range snap.CounterNames() {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		ss := collectSeries(snap.Sources, func(s Snapshot) (int64, bool) {
+			v, ok := s.Counters[name]
+			return v, ok
+		}, true)
+		for _, s := range ss {
+			fmt.Fprintf(bw, "%s_total%s %d\n", pn, s.labels, s.value)
+		}
+	}
+
+	for _, name := range snap.GaugeNames() {
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		ss := collectSeries(snap.Sources, func(s Snapshot) (int64, bool) {
+			v, ok := s.Gauges[name]
+			return v, ok
+		}, false)
+		for _, s := range ss {
+			fmt.Fprintf(bw, "%s%s %d\n", pn, s.labels, s.value)
+		}
+	}
+
+	for _, name := range snap.HistNames() {
+		h := snap.Hists[name]
+		pn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i := 0; i < NumHistBuckets; i++ {
+			if h.Buckets[i] == 0 {
+				continue
+			}
+			cum += h.Buckets[i]
+			// Observations are integers, so the inclusive le bound of
+			// bucket i ([2^(i-1), 2^i)) is 2^i - 1; bucket 0 (<= 0) is 0.
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", pn, BucketUpperBound(i)-1, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+	}
+
+	if _, err := fmt.Fprintln(bw, "# EOF"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// RenderOpenMetrics is WriteOpenMetrics into a string (the ctl
+// metrics-agg verb's payload).
+func RenderOpenMetrics(snap AggSnapshot) string {
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, snap); err != nil {
+		return ""
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteOpenMetricsGolden locks the exposition format: TYPE lines,
+// per-source labels, _total counter suffix, cumulative histogram
+// buckets, and the # EOF terminator.
+func TestWriteOpenMetricsGolden(t *testing.T) {
+	a := NewAggregator()
+	r1, r2 := NewRegistry(), NewRegistry()
+	a.Attach(Labels{Conn: "c1", Scheduler: "minRTT"}, r1)
+	a.Attach(Labels{Conn: "c2", Scheduler: "redundant"}, r2)
+
+	r1.Counter("conn.pushes").Add(10)
+	r2.Counter("conn.pushes").Add(32)
+	r1.Gauge("conn.cwnd").Set(4)
+	r2.Gauge("conn.cwnd").Set(20)
+	// Three observations: two in bucket [4,8) (le 7), one in [64,128)
+	// (le 127).
+	r1.Histogram("conn.lat").Observe(5)
+	r1.Histogram("conn.lat").Observe(6)
+	r2.Histogram("conn.lat").Observe(100)
+
+	out := RenderOpenMetrics(a.Aggregate())
+	want := `# TYPE progmp_conn_pushes counter
+progmp_conn_pushes_total{conn="c1",scheduler="minRTT"} 10
+progmp_conn_pushes_total{conn="c2",scheduler="redundant"} 32
+# TYPE progmp_conn_cwnd gauge
+progmp_conn_cwnd{conn="c1",scheduler="minRTT"} 4
+progmp_conn_cwnd{conn="c2",scheduler="redundant"} 20
+# TYPE progmp_conn_lat histogram
+progmp_conn_lat_bucket{le="7"} 2
+progmp_conn_lat_bucket{le="127"} 3
+progmp_conn_lat_bucket{le="+Inf"} 3
+progmp_conn_lat_sum 111
+progmp_conn_lat_count 3
+# EOF
+`
+	if out != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestWriteOpenMetricsEmpty(t *testing.T) {
+	out := RenderOpenMetrics(NewAggregator().Aggregate())
+	if out != "# EOF\n" {
+		t.Fatalf("empty exposition = %q, want only # EOF", out)
+	}
+}
+
+func TestWriteOpenMetricsDuplicateLabelSetsMerge(t *testing.T) {
+	// Two unlabeled sources (e.g. two engine shards) must not emit the
+	// same series twice: counters sum, gauges keep the last value.
+	a := NewAggregator()
+	r1, r2 := NewRegistry(), NewRegistry()
+	a.Attach(Labels{}, r1)
+	a.Attach(Labels{}, r2)
+	r1.Counter("shard.ops").Add(3)
+	r2.Counter("shard.ops").Add(4)
+	r1.Gauge("shard.depth").Set(9)
+	r2.Gauge("shard.depth").Set(2)
+
+	out := RenderOpenMetrics(a.Aggregate())
+	if got := strings.Count(out, "progmp_shard_ops_total"); got != 1 {
+		t.Fatalf("counter series emitted %d times, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, "progmp_shard_ops_total 7\n") {
+		t.Fatalf("duplicate label sets did not sum:\n%s", out)
+	}
+	if !strings.Contains(out, "progmp_shard_depth 2\n") {
+		t.Fatalf("gauge did not keep last value:\n%s", out)
+	}
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	for in, want := range map[string]string{
+		"conn.sched_execs": "progmp_conn_sched_execs",
+		"a.b-c":            "progmp_a_b_c",
+		"x":                "progmp_x",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromLabelsEscapes(t *testing.T) {
+	got := promLabels([][2]string{{"conn", `a"b\c`}})
+	want := `{conn="a\"b\\c"}`
+	if got != want {
+		t.Fatalf("promLabels = %s, want %s", got, want)
+	}
+	if promLabels(nil) != "" {
+		t.Fatal("empty pairs must render no braces")
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultTimeSeriesCapacity is the ring size NewTimeSeries selects for
+// capacity <= 0: at a 100 ms sampling interval it holds ~7 minutes.
+const DefaultTimeSeriesCapacity = 4096
+
+// Sample is one time-series point: the aggregated fleet metrics at one
+// instant. Histograms are carried as summaries (count/mean/quantiles),
+// not raw buckets, so a dumped series stays compact enough to plot.
+type Sample struct {
+	AtUS     int64                   `json:"at_us"`
+	Sources  int                     `json:"sources"`
+	Counters map[string]int64        `json:"counters,omitempty"`
+	Gauges   map[string]GaugeAgg     `json:"gauges,omitempty"`
+	Hists    map[string]HistSnapshot `json:"hists,omitempty"`
+}
+
+// TimeSeries records aggregated metric samples into a fixed-size ring:
+// the trajectory companion to the Aggregator's point-in-time merge.
+// The caller drives sampling (typically on the simulation clock or a
+// wall-clock ticker) so the recorder works under virtual and real
+// time alike; the ring overwrites its oldest samples, so memory stays
+// bounded no matter how long the run is.
+type TimeSeries struct {
+	agg *Aggregator
+
+	mu      sync.Mutex
+	ring    []Sample
+	next    int
+	size    int
+	dropped uint64
+}
+
+// NewTimeSeries creates a recorder over agg with the given ring
+// capacity (<= 0 selects DefaultTimeSeriesCapacity).
+func NewTimeSeries(agg *Aggregator, capacity int) *TimeSeries {
+	if capacity <= 0 {
+		capacity = DefaultTimeSeriesCapacity
+	}
+	return &TimeSeries{agg: agg, ring: make([]Sample, capacity)}
+}
+
+// Sample aggregates the sources now and appends the sample, stamped
+// with the given time. It returns the recorded sample.
+func (ts *TimeSeries) Sample(at time.Duration) Sample {
+	snap := ts.agg.Aggregate()
+	s := Sample{
+		AtUS:     at.Microseconds(),
+		Sources:  snap.NumSources,
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+	}
+	if len(snap.Hists) > 0 {
+		s.Hists = make(map[string]HistSnapshot, len(snap.Hists))
+		for name, h := range snap.Hists {
+			s.Hists[name] = HistSnapshot{
+				Count: h.Count, Sum: h.Sum, Mean: h.Mean,
+				P50: h.P50, P99: h.P99, P999: h.P999,
+			}
+		}
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.size == len(ts.ring) {
+		ts.dropped++
+	} else {
+		ts.size++
+	}
+	ts.ring[ts.next] = s
+	ts.next = (ts.next + 1) % len(ts.ring)
+	return s
+}
+
+// Samples returns the retained samples in chronological order.
+func (ts *TimeSeries) Samples() []Sample {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Sample, 0, ts.size)
+	start := ts.next - ts.size
+	if start < 0 {
+		start += len(ts.ring)
+	}
+	for i := 0; i < ts.size; i++ {
+		out = append(out, ts.ring[(start+i)%len(ts.ring)])
+	}
+	return out
+}
+
+// Len reports the number of retained samples.
+func (ts *TimeSeries) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.size
+}
+
+// Dropped reports how many samples were overwritten by ring wrap.
+func (ts *TimeSeries) Dropped() uint64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.dropped
+}
+
+// WriteJSONL streams the retained samples as one JSON object per line
+// (the offline-plotting format of mpsim -metrics-out).
+func (ts *TimeSeries) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range ts.Samples() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -481,6 +481,33 @@ func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
 
+// MetricsAggregator merges metric registries across connections into a
+// fleet-wide view: counters sum, gauges keep last/min/max/sum,
+// histograms merge bucket-by-bucket. Attach one labeled registry per
+// connection; see docs/OBSERVABILITY.md ("Fleet aggregation").
+type MetricsAggregator = obs.Aggregator
+
+// MetricsLabels identifies one registry within an aggregator.
+type MetricsLabels = obs.Labels
+
+// MetricsTimeSeries records aggregated samples into a bounded ring.
+type MetricsTimeSeries = obs.TimeSeries
+
+// NewMetricsAggregator returns an empty fleet aggregator.
+func NewMetricsAggregator() *MetricsAggregator { return obs.NewAggregator() }
+
+// NewMetricsTimeSeries creates a time-series recorder over agg with the
+// given ring capacity (<= 0 selects the default of 4096 samples).
+func NewMetricsTimeSeries(agg *MetricsAggregator, capacity int) *MetricsTimeSeries {
+	return obs.NewTimeSeries(agg, capacity)
+}
+
+// WriteOpenMetrics renders an aggregator's current state in the
+// OpenMetrics text exposition format (scrapeable by Prometheus).
+func WriteOpenMetrics(w io.Writer, agg *MetricsAggregator) error {
+	return obs.WriteOpenMetrics(w, agg.Aggregate())
+}
+
 // WriteTraceJSONL streams events as one JSON object per line.
 func WriteTraceJSONL(w io.Writer, events []TraceEvent) error {
 	return obs.WriteJSONL(w, events)
