@@ -27,8 +27,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"progmp"
@@ -206,8 +208,16 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		return err
 	}
 	var sup *progmp.Supervisor
+	var fleet *progmp.Fleet
 	if guard {
 		sup = conn.Supervise(sched, progmp.SupervisorConfig{})
+		// The fleet tier: every supervised connection running the same
+		// program counts toward its fleet-quarantine threshold, and the
+		// control plane refuses to reinstall a fleet-blocked program.
+		fleet = nw.NewFleet(progmp.FleetConfig{})
+		if err := conn.JoinFleet(fleet, scheduler); err != nil {
+			return err
+		}
 	} else {
 		conn.SetScheduler(sched)
 	}
@@ -260,7 +270,14 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		if err != nil {
 			return err
 		}
-		xc.SetScheduler(xs)
+		if guard {
+			xc.Supervise(xs, progmp.SupervisorConfig{})
+			if err := xc.JoinFleet(fleet, scheduler); err != nil {
+				return err
+			}
+		} else {
+			xc.SetScheduler(xs)
+		}
 		xreg := progmp.NewMetrics()
 		xc.Instrument(nil, xreg)
 		agg.Attach(progmp.MetricsLabels{Conn: fmt.Sprintf("c%d", i), Scheduler: scheduler}, xreg)
@@ -297,7 +314,7 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 	}
 
 	if ctlAddr != "" {
-		if err := runWithControlPlane(nw, conn, extras, tracer, reg, agg, ctlAddr, pace, duration); err != nil {
+		if err := runWithControlPlane(nw, conn, extras, tracer, reg, agg, fleet, ctlAddr, pace, duration); err != nil {
 			return err
 		}
 	} else {
@@ -369,8 +386,11 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 }
 
 // runWithControlPlane drives the scenario with RunLive while a ctl
-// server on addr lets a second process (progmpctl) steer it.
-func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, extras []*progmp.Conn, tracer *progmp.Tracer, reg *progmp.Metrics, agg *progmp.MetricsAggregator, addr string, pace float64, duration time.Duration) error {
+// server on addr lets a second process (progmpctl) steer it. SIGINT
+// and SIGTERM shut the run down gracefully: the server drains (stops
+// accepting, finishes inflight requests, ends subscriptions, flushes
+// the fleet metrics) before the simulation stops.
+func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, extras []*progmp.Conn, tracer *progmp.Tracer, reg *progmp.Metrics, agg *progmp.MetricsAggregator, fleet *progmp.Fleet, addr string, pace float64, duration time.Duration) error {
 	network := "unix"
 	if !strings.Contains(addr, "/") && strings.Contains(addr, ":") {
 		network = "tcp"
@@ -382,7 +402,7 @@ func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, extras []*progmp
 	if err != nil {
 		return err
 	}
-	srv := ctl.NewServer(ctl.Options{Network: nw, Tracer: tracer, Metrics: reg, Agg: agg})
+	srv := ctl.NewServer(ctl.Options{Network: nw, Tracer: tracer, Metrics: reg, Agg: agg, Fleet: fleet})
 	srv.Register("mpsim", conn)
 	for i, xc := range extras {
 		srv.Register(fmt.Sprintf("mpsim%d", i+2), xc)
@@ -392,7 +412,32 @@ func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, extras []*progmp
 		pace = 1 // real time, so there is something to steer
 	}
 	fmt.Printf("control plane   %s://%s (pace %gx)\n", network, addr, pace)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return // run ended on its own
+		}
+		fmt.Fprintf(os.Stderr, "mpsim: %v: draining control plane\n", s)
+		srv.Drain(0)
+		nw.StopLive()
+	}()
+	// A remote `progmpctl drain` should end the whole process, not just
+	// the control plane: watch for it and stop the live run too.
+	drainPoll := time.NewTicker(100 * time.Millisecond)
+	go func() {
+		for range drainPoll.C {
+			if srv.Draining() {
+				nw.StopLive()
+				return
+			}
+		}
+	}()
 	nw.RunLive(duration, pace)
+	drainPoll.Stop()
+	signal.Stop(sig)
+	close(sig)
 	nw.StopLive()
 	srv.Close()
 	if network == "unix" {

@@ -14,16 +14,22 @@
 //	schedulers                   names available to compile and swap
 //	compile <name|file> [backend]  verify + compile without installing
 //	swap    <name|file> [backend]  hot-swap the connection's scheduler
-//	                             (-force installs despite analyzer warnings)
+//	                             (-force installs despite analyzer warnings
+//	                             or a fleet block)
 //	getreg  <R1..R8|idx>         read a scheduler register
 //	setreg  <R1..R8|idx> <value> write a scheduler register
 //	send    <bytes> [prop]       enqueue bytes with a scheduling intent
 //	metrics                      metrics registry snapshot
 //	metrics-agg [json|text]      fleet-wide aggregated metrics (text = OpenMetrics)
+//	drain                        gracefully shut the server down
 //	watch   [kinds...]           stream trace events as JSONL (ctrl-C to stop)
 //
 // ADDR is a Unix socket path (default /tmp/progmp.sock) or host:port
 // for TCP. -conn selects the target connection from `list` (default 1).
+// Calls are deadline-bounded (-timeout overrides the per-verb defaults)
+// and read-only verbs are retried across reconnects (-retries bounds
+// the attempts); a server that stays down trips a circuit breaker and
+// fails fast.
 //
 // Example against a live mpsim (second terminal):
 //
@@ -53,10 +59,12 @@ import (
 func main() {
 	addr := flag.String("s", "/tmp/progmp.sock", "server address: Unix socket path or host:port")
 	connID := flag.Int("conn", 1, "target connection id (see list)")
-	force := flag.Bool("force", false, "swap: install despite static-analyzer warnings")
+	force := flag.Bool("force", false, "swap: install despite static-analyzer warnings or a fleet block")
+	timeout := flag.Duration("timeout", 0, "per-call deadline (0 = per-verb defaults)")
+	retries := flag.Int("retries", 0, "attempts for read-only verbs across reconnects (0 = default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: progmpctl [-s ADDR] [-conn N] <command> [args]\n")
-		fmt.Fprintf(os.Stderr, "commands: ping list schedulers compile swap getreg setreg send metrics metrics-agg watch\n")
+		fmt.Fprintf(os.Stderr, "commands: ping list schedulers compile swap getreg setreg send metrics metrics-agg drain watch\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,22 +72,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, *connID, *force, flag.Args()); err != nil {
+	if err := run(*addr, *connID, *force, *timeout, *retries, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "progmpctl:", err)
 		printDiags(err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, connID int, force bool, args []string) error {
+func run(addr string, connID int, force bool, timeout time.Duration, retries int, args []string) error {
 	network := "unix"
 	if !strings.Contains(addr, "/") && strings.Contains(addr, ":") {
 		network = "tcp"
 	}
-	c, err := ctl.Dial(network, addr)
-	if err != nil {
-		return fmt.Errorf("connecting to %s://%s: %w", network, addr, err)
-	}
+	// The reconnecting client: per-verb deadlines, retry of read-only
+	// verbs across reconnects, circuit breaker when the server stays
+	// down. It dials lazily, so connection errors surface on the call.
+	c := ctl.DialRetry(ctl.RetryOptions{
+		Network:     network,
+		Addr:        addr,
+		CallTimeout: timeout,
+		MaxAttempts: retries,
+	})
 	defer c.Close()
 
 	cmd, rest := args[0], args[1:]
@@ -132,12 +145,7 @@ func run(addr string, connID int, force bool, args []string) error {
 		if err != nil {
 			return err
 		}
-		var res ctl.SwapResult
-		if force {
-			res, err = c.SwapForce(connID, name, src, backend)
-		} else {
-			res, err = c.Swap(connID, name, src, backend)
-		}
+		res, err := c.Swap(connID, name, src, backend, force)
 		if err != nil {
 			return err
 		}
@@ -230,6 +238,12 @@ func run(addr string, connID int, force bool, args []string) error {
 		default:
 			return fmt.Errorf("metrics-agg: unknown format %q (json, text)", format)
 		}
+		return nil
+	case "drain":
+		if _, err := c.Drain(); err != nil {
+			return err
+		}
+		fmt.Println("draining: server stops accepting, finishes inflight requests, then shuts down")
 		return nil
 	case "watch":
 		return watch(c, connID, rest)
@@ -355,8 +369,14 @@ func printMetrics(snap ctl.MetricsResult) {
 	}
 }
 
-// watch streams trace events as JSONL until interrupted.
-func watch(c *ctl.Client, connID int, kinds []string) error {
+// watch streams trace events as JSONL until interrupted. Streaming
+// needs the live underlying connection; if it dies mid-watch the stream
+// ends (rerun to resubscribe through a fresh connection).
+func watch(rc *ctl.ReClient, connID int, kinds []string) error {
+	c, err := rc.Client()
+	if err != nil {
+		return err
+	}
 	stream, err := c.Subscribe(connID, kinds, 0)
 	if err != nil {
 		return err
@@ -369,7 +389,9 @@ func watch(c *ctl.Client, connID int, kinds []string) error {
 		select {
 		case ev, ok := <-stream.Events():
 			if !ok {
-				return nil
+				// Surface why the server ended the stream (e.g. this
+				// subscriber was evicted for falling behind).
+				return stream.Err()
 			}
 			if err := enc.Encode(ev); err != nil {
 				return err

@@ -2,14 +2,26 @@ package ctl
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"progmp/internal/obs"
 )
+
+// ErrDisconnected reports that the transport to the server ended —
+// cleanly (server drained or closed) or not (crash, network failure) —
+// as opposed to the server answering with a protocol error. Errors
+// returned by Client calls wrap it, so callers and the retry layer can
+// test with errors.Is(err, ErrDisconnected) and treat the condition as
+// retryable on a fresh connection.
+var ErrDisconnected = errors.New("ctl: disconnected")
 
 // Client speaks the control-plane protocol to a Server. It is safe for
 // concurrent use; calls may be issued from any goroutine and are
@@ -66,9 +78,9 @@ func (c *Client) readLoop() {
 	}
 	if readErr == nil {
 		if err := sc.Err(); err != nil {
-			readErr = err
+			readErr = fmt.Errorf("ctl: connection lost: %v: %w", err, ErrDisconnected)
 		} else {
-			readErr = fmt.Errorf("ctl: connection closed")
+			readErr = fmt.Errorf("ctl: connection closed: %w", ErrDisconnected)
 		}
 	}
 	c.mu.Lock()
@@ -101,12 +113,32 @@ func (c *Client) route(resp Response) {
 	if ch, ok := c.pending[resp.ID]; ok {
 		delete(c.pending, resp.ID)
 		ch <- resp
+		return
+	}
+	// An error response under a live subscription id with no pending
+	// call is the server ending the stream (e.g. the subscriber was
+	// evicted for falling behind): close the stream and surface why.
+	if st, ok := c.subs[resp.ID]; ok && !resp.OK {
+		delete(c.subs, resp.ID)
+		st.endErr.Store(fmt.Errorf("ctl: %s", resp.Error))
+		close(st.ch)
 	}
 }
 
 // Call sends req (its ID is assigned here) and waits for the matching
 // response, returning the raw result or the server's error.
 func (c *Client) Call(req Request) (json.RawMessage, error) {
+	return c.CallCtx(context.Background(), req)
+}
+
+// CallCtx is Call bounded by a context: when ctx ends before the
+// response arrives, the call returns ctx's error immediately and the
+// eventual response is discarded by the read loop. A context timeout
+// does NOT disturb the connection — the protocol is pipelined by
+// request id — but the caller no longer knows whether the request took
+// effect, so only idempotent verbs should be retried after one (the
+// retry layer enforces exactly that).
+func (c *Client) CallCtx(ctx context.Context, req Request) (json.RawMessage, error) {
 	req.ID = c.nextID.Add(1)
 	ch := make(chan Response, 1)
 	c.mu.Lock()
@@ -121,22 +153,40 @@ func (c *Client) Call(req Request) (json.RawMessage, error) {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("ctl: write failed: %v: %w", err, ErrDisconnected)
 	}
-	resp, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		return nil, err
-	}
-	if !resp.OK {
-		if len(resp.Diags) > 0 {
-			return nil, &DiagError{Msg: "ctl: " + resp.Error, Diags: resp.Diags}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return nil, err
 		}
-		return nil, fmt.Errorf("ctl: %s", resp.Error)
+		if !resp.OK {
+			if len(resp.Diags) > 0 {
+				return nil, &DiagError{Msg: "ctl: " + resp.Error, Diags: resp.Diags}
+			}
+			return nil, fmt.Errorf("ctl: %s", resp.Error)
+		}
+		return resp.Result, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("ctl: %s: %w", req.Verb, ctx.Err())
 	}
-	return resp.Result, nil
+}
+
+// CallTimeout is CallCtx with a fresh deadline of d (no bound when
+// d <= 0).
+func (c *Client) CallTimeout(req Request, d time.Duration) (json.RawMessage, error) {
+	if d <= 0 {
+		return c.Call(req)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.CallCtx(ctx, req)
 }
 
 func (c *Client) writeRequest(req Request) error {
@@ -243,6 +293,16 @@ func (c *Client) MetricsAgg(format string) (MetricsAggResult, error) {
 	return out, err
 }
 
+// Drain asks the server to shut down gracefully: stop accepting,
+// finish inflight requests, close subscriptions, then close. The
+// acknowledgement arrives before the drain begins; expect the
+// connection to end shortly after.
+func (c *Client) Drain() (DrainResult, error) {
+	var out DrainResult
+	err := c.call(Request{Verb: VerbDrain}, &out)
+	return out, err
+}
+
 // Stream is a live trace-event subscription. Drain Events promptly:
 // frames arriving while the local buffer is full are dropped (counted
 // by Dropped), independent of the server-side subscription buffer.
@@ -251,6 +311,7 @@ type Stream struct {
 	id      uint64
 	ch      chan obs.JSONLEvent
 	dropped atomic.Uint64
+	endErr  atomic.Value // error: why the server ended the stream
 	closed  sync.Once
 }
 
@@ -262,7 +323,24 @@ func (s *Stream) Events() <-chan obs.JSONLEvent { return s.ch }
 // drained fast enough.
 func (s *Stream) Dropped() uint64 { return s.dropped.Load() }
 
-// Close ends the subscription.
+// Err reports why the server ended the stream (e.g. the subscriber was
+// evicted for falling behind); nil while live or after a local Close.
+func (s *Stream) Err() error {
+	if err, ok := s.endErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// unsubscribeTimeout bounds the unsubscribe round-trip issued by
+// Stream.Close: against a stalled server the local stream must still
+// close promptly rather than wedging the caller.
+const unsubscribeTimeout = 2 * time.Second
+
+// Close ends the subscription. The local stream is torn down
+// immediately; the server-side unsubscribe is bounded by
+// unsubscribeTimeout, and a server that cannot answer (stalled, gone)
+// surfaces as the returned error while the stream stays closed.
 func (s *Stream) Close() error {
 	var err error
 	s.closed.Do(func() {
@@ -274,7 +352,14 @@ func (s *Stream) Close() error {
 		}
 		s.c.mu.Unlock()
 		if live {
-			err = s.c.call(Request{Verb: VerbUnsubscribe, Sub: s.id}, nil)
+			_, err = s.c.CallTimeout(Request{Verb: VerbUnsubscribe, Sub: s.id}, unsubscribeTimeout)
+			// The server may have ended the subscription on its side
+			// (eviction) in the instant before our unsubscribe landed;
+			// the stream is down either way, so that race is not an
+			// error.
+			if err != nil && strings.Contains(err.Error(), "no subscription") {
+				err = nil
+			}
 		}
 	})
 	return err
@@ -283,8 +368,18 @@ func (s *Stream) Close() error {
 // Subscribe opens a live trace-event stream. conn filters to one
 // connection (0 = all), kinds filters by event name as spelled in
 // trace output (nil = all), buf sizes both the server-side and local
-// buffers (<= 0 selects the default).
+// buffers (<= 0 selects the default). The wait for the server's
+// acknowledgement is unbounded; against a server that may stall, use
+// SubscribeCtx.
 func (c *Client) Subscribe(conn int, kinds []string, buf int) (*Stream, error) {
+	return c.SubscribeCtx(context.Background(), conn, kinds, buf)
+}
+
+// SubscribeCtx is Subscribe bounded by a context: if ctx ends before
+// the server acknowledges the subscription, the stream is torn down
+// locally and ctx's error returned. The eventual acknowledgement or
+// refusal is discarded by the read loop.
+func (c *Client) SubscribeCtx(ctx context.Context, conn int, kinds []string, buf int) (*Stream, error) {
 	if buf <= 0 {
 		buf = obs.DefaultSubscriptionBuffer
 	}
@@ -316,16 +411,21 @@ func (c *Client) Subscribe(conn int, kinds []string, buf int) (*Stream, error) {
 		fail()
 		return nil, err
 	}
-	resp, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		return nil, err
-	}
-	if !resp.OK {
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return nil, err
+		}
+		if !resp.OK {
+			fail()
+			return nil, fmt.Errorf("ctl: %s", resp.Error)
+		}
+		return st, nil
+	case <-ctx.Done():
 		fail()
-		return nil, fmt.Errorf("ctl: %s", resp.Error)
+		return nil, fmt.Errorf("ctl: subscribe: %w", ctx.Err())
 	}
-	return st, nil
 }

@@ -43,6 +43,7 @@ const (
 	VerbMetricsAgg  = "metrics-agg" // fleet-wide aggregated metrics (JSON or OpenMetrics text)
 	VerbSubscribe   = "subscribe"   // stream live trace events
 	VerbUnsubscribe = "unsubscribe" // end a subscription
+	VerbDrain       = "drain"       // graceful server shutdown
 )
 
 // Request is one client→server line. Verbs read only the fields they
@@ -193,4 +194,12 @@ type MetricsAggResult struct {
 	NumSources int              `json:"num_sources"`
 	Snapshot   *obs.AggSnapshot `json:"snapshot,omitempty"`
 	Text       string           `json:"text,omitempty"`
+}
+
+// DrainResult acknowledges VerbDrain: the server stops accepting,
+// finishes inflight requests, closes subscriptions and shuts down. The
+// acknowledgement is written before the drain begins, so it is usually
+// the last response this session sees.
+type DrainResult struct {
+	Draining bool `json:"draining"`
 }

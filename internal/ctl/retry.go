@@ -1,0 +1,441 @@
+package ctl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"progmp"
+	"progmp/internal/obs"
+)
+
+// ErrCircuitOpen reports that the retry layer is failing fast: the
+// server failed too many consecutive times, so calls return immediately
+// without touching the network until the breaker cooldown elapses and a
+// probe is allowed through.
+var ErrCircuitOpen = errors.New("ctl: circuit open")
+
+// IdempotentVerb reports whether verb is read-only and therefore safe
+// to retry on a fresh connection after a transport failure or timeout —
+// the request may or may not have reached the server, but replaying it
+// cannot change state either way. Compile counts: it verifies and
+// compiles without installing.
+func IdempotentVerb(verb string) bool {
+	switch verb {
+	case VerbPing, VerbList, VerbSchedulers, VerbGetReg, VerbMetrics, VerbMetricsAgg, VerbCompile:
+		return true
+	}
+	return false
+}
+
+// The retry-layer defaults; see RetryOptions.
+const (
+	DefaultCallTimeout     = 5 * time.Second
+	DefaultMaxAttempts     = 4
+	DefaultBackoffBase     = 50 * time.Millisecond
+	DefaultBackoffMax      = 2 * time.Second
+	DefaultBreakerFails    = 5
+	DefaultBreakerCooldown = 2 * time.Second
+)
+
+// defaultVerbTimeouts is the per-verb call deadline table: cheap reads
+// answer fast or not at all; compile and swap run the analyzer and the
+// code generator, so they get room.
+var defaultVerbTimeouts = map[string]time.Duration{
+	VerbPing:       2 * time.Second,
+	VerbList:       2 * time.Second,
+	VerbSchedulers: 2 * time.Second,
+	VerbGetReg:     2 * time.Second,
+	VerbSetReg:     2 * time.Second,
+	VerbSend:       5 * time.Second,
+	VerbMetrics:    5 * time.Second,
+	VerbMetricsAgg: 5 * time.Second,
+	VerbCompile:    10 * time.Second,
+	VerbSwap:       10 * time.Second,
+	VerbDrain:      5 * time.Second,
+}
+
+// RetryOptions tunes a ReClient. Network and Addr are required; zero
+// values elsewhere select the defaults above.
+type RetryOptions struct {
+	// Network and Addr locate the server, as in Dial.
+	Network string
+	Addr    string
+
+	// CallTimeout bounds one call attempt when the verb has no entry in
+	// VerbTimeouts or the default table (<= -1 disables deadlines).
+	CallTimeout time.Duration
+	// VerbTimeouts overrides the per-verb deadline table.
+	VerbTimeouts map[string]time.Duration
+	// MaxAttempts is how many times an idempotent call is attempted in
+	// total across reconnects (non-idempotent verbs always get exactly
+	// one attempt).
+	MaxAttempts int
+	// BackoffBase is the delay before the second attempt; it doubles
+	// per attempt up to BackoffMax, each delay jittered uniformly in
+	// [d/2, 3d/2) so a fleet of clients does not reconnect in lockstep.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerFails consecutive transport failures open the circuit:
+	// calls fail fast with ErrCircuitOpen for BreakerCooldown, after
+	// which one dial probes the server again (half-open).
+	BreakerFails    int
+	BreakerCooldown time.Duration
+
+	// Metrics receives the ctl.client.* self-metrics (nil: none).
+	Metrics *progmp.Metrics
+	// Seed makes the backoff jitter reproducible (0: time-seeded).
+	Seed int64
+}
+
+func (o *RetryOptions) applyDefaults() {
+	if o.CallTimeout == 0 {
+		o.CallTimeout = DefaultCallTimeout
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = DefaultMaxAttempts
+	}
+	if o.BackoffBase == 0 {
+		o.BackoffBase = DefaultBackoffBase
+	}
+	if o.BackoffMax == 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.BreakerFails == 0 {
+		o.BreakerFails = DefaultBreakerFails
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+}
+
+// ReClient is a self-healing control-plane client: it dials lazily,
+// reconnects with jittered exponential backoff when the server goes
+// away, retries idempotent (read-only) verbs across reconnects, and
+// opens a circuit breaker — failing fast instead of hammering a dead
+// server — after repeated consecutive failures. Safe for concurrent
+// use. Non-idempotent verbs (swap, setreg, send, drain) are never
+// replayed: a transport failure mid-call leaves it unknown whether they
+// took effect, and that judgement belongs to the caller.
+type ReClient struct {
+	opts RetryOptions
+
+	mu          sync.Mutex
+	cl          *Client
+	consecFails int
+	openUntil   time.Time
+	rng         *rand.Rand
+
+	mDials        *obs.Counter
+	mDialFails    *obs.Counter
+	mReconnects   *obs.Counter
+	mCalls        *obs.Counter
+	mCallFails    *obs.Counter
+	mRetries      *obs.Counter
+	mBreakerOpens *obs.Counter
+	gBreakerOpen  *obs.Gauge
+}
+
+// DialRetry creates a reconnecting client. It does not touch the
+// network: the first call dials, and a dead server surfaces there.
+func DialRetry(opts RetryOptions) *ReClient {
+	opts.applyDefaults()
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &ReClient{
+		opts:          opts,
+		rng:           rand.New(rand.NewSource(seed)),
+		mDials:        opts.Metrics.Counter("ctl.client.dials"),
+		mDialFails:    opts.Metrics.Counter("ctl.client.dial_fails"),
+		mReconnects:   opts.Metrics.Counter("ctl.client.reconnects"),
+		mCalls:        opts.Metrics.Counter("ctl.client.calls"),
+		mCallFails:    opts.Metrics.Counter("ctl.client.call_fails"),
+		mRetries:      opts.Metrics.Counter("ctl.client.retries"),
+		mBreakerOpens: opts.Metrics.Counter("ctl.client.breaker_opens"),
+		gBreakerOpen:  opts.Metrics.Gauge("ctl.client.breaker_open"),
+	}
+}
+
+// Close disconnects the current connection, if any. The ReClient stays
+// usable: the next call reconnects.
+func (r *ReClient) Close() error {
+	r.mu.Lock()
+	cl := r.cl
+	r.cl = nil
+	r.mu.Unlock()
+	if cl != nil {
+		return cl.Close()
+	}
+	return nil
+}
+
+// ConsecFails returns the current consecutive transport-failure count
+// (zero after any success).
+func (r *ReClient) ConsecFails() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.consecFails
+}
+
+// BreakerOpen reports whether calls are currently failing fast.
+func (r *ReClient) BreakerOpen() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Now().Before(r.openUntil)
+}
+
+// timeoutFor resolves the deadline for one attempt of verb.
+func (r *ReClient) timeoutFor(verb string) time.Duration {
+	if d, ok := r.opts.VerbTimeouts[verb]; ok {
+		return d
+	}
+	if d, ok := defaultVerbTimeouts[verb]; ok && r.opts.CallTimeout == DefaultCallTimeout {
+		return d
+	}
+	return r.opts.CallTimeout
+}
+
+// transportFailure classifies an error as "the request may not have
+// reached the server / the response may never come": disconnects and
+// attempt deadlines. Protocol errors — the server answered and said no
+// — are not transport failures.
+func transportFailure(err error) bool {
+	return errors.Is(err, ErrDisconnected) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Do performs one request through the retry machinery and returns the
+// raw result. Idempotent verbs are attempted up to MaxAttempts times
+// across reconnects; everything else gets one attempt.
+func (r *ReClient) Do(req Request) (json.RawMessage, error) {
+	attempts := 1
+	if IdempotentVerb(req.Verb) {
+		attempts = r.opts.MaxAttempts
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			r.mRetries.Add(1)
+			time.Sleep(r.backoff(i))
+		}
+		cl, err := r.client()
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, ErrCircuitOpen) {
+				// Fail fast: looping against an open breaker only
+				// burns the caller's time.
+				return nil, err
+			}
+			continue
+		}
+		raw, err := cl.CallTimeout(req, r.timeoutFor(req.Verb))
+		if err == nil {
+			r.noteSuccess()
+			r.mCalls.Add(1)
+			return raw, nil
+		}
+		if transportFailure(err) {
+			r.mCallFails.Add(1)
+			r.noteFailure(cl)
+			lastErr = err
+			continue
+		}
+		// The server answered with a protocol error: the connection is
+		// healthy and retrying would repeat the same refusal.
+		r.noteSuccess()
+		r.mCalls.Add(1)
+		return nil, err
+	}
+	return nil, lastErr
+}
+
+// client returns the live connection, dialing if necessary, honouring
+// the circuit breaker.
+func (r *ReClient) client() (*Client, error) {
+	r.mu.Lock()
+	if r.cl != nil {
+		cl := r.cl
+		r.mu.Unlock()
+		return cl, nil
+	}
+	if time.Now().Before(r.openUntil) {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("server marked down after %d consecutive failures: %w", r.consecFails, ErrCircuitOpen)
+	}
+	reconnect := r.consecFails > 0
+	r.mu.Unlock()
+
+	r.mDials.Add(1)
+	cl, err := Dial(r.opts.Network, r.opts.Addr)
+	if err != nil {
+		r.mDialFails.Add(1)
+		r.recordFailure()
+		return nil, fmt.Errorf("ctl: dial %s: %v: %w", r.opts.Addr, err, ErrDisconnected)
+	}
+	if reconnect {
+		r.mReconnects.Add(1)
+	}
+	r.mu.Lock()
+	if r.cl != nil {
+		// Another goroutine connected concurrently; keep theirs.
+		existing := r.cl
+		r.mu.Unlock()
+		cl.Close()
+		return existing, nil
+	}
+	r.cl = cl
+	r.mu.Unlock()
+	return cl, nil
+}
+
+// noteSuccess resets the failure streak and closes the breaker.
+func (r *ReClient) noteSuccess() {
+	r.mu.Lock()
+	r.consecFails = 0
+	r.openUntil = time.Time{}
+	r.mu.Unlock()
+	r.gBreakerOpen.Set(0)
+}
+
+// noteFailure drops the failed connection and records the failure.
+func (r *ReClient) noteFailure(failed *Client) {
+	r.mu.Lock()
+	if r.cl == failed {
+		r.cl = nil
+	}
+	r.mu.Unlock()
+	if failed != nil {
+		failed.Close()
+	}
+	r.recordFailure()
+}
+
+// recordFailure advances the streak and opens the breaker at the
+// threshold.
+func (r *ReClient) recordFailure() {
+	r.mu.Lock()
+	r.consecFails++
+	opened := false
+	if r.consecFails >= r.opts.BreakerFails && !time.Now().Before(r.openUntil) {
+		r.openUntil = time.Now().Add(r.opts.BreakerCooldown)
+		opened = true
+	}
+	r.mu.Unlock()
+	if opened {
+		r.mBreakerOpens.Add(1)
+		r.gBreakerOpen.Set(1)
+	}
+}
+
+// backoff returns the jittered exponential delay before attempt i
+// (i >= 1): base·2^(i-1) capped at BackoffMax, jittered uniformly in
+// [d/2, 3d/2).
+func (r *ReClient) backoff(i int) time.Duration {
+	d := r.opts.BackoffBase << (i - 1)
+	if d > r.opts.BackoffMax || d <= 0 {
+		d = r.opts.BackoffMax
+	}
+	r.mu.Lock()
+	jitter := time.Duration(r.rng.Int63n(int64(d)))
+	r.mu.Unlock()
+	return d/2 + jitter
+}
+
+func (r *ReClient) do(req Request, out any) error {
+	raw, err := r.Do(req)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// ---- Typed verbs, mirroring Client ----
+
+// Ping returns the server's virtual clock.
+func (r *ReClient) Ping() (PingResult, error) {
+	var out PingResult
+	err := r.do(Request{Verb: VerbPing}, &out)
+	return out, err
+}
+
+// List returns the registered connections.
+func (r *ReClient) List() (ListResult, error) {
+	var out ListResult
+	err := r.do(Request{Verb: VerbList}, &out)
+	return out, err
+}
+
+// Schedulers returns the names compile and swap accept.
+func (r *ReClient) Schedulers() ([]string, error) {
+	var out SchedulersResult
+	err := r.do(Request{Verb: VerbSchedulers}, &out)
+	return out.Names, err
+}
+
+// Compile verifies and compiles a scheduler without installing it.
+func (r *ReClient) Compile(name, src, backend string) (CompileResult, error) {
+	var out CompileResult
+	err := r.do(Request{Verb: VerbCompile, Name: name, Src: src, Backend: backend}, &out)
+	return out, err
+}
+
+// Swap hot-swaps the scheduler of connection conn; force overrides the
+// admission and fleet gates.
+func (r *ReClient) Swap(conn int, name, src, backend string, force bool) (SwapResult, error) {
+	var out SwapResult
+	err := r.do(Request{Verb: VerbSwap, Conn: conn, Name: name, Src: src, Backend: backend, Force: force}, &out)
+	return out, err
+}
+
+// GetReg reads scheduler register reg of connection conn.
+func (r *ReClient) GetReg(conn, reg int) (int64, error) {
+	var out RegResult
+	err := r.do(Request{Verb: VerbGetReg, Conn: conn, Reg: reg}, &out)
+	return out.Value, err
+}
+
+// SetReg writes scheduler register reg of connection conn.
+func (r *ReClient) SetReg(conn, reg int, value int64) error {
+	return r.do(Request{Verb: VerbSetReg, Conn: conn, Reg: reg, Value: value}, nil)
+}
+
+// Send enqueues bytes on connection conn with scheduling intent prop.
+func (r *ReClient) Send(conn, bytes int, prop int64) error {
+	return r.do(Request{Verb: VerbSend, Conn: conn, Bytes: bytes, Prop: prop}, nil)
+}
+
+// Metrics snapshots the server's metrics registry.
+func (r *ReClient) Metrics() (MetricsResult, error) {
+	var out MetricsResult
+	err := r.do(Request{Verb: VerbMetrics}, &out)
+	return out, err
+}
+
+// MetricsAgg fetches the fleet-wide aggregated metrics.
+func (r *ReClient) MetricsAgg(format string) (MetricsAggResult, error) {
+	var out MetricsAggResult
+	err := r.do(Request{Verb: VerbMetricsAgg, Format: format}, &out)
+	return out, err
+}
+
+// Drain asks the server to shut down gracefully.
+func (r *ReClient) Drain() (DrainResult, error) {
+	var out DrainResult
+	err := r.do(Request{Verb: VerbDrain}, &out)
+	return out, err
+}
+
+// Client exposes the live underlying connection for streaming use
+// (Subscribe), dialing if necessary. The stream belongs to that
+// connection: if it dies, resubscribe through a fresh Client().
+func (r *ReClient) Client() (*Client, error) {
+	return r.client()
+}

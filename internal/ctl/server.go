@@ -3,10 +3,12 @@ package ctl
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"progmp"
@@ -17,18 +19,80 @@ import (
 // maxLine bounds one request line (scheduler sources ride inline).
 const maxLine = 4 << 20
 
+// The robustness defaults; see Options. Negative option values disable
+// the corresponding limit.
+const (
+	DefaultReadIdleTimeout = 2 * time.Minute
+	DefaultWriteTimeout    = 10 * time.Second
+	DefaultMaxInflight     = 64
+	DefaultDrainTimeout    = 5 * time.Second
+)
+
 // Options configures a Server. Network is required. Tracer enables the
 // subscribe verb, Metrics the metrics verb; either may be nil. Agg
 // enables the metrics-agg verb and the HTTP exposition endpoint: the
 // fleet aggregator the embedder attaches its per-connection registries
 // to. Sources is the scheduler corpus available by name to compile and
 // swap (nil selects progmp.Schedulers, the paper's corpus).
+//
+// The remaining knobs harden the server against slow, dead or hostile
+// peers; zero values select the defaults above, negative values disable
+// the limit.
 type Options struct {
 	Network *progmp.Network
 	Tracer  *progmp.Tracer
 	Metrics *progmp.Metrics
 	Agg     *obs.Aggregator
 	Sources map[string]string
+
+	// Fleet, when set, gates compile and swap: programs currently
+	// fleet-blocked (quarantined on too many connections) are refused
+	// unless the request forces installation.
+	Fleet *progmp.Fleet
+
+	// ReadIdleTimeout disconnects a session that sends nothing for this
+	// long. Sessions with an active subscription are exempt — a watch
+	// client legitimately never writes again.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds every response or event-frame write; a peer
+	// that stops reading is disconnected rather than wedging a handler
+	// or pump goroutine forever.
+	WriteTimeout time.Duration
+	// MaxInflight bounds concurrently handled requests across all
+	// sessions; beyond it requests are refused with an overload error
+	// (counted as ctl.overloads) instead of queueing without bound.
+	MaxInflight int
+	// MaxRequestBytes caps one request line (default 4 MiB — scheduler
+	// sources ride inline).
+	MaxRequestBytes int
+	// SubEvictDrops is the consecutive-drop budget before a stalled
+	// subscriber is evicted from the tracer (default
+	// obs.DefaultSubscriptionEvictDrops).
+	SubEvictDrops int
+	// DrainTimeout bounds how long Drain waits for inflight requests
+	// (used by the drain verb).
+	DrainTimeout time.Duration
+}
+
+func (o *Options) applyDefaults() {
+	if o.Sources == nil {
+		o.Sources = progmp.Schedulers
+	}
+	if o.ReadIdleTimeout == 0 {
+		o.ReadIdleTimeout = DefaultReadIdleTimeout
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = DefaultWriteTimeout
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = DefaultMaxInflight
+	}
+	if o.MaxRequestBytes <= 0 {
+		o.MaxRequestBytes = maxLine
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = DefaultDrainTimeout
+	}
 }
 
 type namedConn struct {
@@ -45,27 +109,40 @@ type Server struct {
 
 	// Control-plane self-metrics, resolved once from Options.Metrics
 	// (nil handles are no-ops when no registry is attached): request
-	// count and round-trip handling latency of every verb.
-	mRequests  *obs.Counter
-	mRequestNS *obs.Histogram
+	// count and round-trip handling latency of every verb, plus the
+	// robustness counters — recovered handler panics, overload
+	// refusals, fleet-gate refusals — and the draining gauge.
+	mRequests     *obs.Counter
+	mRequestNS    *obs.Histogram
+	mPanics       *obs.Counter
+	mOverloads    *obs.Counter
+	mFleetRejects *obs.Counter
+	gDraining     *obs.Gauge
+
+	// inflight counts requests currently being handled (all sessions);
+	// it backs both the MaxInflight refusal and the Drain wait.
+	inflight atomic.Int64
 
 	mu       sync.Mutex
 	conns    []namedConn
 	lns      []net.Listener
 	sessions map[*session]struct{}
+	draining bool
 	closed   bool
 }
 
 // NewServer creates a server; see Options for the knobs.
 func NewServer(opts Options) *Server {
-	if opts.Sources == nil {
-		opts.Sources = progmp.Schedulers
-	}
+	opts.applyDefaults()
 	return &Server{
-		opts:       opts,
-		mRequests:  opts.Metrics.Counter("ctl.requests"),
-		mRequestNS: opts.Metrics.Histogram("ctl.request_ns"),
-		sessions:   map[*session]struct{}{},
+		opts:          opts,
+		mRequests:     opts.Metrics.Counter("ctl.requests"),
+		mRequestNS:    opts.Metrics.Histogram("ctl.request_ns"),
+		mPanics:       opts.Metrics.Counter("ctl.panics"),
+		mOverloads:    opts.Metrics.Counter("ctl.overloads"),
+		mFleetRejects: opts.Metrics.Counter("ctl.fleet_rejects"),
+		gDraining:     opts.Metrics.Gauge("ctl.draining"),
+		sessions:      map[*session]struct{}{},
 	}
 }
 
@@ -94,7 +171,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		c, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			closed := s.closed || s.draining
 			s.mu.Unlock()
 			if closed {
 				return nil
@@ -112,6 +189,60 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		go sess.run()
 	}
+}
+
+// Drain shuts the server down gracefully: stop accepting new sessions,
+// refuse new requests (ping, unsubscribe and drain stay answerable),
+// wait until inflight handlers finish — at most
+// Options.DrainTimeout when timeout is 0 — then close every
+// subscription so pump goroutines end and streaming clients see
+// end-of-stream, take a final fleet-metrics snapshot while the sockets
+// are still up, and Close. Idempotent: concurrent and repeated calls
+// join the same drain.
+func (s *Server) Drain(timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = s.opts.DrainTimeout
+	}
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	lns := append([]net.Listener(nil), s.lns...)
+	s.mu.Unlock()
+	s.gDraining.Set(1)
+	for _, ln := range lns {
+		ln.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.mu.Lock()
+	var sessions []*session
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.closeSubs()
+	}
+	// Flush the self-metrics into the fleet view before the transport
+	// disappears: the aggregator's sources read atomically, so one last
+	// Aggregate publishes a consistent final snapshot to any scraper
+	// holding the HTTP handler.
+	if s.opts.Agg != nil {
+		s.opts.Agg.Aggregate()
+	}
+	s.Close()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // Close stops all listeners and disconnects every session. Idempotent.
@@ -159,8 +290,17 @@ type session struct {
 func (se *session) run() {
 	defer se.teardown()
 	sc := bufio.NewScanner(se.conn)
-	sc.Buffer(make([]byte, 64<<10), maxLine)
-	for sc.Scan() {
+	sc.Buffer(make([]byte, 64<<10), se.srv.opts.MaxRequestBytes)
+	for {
+		se.armReadDeadline()
+		if !sc.Scan() {
+			// A request over the size cap gets told why before the
+			// session dies; idle timeouts and disconnects just end it.
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				se.writeError(0, fmt.Errorf("request exceeds %d byte cap", se.srv.opts.MaxRequestBytes))
+			}
+			return
+		}
 		line := sc.Bytes()
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
@@ -168,6 +308,38 @@ func (se *session) run() {
 			continue
 		}
 		se.handle(req)
+	}
+}
+
+// armReadDeadline applies the idle read deadline before each request.
+// Sessions with a live subscription are exempt: a watch client
+// legitimately goes quiet forever while event frames stream out.
+func (se *session) armReadDeadline() {
+	d := se.srv.opts.ReadIdleTimeout
+	if d <= 0 {
+		return
+	}
+	se.smu.Lock()
+	streaming := len(se.subs) > 0
+	se.smu.Unlock()
+	if streaming {
+		se.conn.SetReadDeadline(time.Time{})
+	} else {
+		se.conn.SetReadDeadline(time.Now().Add(d))
+	}
+}
+
+// closeSubs ends every subscription but leaves the session connected —
+// the drain path, where remaining responses should still be written.
+func (se *session) closeSubs() {
+	se.smu.Lock()
+	subs := se.subs
+	if subs != nil {
+		se.subs = map[uint64]*obs.Subscription{}
+	}
+	se.smu.Unlock()
+	for _, sub := range subs {
+		sub.Close()
 	}
 }
 
@@ -193,6 +365,9 @@ func (se *session) write(resp Response) error {
 	buf = append(buf, '\n')
 	se.wmu.Lock()
 	defer se.wmu.Unlock()
+	if d := se.srv.opts.WriteTimeout; d > 0 {
+		se.conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	_, err = se.conn.Write(buf)
 	return err
 }
@@ -213,13 +388,42 @@ func (se *session) writeResult(id uint64, result any) {
 // handle dispatches one request, feeding the server's self-metrics:
 // ctl.requests counts verbs handled, ctl.request_ns times the handler
 // (for subscribe, the acknowledgement; event frames stream on their own
-// goroutine).
+// goroutine). Three layers of hardening wrap the dispatch: a panic in
+// any handler is recovered and answered as an internal error (counted
+// as ctl.panics) instead of killing the process; requests beyond
+// MaxInflight are refused with an overload error (ctl.overloads); and
+// once Drain has begun, only ping, unsubscribe and drain itself are
+// still answerable.
 func (se *session) handle(req Request) {
-	se.srv.mRequests.Add(1)
-	if se.srv.mRequestNS != nil {
+	srv := se.srv
+	srv.mRequests.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			srv.mPanics.Add(1)
+			se.writeError(req.ID, fmt.Errorf("internal error: %s handler panicked: %v", req.Verb, r))
+		}
+	}()
+	if srv.mRequestNS != nil {
 		t0 := time.Now()
-		defer func() { se.srv.mRequestNS.Observe(int64(time.Since(t0))) }()
+		defer func() { srv.mRequestNS.Observe(int64(time.Since(t0))) }()
 	}
+	switch req.Verb {
+	case VerbPing, VerbUnsubscribe, VerbDrain:
+		// Always answerable: liveness, cleanup, and the drain trigger
+		// itself bypass both the draining refusal and the inflight cap.
+	default:
+		if srv.Draining() {
+			se.writeError(req.ID, fmt.Errorf("server draining"))
+			return
+		}
+		if max := srv.opts.MaxInflight; max > 0 && srv.inflight.Load() >= int64(max) {
+			srv.mOverloads.Add(1)
+			se.writeError(req.ID, fmt.Errorf("server overloaded: %d requests inflight", max))
+			return
+		}
+	}
+	srv.inflight.Add(1)
+	defer srv.inflight.Add(-1)
 	switch req.Verb {
 	case VerbPing:
 		se.ping(req)
@@ -245,9 +449,20 @@ func (se *session) handle(req Request) {
 		se.subscribe(req)
 	case VerbUnsubscribe:
 		se.unsubscribe(req)
+	case VerbDrain:
+		se.drain(req)
 	default:
 		se.writeError(req.ID, fmt.Errorf("unknown verb %q", req.Verb))
 	}
+}
+
+// drain acknowledges first — the drain will tear this session down, so
+// the acknowledgement must be on the wire before it starts — then runs
+// the server drain off this goroutine (the drain waits for inflight
+// handlers; this handler is one of them).
+func (se *session) drain(req Request) {
+	se.writeResult(req.ID, DrainResult{Draining: true})
+	go se.srv.Drain(0)
 }
 
 func (se *session) ping(req Request) {
@@ -383,10 +598,29 @@ func parseBackend(s string) (progmp.Backend, error) {
 	}
 }
 
+// fleetRefusal returns the refusal error when the resolved program is
+// currently fleet-blocked and the request does not force past the gate
+// (nil otherwise). Forcing is honoured because the block is a
+// protective default, not a policy decision the operator cannot
+// override — the same contract as the analyzer admission gate.
+func (se *session) fleetRefusal(prog *progmp.Scheduler, force bool) error {
+	f := se.srv.opts.Fleet
+	if f == nil || force || !f.Blocked(prog.Name()) {
+		return nil
+	}
+	se.srv.mFleetRejects.Add(1)
+	return fmt.Errorf("scheduler %q is fleet-blocked: it quarantined on too many connections; set force to install anyway",
+		prog.Name())
+}
+
 func (se *session) compile(req Request) {
 	prog, src, err := se.resolveProgram(req)
 	if err != nil {
 		se.writeReject(req.ID, err, rejectDiags(src, err))
+		return
+	}
+	if err := se.fleetRefusal(prog, req.Force); err != nil {
+		se.writeError(req.ID, err)
 		return
 	}
 	rep := prog.AnalysisReport()
@@ -410,6 +644,10 @@ func (se *session) swap(req Request) {
 	prog, src, err := se.resolveProgram(req)
 	if err != nil {
 		se.writeReject(req.ID, err, rejectDiags(src, err))
+		return
+	}
+	if err := se.fleetRefusal(prog, req.Force); err != nil {
+		se.writeError(req.ID, err)
 		return
 	}
 	// The admission gate: programs carrying analyzer warnings are not
@@ -566,7 +804,7 @@ func (se *session) subscribe(req Request) {
 		}
 		connFilter = nc.conn.Inner().TraceConnID()
 	}
-	sub := se.srv.opts.Tracer.Subscribe(req.Buf)
+	sub := se.srv.opts.Tracer.SubscribeEvict(req.Buf, se.srv.opts.SubEvictDrops)
 	se.smu.Lock()
 	if se.subs == nil { // session tearing down
 		se.smu.Unlock()
@@ -594,9 +832,22 @@ func (se *session) subscribe(req Request) {
 			}
 			frame := ev.ToJSONL()
 			if err := se.write(Response{ID: req.ID, OK: true, Event: &frame}); err != nil {
+				// The peer stopped reading (or the write deadline hit):
+				// the stream is poisoned mid-frame, so end the
+				// subscription and drain the channel.
 				sub.Close()
-				return
+				break
 			}
+		}
+		// Stream over. Deregister, and if the tracer evicted us for
+		// falling too far behind, tell the client with a terminal error
+		// frame under the subscription id.
+		se.smu.Lock()
+		_, active := se.subs[req.ID]
+		delete(se.subs, req.ID)
+		se.smu.Unlock()
+		if active && sub.Evicted() {
+			se.writeError(req.ID, fmt.Errorf("subscription evicted: subscriber fell %d events behind", sub.Dropped()))
 		}
 	}()
 }

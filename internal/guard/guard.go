@@ -179,6 +179,16 @@ type Supervisor struct {
 	trialClean  int
 	watchdogSet bool
 
+	// Fleet enrollment (nil/"" when the supervisor stands alone). The
+	// fleet is notified on every quarantine and may force-block this
+	// supervisor when the same program misbehaves on enough connections.
+	fleet        *Fleet
+	fleetProgram string
+	fleetBlocked bool
+	// blockSavedFallback holds the per-connection fallback while a fleet
+	// block forces native MinRTT; FleetLift restores it.
+	blockSavedFallback Scheduler
+
 	// Cumulative counts (also mirrored as metrics when instrumented).
 	Panics      int64
 	Violations  int64
@@ -247,6 +257,13 @@ func (s *Supervisor) Fallback() Scheduler { return s.cfg.Fallback }
 // strikes, first-quarantine backoff.
 func (s *Supervisor) Swap(newInner, fallback Scheduler) {
 	s.inner = newInner
+	// A swap retargets the supervisor at a different program, so any
+	// fleet block held against the old program no longer applies here
+	// (the control plane refuses swaps of blocked programs up front;
+	// reaching this point means the target passed or was forced).
+	// Re-enroll with the fleet after swapping.
+	s.fleetBlocked = false
+	s.blockSavedFallback = nil
 	if fallback != nil {
 		s.cfg.Fallback = fallback
 	}
@@ -468,6 +485,11 @@ func (s *Supervisor) quarantine(env *runtime.Env) {
 	if s.cfg.After != nil {
 		s.cfg.After(backoff, s.beginProbation)
 	}
+	if s.fleet != nil {
+		// May escalate to a fleet block, which re-enters FleetBlock on
+		// this and sibling supervisors.
+		s.fleet.noteQuarantine(s.fleetProgram, s)
+	}
 	// Serve the triggering execution with the fallback so the
 	// connection makes progress in the same scheduling pass that
 	// degraded it.
@@ -475,9 +497,10 @@ func (s *Supervisor) quarantine(env *runtime.Env) {
 }
 
 // beginProbation puts the user scheduler on trial after the quarantine
-// backoff elapses.
+// backoff elapses. A fleet-blocked supervisor stays quarantined: only
+// FleetLift (the fleet's clean-window timer) re-arms probation.
 func (s *Supervisor) beginProbation() {
-	if s.state != StateQuarantined {
+	if s.state != StateQuarantined || s.fleetBlocked {
 		return
 	}
 	s.state = StateProbation

@@ -55,7 +55,11 @@ const (
 	EvGuardProbe      // probation began: user scheduler on trial
 	EvGuardRestore    // user scheduler re-promoted after clean trials
 	// Control-plane events (package ctl and the hot-swap path).
-	EvSchedSwap // scheduler replaced on a live connection (Aux: 0 immediate, 1 deferred to the execution boundary, 2 supervisor retarget)
+	EvSchedSwap   // scheduler replaced on a live connection (Aux: 0 immediate, 1 deferred to the execution boundary, 2 supervisor retarget)
+	EvCtlSubEvict // trace subscription evicted after too many consecutive drops (Aux = consecutive drops at eviction)
+	// Fleet-quarantine events (package guard's Fleet tier).
+	EvFleetBlock // program fleet-blocked: quarantined on >= K connections (Aux = connections blocked, Site = K)
+	EvFleetLift  // fleet block lifted after a clean backoff window (Aux = connections on probation)
 	numEventKinds
 )
 
@@ -84,7 +88,10 @@ var eventKindNames = [...]string{
 	EvGuardProbe:      "GUARD_PROBE",
 	EvGuardRestore:    "GUARD_RESTORE",
 
-	EvSchedSwap: "SCHED_SWAP",
+	EvSchedSwap:   "SCHED_SWAP",
+	EvCtlSubEvict: "CTL_SUB_EVICT",
+	EvFleetBlock:  "FLEET_BLOCK",
+	EvFleetLift:   "FLEET_LIFT",
 }
 
 // String names the event kind as spelled in trace output.
@@ -162,55 +169,133 @@ func NewTracer(capacity int) *Tracer {
 // Record appends ev to the ring, overwriting the oldest event when
 // full. It is safe for concurrent use and allocates nothing. Live
 // subscriptions receive a copy; a subscriber that cannot keep up loses
-// events (counted per subscription) rather than slowing the data path.
+// events (counted per subscription) rather than slowing the data path,
+// and one that loses EvictAfter events in a row without draining a
+// single frame is evicted: its channel closes, and a CTL_SUB_EVICT
+// event is recorded so the stall is attributable in the trace.
 func (t *Tracer) Record(ev Event) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
+	t.record(ev)
+	t.mu.Unlock()
+}
+
+// record is Record under t.mu (eviction re-enters it for the evict
+// event).
+func (t *Tracer) record(ev Event) {
 	t.buf[t.total%uint64(len(t.buf))] = ev
 	t.total++
-	for _, s := range t.subs {
+	for i := 0; i < len(t.subs); i++ {
+		s := t.subs[i]
 		select {
 		case s.ch <- ev:
+			s.consecDrops = 0
 		default:
 			s.dropped.Add(1)
+			s.consecDrops++
+			if s.evictAfter > 0 && s.consecDrops >= s.evictAfter {
+				t.evictLocked(s, ev.At)
+				i-- // t.subs shrank in place
+			}
 		}
 	}
-	t.mu.Unlock()
+}
+
+// evictLocked removes a permanently-stalled subscription under t.mu:
+// close the channel (consumers see end-of-stream), mark it evicted, and
+// record the eviction in the ring so the trace shows who fell behind.
+func (t *Tracer) evictLocked(s *Subscription, at time.Duration) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.evicted.Store(true)
+	for i, sub := range t.subs {
+		if sub == s {
+			t.subs = append(t.subs[:i], t.subs[i+1:]...)
+			break
+		}
+	}
+	close(s.ch)
+	t.buf[t.total%uint64(len(t.buf))] = Event{
+		At: at, Kind: EvCtlSubEvict, Conn: -1, Seq: -1, Sbf: -1,
+		Aux: int64(s.consecDrops),
+	}
+	t.total++
 }
 
 // Subscription is a live feed of events recorded after Subscribe. It
 // decouples consumers from the recording hot path: the tracer never
-// blocks on a subscriber, it drops instead.
+// blocks on a subscriber, it drops instead — and evicts subscribers
+// that stop draining entirely (see Record).
 type Subscription struct {
-	t       *Tracer
-	ch      chan Event
-	dropped atomic.Uint64
-	closed  bool // guarded by t.mu
+	t           *Tracer
+	ch          chan Event
+	dropped     atomic.Uint64
+	evicted     atomic.Bool
+	consecDrops int  // guarded by t.mu; reset by any successful send
+	evictAfter  int  // immutable after Subscribe; 0 disables eviction
+	closed      bool // guarded by t.mu
 }
 
 // DefaultSubscriptionBuffer is the channel depth used when Subscribe is
 // asked for a non-positive buffer.
 const DefaultSubscriptionBuffer = 4096
 
+// DefaultSubscriptionEvictDrops is how many consecutive drops (with not
+// a single frame delivered in between) evict a subscriber when
+// SubscribeEvict is asked for a non-positive threshold. Combined with
+// the buffer it means an evicted subscriber sat on a full queue for
+// buffer+threshold events without consuming one — stalled, not slow.
+// The threshold is deliberately large: a fast-forwarded simulation can
+// record hundreds of thousands of events per wall millisecond, so a
+// healthy consumer that merely loses the CPU for a moment must not
+// trip it, while a truly stalled one (blocked on a dead socket) still
+// does within a second or two of simulated traffic.
+const DefaultSubscriptionEvictDrops = 1 << 20
+
 // Subscribe attaches a live event feed with the given channel buffer
-// (<= 0 selects DefaultSubscriptionBuffer). The caller must drain
-// Events() promptly or accept drops, and must Close the subscription
-// when done. Safe on nil (returns nil; a nil *Subscription is a no-op
-// whose Events channel is nil).
+// (<= 0 selects DefaultSubscriptionBuffer) and the default eviction
+// threshold. The caller must drain Events() promptly or accept drops,
+// and must Close the subscription when done. Safe on nil (returns nil;
+// a nil *Subscription is a no-op whose Events channel is nil).
 func (t *Tracer) Subscribe(buf int) *Subscription {
+	return t.SubscribeEvict(buf, 0)
+}
+
+// SubscribeEvict is Subscribe with an explicit eviction threshold:
+// after evictAfter consecutive drops the subscription is closed by the
+// tracer (<= 0 selects DefaultSubscriptionEvictDrops; a negative
+// threshold of -1 disables eviction entirely for callers that prefer
+// unbounded dropping).
+func (t *Tracer) SubscribeEvict(buf, evictAfter int) *Subscription {
 	if t == nil {
 		return nil
 	}
 	if buf <= 0 {
 		buf = DefaultSubscriptionBuffer
 	}
-	s := &Subscription{t: t, ch: make(chan Event, buf)}
+	if evictAfter == 0 {
+		evictAfter = DefaultSubscriptionEvictDrops
+	} else if evictAfter < 0 {
+		evictAfter = 0
+	}
+	s := &Subscription{t: t, ch: make(chan Event, buf), evictAfter: evictAfter}
 	t.mu.Lock()
 	t.subs = append(t.subs, s)
 	t.mu.Unlock()
 	return s
+}
+
+// Evicted reports whether the tracer closed this subscription for
+// falling too far behind (see SubscribeEvict). Safe on nil.
+func (s *Subscription) Evicted() bool {
+	if s == nil {
+		return false
+	}
+	return s.evicted.Load()
 }
 
 // Events returns the subscription's feed. The channel is closed by

@@ -104,3 +104,77 @@ func TestNilSubscriptionIsNoOp(t *testing.T) {
 	}
 	sub.Close()
 }
+
+func TestSubscriptionEvictedAfterConsecutiveDrops(t *testing.T) {
+	tr := NewTracer(64)
+	sub := tr.SubscribeEvict(2, 5)
+	// Fill the buffer (2 events), then drop 5 in a row: eviction.
+	for i := 0; i < 7; i++ {
+		tr.Record(Event{Kind: EvPush, Seq: int64(i)})
+	}
+	if !sub.Evicted() {
+		t.Fatalf("subscription not evicted after %d consecutive drops", sub.Dropped())
+	}
+	if got := sub.Dropped(); got != 5 {
+		t.Fatalf("Dropped = %d, want 5", got)
+	}
+	// The channel is closed: the buffered events drain, then end-of-stream.
+	var got []Event
+	for ev := range sub.Events() {
+		got = append(got, ev)
+	}
+	if len(got) != 2 {
+		t.Fatalf("drained %d buffered events, want 2", len(got))
+	}
+	// The eviction itself is in the trace, with the drop run in Aux.
+	var evict *Event
+	for _, ev := range tr.Events() {
+		if ev.Kind == EvCtlSubEvict {
+			ev := ev
+			evict = &ev
+		}
+	}
+	if evict == nil {
+		t.Fatal("no CTL_SUB_EVICT event recorded")
+	}
+	if evict.Aux != 5 {
+		t.Fatalf("CTL_SUB_EVICT Aux = %d, want 5", evict.Aux)
+	}
+	// Closing an evicted subscription is a harmless no-op.
+	sub.Close()
+	tr.Record(Event{Kind: EvPush, Seq: 99})
+	if sub.Dropped() != 5 {
+		t.Fatalf("post-evict records must not count as drops, got %d", sub.Dropped())
+	}
+}
+
+func TestSubscriptionDrainResetsDropRun(t *testing.T) {
+	tr := NewTracer(64)
+	sub := tr.SubscribeEvict(1, 3)
+	tr.Record(Event{Kind: EvPush, Seq: 0}) // fills the buffer
+	tr.Record(Event{Kind: EvPush, Seq: 1}) // drop 1
+	tr.Record(Event{Kind: EvPush, Seq: 2}) // drop 2
+	<-sub.Events()                         // drain: the run resets
+	tr.Record(Event{Kind: EvPush, Seq: 3}) // buffered again
+	tr.Record(Event{Kind: EvPush, Seq: 4}) // drop 1 of a new run
+	tr.Record(Event{Kind: EvPush, Seq: 5}) // drop 2
+	if sub.Evicted() {
+		t.Fatal("slow-but-draining subscriber must not be evicted")
+	}
+	if got := sub.Dropped(); got != 4 {
+		t.Fatalf("Dropped = %d, want 4", got)
+	}
+	sub.Close()
+}
+
+func TestSubscribeEvictDisabled(t *testing.T) {
+	tr := NewTracer(64)
+	sub := tr.SubscribeEvict(1, -1)
+	defer sub.Close()
+	for i := 0; i < DefaultSubscriptionEvictDrops+10; i++ {
+		tr.Record(Event{Kind: EvPush, Seq: int64(i)})
+	}
+	if sub.Evicted() {
+		t.Fatal("eviction-disabled subscription was evicted")
+	}
+}

@@ -324,6 +324,9 @@ func (c *Conn) HotSwap(s *Scheduler) (prev SchedulerInfo, err error) {
 	}
 	if c.sup != nil {
 		c.sup.Swap(s, c.sup.Inner())
+		// Keep any fleet enrollment pointing at the program actually
+		// running, so fleet blocks land on the right name.
+		c.sup.ReEnroll(s.Name())
 		c.sched = s
 		c.inner.NoteSchedSwap()
 		c.inner.Kick()
@@ -358,6 +361,9 @@ func (c *Conn) SchedulerInfo() SchedulerInfo {
 	if c.sup != nil {
 		info.Supervised = true
 		info.GuardState = c.sup.State().String()
+		if c.sup.FleetBlocked() {
+			info.GuardState = "fleet-blocked"
+		}
 	}
 	return info
 }
@@ -606,6 +612,42 @@ func (c *Conn) Supervise(s SchedulerExec, cfg SupervisorConfig) *Supervisor {
 // Supervisor returns the supervisor installed by Supervise (nil when
 // the connection is unsupervised).
 func (c *Conn) Supervisor() *Supervisor { return c.sup }
+
+// ---- Fleet-wide quarantine ----
+
+// Fleet is the failure-containment tier above per-connection
+// supervision: when the same program quarantines on enough distinct
+// connections, it is blocked fleet-wide — every enrolled connection
+// degrades to native MinRTT and the control plane refuses to install
+// the program without force — until a clean backoff window lifts the
+// block. See internal/guard and docs/ROBUSTNESS.md.
+type Fleet = guard.Fleet
+
+// FleetConfig tunes a Fleet; the zero value blocks at 3 connections
+// with a 10 s first clean window doubling to 10 min. The Now/After
+// hooks are wired by Network.NewFleet; leave them unset.
+type FleetConfig = guard.FleetConfig
+
+// NewFleet creates a fleet quarantine tier clocked by this network: the
+// clean-window lift timer runs on the simulation goroutine, like every
+// supervisor transition.
+func (n *Network) NewFleet(cfg FleetConfig) *Fleet {
+	cfg.Now = n.eng.Now
+	cfg.After = func(d time.Duration, fn func()) { n.eng.After(d, fn) }
+	return guard.NewFleet(cfg)
+}
+
+// JoinFleet enrolls the connection's supervisor in f under the given
+// program name, so its quarantines count toward (and fleet blocks of
+// that program apply to) this connection. The connection must be
+// supervised first. HotSwap keeps the enrollment current automatically.
+func (c *Conn) JoinFleet(f *Fleet, program string) error {
+	if c.sup == nil {
+		return fmt.Errorf("progmp: JoinFleet needs a supervised connection (call Supervise first)")
+	}
+	f.Enroll(program, c.sup)
+	return nil
+}
 
 // ---- Chaos fault-injection harness ----
 
