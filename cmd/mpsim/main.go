@@ -20,6 +20,16 @@
 //
 //	mpsim -ctl /tmp/mpsim.sock -pace 1 -send 50000000 -duration 5m &
 //	progmpctl -s /tmp/mpsim.sock swap redundant
+//
+// With -xstate every connection of the run (see -conns) attaches to
+// one cross-connection shared-state store (docs/SHAREDSTATE.md):
+// schedulers exchange the global registers G1..G8 and per-destination
+// path statistics (XRTT, XLOST, XDELIVERED, XQUAR), and the control
+// plane gains the gget/gset/deststats verbs:
+//
+//	mpsim -xstate -conns 4 -scheduler jointFlow -ctl /tmp/mpsim.sock &
+//	progmpctl -s /tmp/mpsim.sock deststats
+//	progmpctl -s /tmp/mpsim.sock gset G1 8
 package main
 
 import (
@@ -91,6 +101,7 @@ func main() {
 	ctlAddr := flag.String("ctl", "", "serve the control plane on ADDR (a Unix socket path, or host:port for TCP) and run live")
 	pace := flag.Float64("pace", 0, "live pacing with -ctl: virtual seconds per wall second (1 = real time, 0 = real time default, <0 = unpaced)")
 	conns := flag.Int("conns", 1, "number of connections (each with its own scheduler instance and metrics registry)")
+	xstate := flag.Bool("xstate", false, "attach every connection to one cross-connection shared-state store (globals G1..G8, per-destination path stats, gget/gset/deststats ctl verbs)")
 	metricsInterval := flag.Duration("metrics-interval", 0, "sample aggregated fleet metrics every D of virtual time")
 	metricsOut := flag.String("metrics-out", "", "write the sampled metrics time-series as JSONL to FILE (implies -metrics-interval 100ms)")
 	metricsHTTP := flag.String("metrics-http", "", "serve the OpenMetrics exposition on host:port")
@@ -106,6 +117,7 @@ func main() {
 	}
 	obsCfg := obsOptions{
 		Conns:    *conns,
+		XState:   *xstate,
 		Interval: *metricsInterval,
 		Out:      *metricsOut,
 		HTTP:     *metricsHTTP,
@@ -119,10 +131,12 @@ func main() {
 	}
 }
 
-// obsOptions groups the fleet-observability knobs: connection count,
-// time-series sampling, and the exposition endpoint.
+// obsOptions groups the fleet-level knobs: connection count, the
+// shared-state store, time-series sampling, and the exposition
+// endpoint.
 type obsOptions struct {
 	Conns    int
+	XState   bool
 	Interval time.Duration
 	Out      string
 	HTTP     string
@@ -203,7 +217,14 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		o.Conns = 1
 	}
 	nw := progmp.NewNetwork(seed)
-	conn, err := nw.Dial(progmp.ConnConfig{CongestionControl: cc}, paths...)
+	// -xstate: one store shared by every connection of the run, so
+	// schedulers exchange globals and per-destination path statistics
+	// across connections and the control plane can read and steer them.
+	var store *progmp.SharedStore
+	if o.XState {
+		store = progmp.NewSharedStore()
+	}
+	conn, err := nw.Dial(progmp.ConnConfig{CongestionControl: cc, Store: store}, paths...)
 	if err != nil {
 		return err
 	}
@@ -241,6 +262,11 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 	if reg != nil {
 		agg = progmp.NewMetricsAggregator()
 		agg.Attach(progmp.MetricsLabels{Conn: "c1", Scheduler: scheduler}, reg)
+		if store != nil {
+			// The store's epochs/gsets/dests counters ride the primary
+			// registry into the fleet aggregation.
+			store.Instrument(reg)
+		}
 	}
 	if pathmgr {
 		conn.EnablePathManager(progmp.PathManagerConfig{PromoteBackupOnDeath: true})
@@ -262,7 +288,7 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 	// instance and an own labeled registry each, same transfer size.
 	extras := make([]*progmp.Conn, 0, o.Conns-1)
 	for i := 2; i <= o.Conns; i++ {
-		xc, err := nw.Dial(progmp.ConnConfig{CongestionControl: cc}, paths...)
+		xc, err := nw.Dial(progmp.ConnConfig{CongestionControl: cc, Store: store}, paths...)
 		if err != nil {
 			return err
 		}
@@ -314,7 +340,7 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 	}
 
 	if ctlAddr != "" {
-		if err := runWithControlPlane(nw, conn, extras, tracer, reg, agg, fleet, ctlAddr, pace, duration); err != nil {
+		if err := runWithControlPlane(nw, conn, extras, tracer, reg, agg, fleet, store, ctlAddr, pace, duration); err != nil {
 			return err
 		}
 	} else {
@@ -361,6 +387,20 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		}
 		fmt.Printf("fleet           %d connections (%d secondary complete)\n", len(extras)+1, done)
 	}
+	if store != nil {
+		snap := store.Load()
+		fmt.Printf("shared state    epoch %d, %d destination(s)\n", snap.Epoch, len(snap.Dests))
+		for i, g := range snap.Globals {
+			if g != 0 {
+				fmt.Printf("  G%d = %d\n", i+1, g)
+			}
+		}
+		for _, d := range store.All() {
+			fmt.Printf("  %-10s srtt=%-8v lost=%-5d quar=%-4d delivered=%d samples=%d\n",
+				d.Name, time.Duration(d.SRTTUS)*time.Microsecond,
+				d.Lost, d.Quarantines, d.Delivered, d.Samples)
+		}
+	}
 	if series != nil {
 		if o.Out != "" {
 			f, err := os.Create(o.Out)
@@ -390,7 +430,7 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 // and SIGTERM shut the run down gracefully: the server drains (stops
 // accepting, finishes inflight requests, ends subscriptions, flushes
 // the fleet metrics) before the simulation stops.
-func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, extras []*progmp.Conn, tracer *progmp.Tracer, reg *progmp.Metrics, agg *progmp.MetricsAggregator, fleet *progmp.Fleet, addr string, pace float64, duration time.Duration) error {
+func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, extras []*progmp.Conn, tracer *progmp.Tracer, reg *progmp.Metrics, agg *progmp.MetricsAggregator, fleet *progmp.Fleet, store *progmp.SharedStore, addr string, pace float64, duration time.Duration) error {
 	network := "unix"
 	if !strings.Contains(addr, "/") && strings.Contains(addr, ":") {
 		network = "tcp"
@@ -402,7 +442,7 @@ func runWithControlPlane(nw *progmp.Network, conn *progmp.Conn, extras []*progmp
 	if err != nil {
 		return err
 	}
-	srv := ctl.NewServer(ctl.Options{Network: nw, Tracer: tracer, Metrics: reg, Agg: agg, Fleet: fleet})
+	srv := ctl.NewServer(ctl.Options{Network: nw, Tracer: tracer, Metrics: reg, Agg: agg, Fleet: fleet, Store: store})
 	srv.Register("mpsim", conn)
 	for i, xc := range extras {
 		srv.Register(fmt.Sprintf("mpsim%d", i+2), xc)

@@ -6,9 +6,9 @@
 //
 //	progmp-bench -exp all
 //	progmp-bench -exp fig13
-//	progmp-bench -record BENCH_7.json
-//	progmp-bench -compare BENCH_7.json                 # fresh run vs baseline
-//	progmp-bench -compare BENCH_7.json -against f.json # file vs baseline
+//	progmp-bench -record BENCH_8.json
+//	progmp-bench -compare BENCH_8.json                 # fresh run vs baseline
+//	progmp-bench -compare BENCH_8.json -against f.json # file vs baseline
 //
 // Experiments: fig1, fig9, fig9tp, fig10b, fig10c, fig12, fig13,
 // fig14, upcall, memory, receiver, handover, opportunistic, fairness,

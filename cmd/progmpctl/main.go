@@ -18,6 +18,9 @@
 //	                             or a fleet block)
 //	getreg  <R1..R8|idx>         read a scheduler register
 //	setreg  <R1..R8|idx> <value> write a scheduler register
+//	gget    <G1..G8|idx>         read a shared-store global register
+//	gset    <G1..G8|idx> <value> write a shared-store global register
+//	deststats                    per-destination shared path statistics
 //	send    <bytes> [prop]       enqueue bytes with a scheduling intent
 //	metrics                      metrics registry snapshot
 //	metrics-agg [json|text]      fleet-wide aggregated metrics (text = OpenMetrics)
@@ -64,7 +67,7 @@ func main() {
 	retries := flag.Int("retries", 0, "attempts for read-only verbs across reconnects (0 = default)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: progmpctl [-s ADDR] [-conn N] <command> [args]\n")
-		fmt.Fprintf(os.Stderr, "commands: ping list schedulers compile swap getreg setreg send metrics metrics-agg drain watch\n")
+		fmt.Fprintf(os.Stderr, "commands: ping list schedulers compile swap getreg setreg gget gset deststats send metrics metrics-agg drain watch\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -187,6 +190,50 @@ func run(addr string, connID int, force bool, timeout time.Duration, retries int
 		}
 		fmt.Printf("R%d = %d\n", reg+1, v)
 		return nil
+	case "gget":
+		if len(rest) != 1 {
+			return fmt.Errorf("gget <G1..G8|index>")
+		}
+		reg, err := parseGlobal(rest[0])
+		if err != nil {
+			return err
+		}
+		res, err := c.GGet(reg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("G%d = %d (epoch %d)\n", res.Reg+1, res.Value, res.Epoch)
+		return nil
+	case "gset":
+		if len(rest) != 2 {
+			return fmt.Errorf("gset <G1..G8|index> <value>")
+		}
+		reg, err := parseGlobal(rest[0])
+		if err != nil {
+			return err
+		}
+		v, err := strconv.ParseInt(rest[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: %v", rest[1], err)
+		}
+		res, err := c.GSet(reg, v)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("G%d = %d (epoch %d)\n", res.Reg+1, res.Value, res.Epoch)
+		return nil
+	case "deststats":
+		res, err := c.DestStats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %d, %d destination(s)\n", res.Epoch, len(res.Dests))
+		for _, d := range res.Dests {
+			fmt.Printf("  %-10s srtt=%-8v lost=%-5d quar=%-4d delivered=%d samples=%d\n",
+				d.Name, time.Duration(d.SRTTUS)*time.Microsecond,
+				d.Lost, d.Quarantines, d.Delivered, d.Samples)
+		}
+		return nil
 	case "send":
 		if len(rest) < 1 || len(rest) > 2 {
 			return fmt.Errorf("send <bytes> [prop]")
@@ -298,6 +345,24 @@ func parseReg(s string) (int, error) {
 	n, err := strconv.Atoi(s)
 	if err != nil {
 		return 0, fmt.Errorf("bad register %q (want R1..R8 or an index)", s)
+	}
+	return n, nil
+}
+
+// parseGlobal accepts the language spelling (G1..G8) or a 0-based
+// index for the shared-store global registers.
+func parseGlobal(s string) (int, error) {
+	up := strings.ToUpper(s)
+	if strings.HasPrefix(up, "G") {
+		n, err := strconv.Atoi(up[1:])
+		if err != nil || n < 1 || n > progmp.NumSharedGlobals {
+			return 0, fmt.Errorf("bad global register %q (want G1..G%d)", s, progmp.NumSharedGlobals)
+		}
+		return n - 1, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad global register %q (want G1..G%d or an index)", s, progmp.NumSharedGlobals)
 	}
 	return n, nil
 }

@@ -204,6 +204,50 @@ IF (sbf != NULL) {
 	}
 }
 
+func TestRuleGlobalWriteStorm(t *testing.T) {
+	// Unconditional GSET — even inside FOREACH — is a write storm.
+	rep := AnalyzeSource(`
+GSET(G1, Q.BYTES);
+FOREACH (VAR s IN SUBFLOWS) {
+    GSET(G2, s.RTT);
+}
+VAR sbf = SUBFLOWS.MIN(s2 => s2.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleGlobalWriteStorm, 2)
+	expectDiag(t, rep, RuleGlobalWriteStorm, 4)
+}
+
+func TestRuleGlobalWriteStormGuardedSilent(t *testing.T) {
+	rep := AnalyzeSource(`
+IF (G1 != R1) {
+    GSET(G1, R1);
+}
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectNoDiag(t, rep, RuleGlobalWriteStorm)
+}
+
+func TestRuleGlobalWriteStormSuppressed(t *testing.T) {
+	rep := AnalyzeSource(`
+//vet:ignore global-write-storm
+GSET(G1, Q.BYTES);
+VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectNoDiag(t, rep, RuleGlobalWriteStorm)
+	if rep.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", rep.Suppressed)
+	}
+}
+
 func TestRuleUseBeforeDef(t *testing.T) {
 	rep := AnalyzeSource(`
 IF (missing != NULL) {

@@ -209,6 +209,8 @@ func (a *analyzer) costStmt(s lang.Stmt) poly {
 		return a.costExpr(s.Iter).add(sTerm.mul(body)).addConst(2)
 	case *lang.SetStmt:
 		return a.costExpr(s.Value).addConst(2)
+	case *lang.GSetStmt:
+		return a.costExpr(s.Value).addConst(2)
 	case *lang.PushStmt:
 		return a.costExpr(s.Target).add(a.costExpr(s.Arg)).addConst(2)
 	case *lang.DropStmt:
@@ -222,7 +224,7 @@ func (a *analyzer) costStmt(s lang.Stmt) poly {
 func (a *analyzer) costExpr(e lang.Expr) poly {
 	switch e := e.(type) {
 	case *lang.NumberLit, *lang.BoolLit, *lang.NullLit, *lang.RegExpr,
-		*lang.Ident, *lang.EntityExpr:
+		*lang.GlobalExpr, *lang.Ident, *lang.EntityExpr:
 		return constPoly(1)
 	case *lang.UnaryExpr:
 		return a.costExpr(e.X).addConst(1)
@@ -269,7 +271,7 @@ func (a *analyzer) costMember(e *lang.MemberExpr) poly {
 		// N packets, paying every predicate on each. On the bare queue
 		// they are O(1) — except COUNT, which walks the queue.
 		preds := a.queuePredCost(e.Recv)
-		if len(preds) == 1 && preds[term{}] == 0 && e.Name != "COUNT" {
+		if len(preds) == 1 && preds[term{}] == 0 && e.Name != "COUNT" && e.Name != "BYTES" {
 			return recv.addConst(2)
 		}
 		return recv.add(nTerm.mul(preds.addConst(1))).addConst(1)
@@ -296,7 +298,7 @@ const (
 	MemberMinMaxList
 	// MemberMinMaxQueue is MIN/MAX over a packet queue.
 	MemberMinMaxQueue
-	// MemberQueueScan is TOP/FIRST/POP/COUNT/EMPTY on a packet queue.
+	// MemberQueueScan is TOP/FIRST/POP/COUNT/BYTES/EMPTY on a packet queue.
 	MemberQueueScan
 )
 
@@ -314,7 +316,7 @@ func costKind(m *types.Member) costMemberKind {
 			return MemberMinMaxQueue
 		}
 		return MemberMinMaxList
-	case types.MemberTop, types.MemberPop, types.MemberEmpty, types.MemberCount:
+	case types.MemberTop, types.MemberPop, types.MemberEmpty, types.MemberCount, types.MemberBytes:
 		if m.RecvType == types.PacketQueue {
 			return MemberQueueScan
 		}

@@ -107,6 +107,13 @@ const (
 	// reinjection queue RQ: packets suspected lost are never reinjected
 	// by this program (info — deliberate for some redundancy designs).
 	RuleRQIgnored = "rq-ignored"
+	// RuleGlobalWriteStorm flags a GSET that executes unconditionally on
+	// every scheduling decision (not guarded by any IF; a FOREACH does
+	// not count as a guard). Every dirty global publishes a new epoch of
+	// the cross-connection shared-state store, so an unconditional write
+	// turns each packet decision into a fleet-visible store mutation
+	// (warning).
+	RuleGlobalWriteStorm = "global-write-storm"
 )
 
 // RuleSeverity maps every rule id to its severity.
@@ -126,6 +133,7 @@ var RuleSeverity = map[string]Severity{
 	RuleStepBudget:       SevWarning,
 	RuleUnreachable:      SevWarning,
 	RuleRQIgnored:        SevInfo,
+	RuleGlobalWriteStorm: SevWarning,
 }
 
 // Diagnostic is one analyzer finding with a stable rule id and source

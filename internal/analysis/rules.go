@@ -29,6 +29,12 @@ type analyzer struct {
 	sawPush   bool
 	sawRQ     bool
 
+	// condDepth counts enclosing IF branches. A GSET at depth zero runs
+	// on every execution — FOREACH does not guard it, since a loop body
+	// still executes whenever subflows exist — which is the shape the
+	// global-write-storm rule flags.
+	condDepth int
+
 	unreachableReported bool
 }
 
@@ -44,10 +50,11 @@ type popDecl struct {
 // body pops any queue (which makes queue-derived packet expressions
 // iteration-dependent).
 type loopFrame struct {
-	stmt     *lang.ForeachStmt
-	deps     map[*types.Symbol]bool
-	setRegs  [runtime.NumRegisters]bool
-	bodyPops bool
+	stmt       *lang.ForeachStmt
+	deps       map[*types.Symbol]bool
+	setRegs    [runtime.NumRegisters]bool
+	setGlobals [runtime.NumGlobals]bool
+	bodyPops   bool
 }
 
 // pathState is the per-path duplicate-push tracking: pushed maps a
@@ -180,6 +187,14 @@ func (a *analyzer) stmt(s lang.Stmt, ps *pathState) (terminated bool) {
 		a.expr(s.Value)
 		return false
 
+	case *lang.GSetStmt:
+		a.expr(s.Value)
+		if a.condDepth == 0 {
+			a.diag(RuleGlobalWriteStorm, s.SetPos,
+				"GSET(G%d, ...) executes unconditionally on every scheduling decision: each write publishes a new shared-state epoch to all connections; guard it with an IF", s.Reg+1)
+		}
+		return false
+
 	case *lang.IfStmt:
 		cv := a.expr(s.Cond).b
 		if cv == bFalse {
@@ -197,6 +212,7 @@ func (a *analyzer) stmt(s lang.Stmt, ps *pathState) (terminated bool) {
 			}
 		}
 		saved := a.reachable
+		a.condDepth++
 		a.reachable = saved && cv != bFalse
 		thenTerm := a.block(s.Then.Stmts, ps.clone())
 		a.reachable = saved && cv != bTrue
@@ -204,6 +220,7 @@ func (a *analyzer) stmt(s lang.Stmt, ps *pathState) (terminated bool) {
 		if s.Else != nil {
 			elseTerm = a.stmt(s.Else, ps.clone())
 		}
+		a.condDepth--
 		a.reachable = saved
 		switch {
 		case cv == bTrue:
@@ -315,6 +332,11 @@ func (a *analyzer) loopInvariant(r refSet, fr *loopFrame) bool {
 			return false
 		}
 	}
+	for i, used := range r.globals {
+		if used && fr.setGlobals[i] {
+			return false
+		}
+	}
 	if r.queues && fr.bodyPops {
 		return false
 	}
@@ -353,6 +375,11 @@ func (a *analyzer) prescanLoopBody(b *lang.BlockStmt, fr *loopFrame) {
 			if s.Reg >= 0 && s.Reg < runtime.NumRegisters {
 				fr.setRegs[s.Reg] = true
 			}
+		case *lang.GSetStmt:
+			if s.Reg >= 0 && s.Reg < runtime.NumGlobals {
+				fr.setGlobals[s.Reg] = true
+			}
+			walkExpr(s.Value)
 		case *lang.PushStmt:
 			walkExpr(s.Arg)
 		case *lang.DropStmt:
@@ -380,10 +407,11 @@ func (a *analyzer) isRootPop(e lang.Expr) bool {
 // refSet summarizes what an expression reads: symbols, registers,
 // queue entities, and whether it pops.
 type refSet struct {
-	syms   map[*types.Symbol]bool
-	regs   [runtime.NumRegisters]bool
-	queues bool
-	pop    bool
+	syms    map[*types.Symbol]bool
+	regs    [runtime.NumRegisters]bool
+	globals [runtime.NumGlobals]bool
+	queues  bool
+	pop     bool
 }
 
 func (a *analyzer) exprRefs(e lang.Expr) refSet {
@@ -397,6 +425,10 @@ func (a *analyzer) collectRefs(e lang.Expr, r *refSet) {
 	case *lang.RegExpr:
 		if e.Index >= 0 && e.Index < runtime.NumRegisters {
 			r.regs[e.Index] = true
+		}
+	case *lang.GlobalExpr:
+		if e.Index >= 0 && e.Index < runtime.NumGlobals {
+			r.globals[e.Index] = true
 		}
 	case *lang.Ident:
 		if sym := a.info.Uses[e]; sym != nil {
@@ -435,6 +467,8 @@ func (a *analyzer) expr(e lang.Expr) absVal {
 	case *lang.NullLit:
 		return refVal(nNull)
 	case *lang.RegExpr:
+		return intVal(fullRange)
+	case *lang.GlobalExpr:
 		return intVal(fullRange)
 	case *lang.Ident:
 		if sym := a.info.Uses[e]; sym != nil {

@@ -195,6 +195,10 @@ func (c *compiler) compileStmt(s lang.Stmt) stmtFn {
 		reg := s.Reg
 		f := c.compileInt(s.Value)
 		return func(st *state) bool { st.env.SetReg(reg, f(st)); return false }
+	case *lang.GSetStmt:
+		reg := s.Reg
+		f := c.compileInt(s.Value)
+		return func(st *state) bool { st.env.SetGlobal(reg, f(st)); return false }
 	case *lang.PushStmt:
 		target := c.compileSbf(s.Target)
 		arg := c.compilePkt(s.Arg)
@@ -245,6 +249,9 @@ func (c *compiler) compileInt(e lang.Expr) intFn {
 	case *lang.RegExpr:
 		idx := e.Index
 		return func(st *state) int64 { return st.env.Reg(idx) }
+	case *lang.GlobalExpr:
+		idx := e.Index
+		return func(st *state) int64 { return st.env.Global(idx) }
 	case *lang.Ident:
 		slot := c.info.Uses[e].Slot
 		return func(st *state) int64 { return st.slots[slot].i }
@@ -312,6 +319,13 @@ func (c *compiler) compileInt(e lang.Expr) intFn {
 			return func(st *state) int64 {
 				var n int64
 				q(st).each(st, func(*runtime.PacketView) bool { n++; return true })
+				return n
+			}
+		case types.MemberBytes:
+			q := c.compileQueue(e.Recv)
+			return func(st *state) int64 {
+				var n int64
+				q(st).each(st, func(p *runtime.PacketView) bool { n += p.Ints[runtime.PktSize]; return true })
 				return n
 			}
 		}

@@ -277,6 +277,30 @@ func (c *Client) Send(conn, bytes int, prop int64) error {
 	return c.call(Request{Verb: VerbSend, Conn: conn, Bytes: bytes, Prop: prop}, nil)
 }
 
+// GGet reads shared-store global register reg (0-based) and the store
+// epoch the value belongs to.
+func (c *Client) GGet(reg int) (GlobalResult, error) {
+	var out GlobalResult
+	err := c.call(Request{Verb: VerbGGet, Reg: reg}, &out)
+	return out, err
+}
+
+// GSet writes shared-store global register reg (0-based); the result
+// reports the epoch the write published.
+func (c *Client) GSet(reg int, value int64) (GlobalResult, error) {
+	var out GlobalResult
+	err := c.call(Request{Verb: VerbGSet, Reg: reg, Value: value}, &out)
+	return out, err
+}
+
+// DestStats dumps the shared store's per-destination path statistics,
+// name-sorted, all from the single epoch reported.
+func (c *Client) DestStats() (DestStatsResult, error) {
+	var out DestStatsResult
+	err := c.call(Request{Verb: VerbDestStats}, &out)
+	return out, err
+}
+
 // Metrics snapshots the server's metrics registry.
 func (c *Client) Metrics() (MetricsResult, error) {
 	var out MetricsResult

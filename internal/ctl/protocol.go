@@ -25,6 +25,7 @@ package ctl
 import (
 	"encoding/json"
 
+	"progmp"
 	"progmp/internal/analysis"
 	"progmp/internal/obs"
 )
@@ -44,6 +45,9 @@ const (
 	VerbSubscribe   = "subscribe"   // stream live trace events
 	VerbUnsubscribe = "unsubscribe" // end a subscription
 	VerbDrain       = "drain"       // graceful server shutdown
+	VerbGGet        = "gget"        // read a shared-store global register
+	VerbGSet        = "gset"        // write a shared-store global register
+	VerbDestStats   = "deststats"   // dump per-destination shared path statistics
 )
 
 // Request is one client→server line. Verbs read only the fields they
@@ -176,6 +180,22 @@ type SwapResult struct {
 type RegResult struct {
 	Reg   int   `json:"reg"`
 	Value int64 `json:"value"`
+}
+
+// GlobalResult answers VerbGGet and VerbGSet: one shared-store global
+// register alongside the store epoch the value was read at (for gset,
+// the epoch the write published).
+type GlobalResult struct {
+	Reg   int    `json:"reg"`
+	Value int64  `json:"value"`
+	Epoch uint64 `json:"epoch"`
+}
+
+// DestStatsResult answers VerbDestStats: the store's per-destination
+// path statistics, name-sorted, all from the single epoch reported.
+type DestStatsResult struct {
+	Epoch uint64             `json:"epoch"`
+	Dests []progmp.DestStats `json:"dests"`
 }
 
 // SubscribeResult acknowledges VerbSubscribe; Sub is the id to pass to

@@ -26,7 +26,8 @@ var ErrCircuitOpen = errors.New("ctl: circuit open")
 // compiles without installing.
 func IdempotentVerb(verb string) bool {
 	switch verb {
-	case VerbPing, VerbList, VerbSchedulers, VerbGetReg, VerbMetrics, VerbMetricsAgg, VerbCompile:
+	case VerbPing, VerbList, VerbSchedulers, VerbGetReg, VerbMetrics, VerbMetricsAgg, VerbCompile,
+		VerbGGet, VerbDestStats:
 		return true
 	}
 	return false
@@ -57,6 +58,9 @@ var defaultVerbTimeouts = map[string]time.Duration{
 	VerbCompile:    10 * time.Second,
 	VerbSwap:       10 * time.Second,
 	VerbDrain:      5 * time.Second,
+	VerbGGet:       2 * time.Second,
+	VerbGSet:       2 * time.Second,
+	VerbDestStats:  2 * time.Second,
 }
 
 // RetryOptions tunes a ReClient. Network and Addr are required; zero
@@ -410,6 +414,31 @@ func (r *ReClient) SetReg(conn, reg int, value int64) error {
 // Send enqueues bytes on connection conn with scheduling intent prop.
 func (r *ReClient) Send(conn, bytes int, prop int64) error {
 	return r.do(Request{Verb: VerbSend, Conn: conn, Bytes: bytes, Prop: prop}, nil)
+}
+
+// GGet reads shared-store global register reg (retried: read-only).
+func (r *ReClient) GGet(reg int) (GlobalResult, error) {
+	var out GlobalResult
+	err := r.do(Request{Verb: VerbGGet, Reg: reg}, &out)
+	return out, err
+}
+
+// GSet writes shared-store global register reg. Not replayed on
+// transport failure: a lost response leaves it unknown whether the
+// write published, and a blind replay could clobber a concurrent
+// scheduler GSET with a stale value.
+func (r *ReClient) GSet(reg int, value int64) (GlobalResult, error) {
+	var out GlobalResult
+	err := r.do(Request{Verb: VerbGSet, Reg: reg, Value: value}, &out)
+	return out, err
+}
+
+// DestStats dumps the shared store's per-destination path statistics
+// (retried: read-only).
+func (r *ReClient) DestStats() (DestStatsResult, error) {
+	var out DestStatsResult
+	err := r.do(Request{Verb: VerbDestStats}, &out)
+	return out, err
 }
 
 // Metrics snapshots the server's metrics registry.

@@ -50,6 +50,13 @@ type Options struct {
 	// unless the request forces installation.
 	Fleet *progmp.Fleet
 
+	// Store, when set, enables the shared-state verbs (gget, gset,
+	// deststats) against the cross-connection store the embedder
+	// attached its connections to. The store is internally
+	// synchronized — reads are one atomic snapshot load — so these
+	// verbs never round-trip through Network.Do.
+	Store *progmp.SharedStore
+
 	// ReadIdleTimeout disconnects a session that sends nothing for this
 	// long. Sessions with an active subscription are exempt — a watch
 	// client legitimately never writes again.
@@ -445,6 +452,12 @@ func (se *session) handle(req Request) {
 		se.metrics(req)
 	case VerbMetricsAgg:
 		se.metricsAgg(req)
+	case VerbGGet:
+		se.gget(req)
+	case VerbGSet:
+		se.gset(req)
+	case VerbDestStats:
+		se.destStats(req)
 	case VerbSubscribe:
 		se.subscribe(req)
 	case VerbUnsubscribe:
@@ -776,6 +789,63 @@ func (se *session) metricsAgg(req Request) {
 		return
 	}
 	se.writeResult(req.ID, res)
+}
+
+// sharedStore resolves the attached store for the shared-state verbs.
+func (se *session) sharedStore(id uint64) *progmp.SharedStore {
+	st := se.srv.opts.Store
+	if st == nil {
+		se.writeError(id, fmt.Errorf("shared-state store not attached"))
+	}
+	return st
+}
+
+// gget reads one shared global register. The store snapshot is one
+// atomic load, so the value and the epoch it belongs to are coherent
+// without touching the simulation goroutine.
+func (se *session) gget(req Request) {
+	st := se.sharedStore(req.ID)
+	if st == nil {
+		return
+	}
+	if req.Reg < 0 || req.Reg >= progmp.NumSharedGlobals {
+		se.writeError(req.ID, fmt.Errorf("global register %d out of range (have 0..%d)", req.Reg, progmp.NumSharedGlobals-1))
+		return
+	}
+	snap := st.Load()
+	se.writeResult(req.ID, GlobalResult{Reg: req.Reg, Value: snap.Globals[req.Reg], Epoch: snap.Epoch})
+}
+
+// gset writes one shared global register and reports the epoch the
+// write published, so a client can watch its own write become visible
+// to every store-attached scheduler.
+func (se *session) gset(req Request) {
+	st := se.sharedStore(req.ID)
+	if st == nil {
+		return
+	}
+	if req.Reg < 0 || req.Reg >= progmp.NumSharedGlobals {
+		se.writeError(req.ID, fmt.Errorf("global register %d out of range (have 0..%d)", req.Reg, progmp.NumSharedGlobals-1))
+		return
+	}
+	st.SetGlobal(req.Reg, req.Value)
+	se.writeResult(req.ID, GlobalResult{Reg: req.Reg, Value: req.Value, Epoch: st.Epoch()})
+}
+
+// destStats dumps the per-destination path statistics of one store
+// epoch, name-sorted for stable presentation.
+func (se *session) destStats(req Request) {
+	st := se.sharedStore(req.ID)
+	if st == nil {
+		return
+	}
+	snap := st.Load()
+	dests := append([]progmp.DestStats(nil), snap.Dests...)
+	sort.Slice(dests, func(i, j int) bool { return dests[i].Name < dests[j].Name })
+	if dests == nil {
+		dests = []progmp.DestStats{}
+	}
+	se.writeResult(req.ID, DestStatsResult{Epoch: snap.Epoch, Dests: dests})
 }
 
 func (se *session) subscribe(req Request) {

@@ -1,0 +1,183 @@
+package ctl_test
+
+import (
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"progmp"
+	"progmp/internal/ctl"
+)
+
+// startSharedHarness is a live simulation with two connections attached
+// to one shared-state store and a ctl server exposing that store on a
+// Unix socket.
+func startSharedHarness(t *testing.T) (*ctl.Client, *progmp.SharedStore, string) {
+	t.Helper()
+	nw := progmp.NewNetwork(17)
+	st := progmp.NewSharedStore()
+	paths := []progmp.Path{
+		{Name: "wifi", RateBps: 4e6, OneWayDelay: 8 * time.Millisecond},
+		{Name: "lte", RateBps: 2e6, OneWayDelay: 25 * time.Millisecond},
+	}
+	srv := ctl.NewServer(ctl.Options{Network: nw, Store: st})
+	for i, name := range []string{"c1", "c2"} {
+		conn, err := nw.Dial(progmp.ConnConfig{Store: st}, paths...)
+		if err != nil {
+			t.Fatalf("Dial %s: %v", name, err)
+		}
+		sched, err := progmp.LoadScheduler("jointFlow", progmp.Schedulers["jointFlow"])
+		if err != nil {
+			t.Fatalf("LoadScheduler: %v", err)
+		}
+		conn.SetScheduler(sched)
+		if id := srv.Register(name, conn); id != i+1 {
+			t.Fatalf("Register %s returned id %d, want %d", name, id, i+1)
+		}
+	}
+	sock := filepath.Join(t.TempDir(), "ctl.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go srv.Serve(ln)
+	done := make(chan struct{})
+	go func() {
+		nw.RunLive(time.Hour, pace)
+		close(done)
+	}()
+	client, err := ctl.Dial("unix", sock)
+	if err != nil {
+		t.Fatalf("ctl.Dial: %v", err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		nw.StopLive()
+		srv.Close()
+		<-done
+	})
+	return client, st, sock
+}
+
+// The shared-state verbs end to end over a Unix socket: gset publishes
+// an epoch every store-attached scheduler sees, gget reads it back with
+// a coherent epoch, and deststats dumps the path statistics the fleet's
+// transfers fed into the store.
+func TestSharedStateVerbs(t *testing.T) {
+	c, st, _ := startSharedHarness(t)
+
+	set, err := c.GSet(0, 99)
+	if err != nil {
+		t.Fatalf("GSet: %v", err)
+	}
+	if set.Reg != 0 || set.Value != 99 || set.Epoch == 0 {
+		t.Fatalf("GSet result %+v, want reg 0 value 99 epoch > 0", set)
+	}
+	got, err := c.GGet(0)
+	if err != nil {
+		t.Fatalf("GGet: %v", err)
+	}
+	if got.Value != 99 || got.Epoch < set.Epoch {
+		t.Fatalf("GGet = %+v, want value 99 at epoch >= %d", got, set.Epoch)
+	}
+	if v := st.Global(0); v != 99 {
+		t.Fatalf("store global 0 = %d after ctl gset, want 99", v)
+	}
+
+	// Range validation: G-registers are 0..NumSharedGlobals-1.
+	if _, err := c.GGet(progmp.NumSharedGlobals); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("GGet(%d) = %v, want out-of-range refusal", progmp.NumSharedGlobals, err)
+	}
+	if _, err := c.GSet(-1, 5); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("GSet(-1) = %v, want out-of-range refusal", err)
+	}
+
+	// Drive traffic on both connections so ACKs feed the store, then
+	// watch the statistics surface through deststats.
+	for conn := 1; conn <= 2; conn++ {
+		if err := c.Send(conn, 64<<10, 0); err != nil {
+			t.Fatalf("Send conn %d: %v", conn, err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		res, err := c.DestStats()
+		if err != nil {
+			t.Fatalf("DestStats: %v", err)
+		}
+		bySamples := map[string]int64{}
+		for _, d := range res.Dests {
+			bySamples[d.Name] = d.Samples
+		}
+		if res.Epoch > 0 && bySamples["wifi"] > 0 && bySamples["lte"] > 0 {
+			for i := 1; i < len(res.Dests); i++ {
+				if res.Dests[i-1].Name >= res.Dests[i].Name {
+					t.Fatalf("deststats not name-sorted: %+v", res.Dests)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deststats never showed samples on both paths: %+v", res.Dests)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// A server without a store refuses the shared-state verbs with a clear
+// error instead of panicking or answering garbage.
+func TestSharedStateVerbsWithoutStore(t *testing.T) {
+	h := startHarness(t, false)
+	for _, call := range []func() error{
+		func() error { _, err := h.client.GGet(0); return err },
+		func() error { _, err := h.client.GSet(0, 1); return err },
+		func() error { _, err := h.client.DestStats(); return err },
+	} {
+		if err := call(); err == nil || !strings.Contains(err.Error(), "store not attached") {
+			t.Fatalf("shared-state verb without store = %v, want store-not-attached refusal", err)
+		}
+	}
+}
+
+// The ReClient retry path: a gget issued while the server is still
+// coming up retries across dial failures and lands once the socket
+// exists; gset and deststats then work through the same reconnecting
+// client.
+func TestSharedStateVerbsOverReClient(t *testing.T) {
+	// Harness on its own socket; the ReClient dials lazily, so creating
+	// it first exercises the dial-retry path when the first verbs land.
+	_, st, sock := startSharedHarness(t)
+	st.SetGlobal(2, 1234)
+
+	rc := ctl.DialRetry(ctl.RetryOptions{
+		Network: "unix", Addr: sock,
+		BackoffBase: 5 * time.Millisecond,
+		Seed:        21,
+	})
+	defer rc.Close()
+
+	got, err := rc.GGet(2)
+	if err != nil {
+		t.Fatalf("ReClient GGet: %v", err)
+	}
+	if got.Value != 1234 {
+		t.Fatalf("ReClient GGet = %+v, want 1234", got)
+	}
+	if !ctl.IdempotentVerb(ctl.VerbGGet) || !ctl.IdempotentVerb(ctl.VerbDestStats) {
+		t.Fatalf("gget and deststats must be idempotent (retried across reconnects)")
+	}
+	if ctl.IdempotentVerb(ctl.VerbGSet) {
+		t.Fatalf("gset must not be idempotent: a blind replay could clobber a concurrent scheduler GSET")
+	}
+	if _, err := rc.GSet(3, 7); err != nil {
+		t.Fatalf("ReClient GSet: %v", err)
+	}
+	if v := st.Global(3); v != 7 {
+		t.Fatalf("store global 3 = %d after ReClient gset, want 7", v)
+	}
+	if _, err := rc.DestStats(); err != nil {
+		t.Fatalf("ReClient DestStats: %v", err)
+	}
+}

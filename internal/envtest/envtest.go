@@ -29,6 +29,14 @@ type SbfSpec struct {
 	TSQ        bool
 	Backup     bool
 	RWndFree   int64
+	// The shared-state environment extension: link-queue occupancy and
+	// the cross-connection per-destination statistics (0 when no store
+	// is attached, matching the substrate).
+	LinkQueued int64
+	XRTT       int64
+	XLost      int64
+	XDelivered int64
+	XQuar      int64
 }
 
 // NewSubflow builds a subflow view. Zero-valued fields get sensible
@@ -58,6 +66,11 @@ func NewSubflow(s SbfSpec) *runtime.SubflowView {
 	v.Ints[runtime.SbfMSS] = s.MSS
 	v.Ints[runtime.SbfLostSkbs] = s.LostSkbs
 	v.Ints[runtime.SbfRTO] = s.RTO
+	v.Ints[runtime.SbfLinkQueued] = s.LinkQueued
+	v.Ints[runtime.SbfXRTT] = s.XRTT
+	v.Ints[runtime.SbfXLost] = s.XLost
+	v.Ints[runtime.SbfXDelivered] = s.XDelivered
+	v.Ints[runtime.SbfXQuar] = s.XQuar
 	v.Bools[runtime.SbfLossy] = s.Lossy
 	v.Bools[runtime.SbfTSQThrottled] = s.TSQ
 	v.Bools[runtime.SbfIsBackup] = s.Backup
@@ -194,7 +207,11 @@ func RandomEnv(rng *rand.Rand) *runtime.Env {
 	for i := range spec.Regs {
 		spec.Regs[i] = int64(rng.Intn(200) - 100)
 	}
-	return spec.Build()
+	env := spec.Build()
+	for i := range env.Globals {
+		env.Globals[i] = int64(rng.Intn(200) - 100)
+	}
+	return env
 }
 
 // ---- Random program generation ----
@@ -237,6 +254,9 @@ func (g *progGen) intExpr(depth int, sbfVar, pktVar string) string {
 		case 0:
 			return fmt.Sprintf("%d", g.rng.Intn(2000)-1000)
 		case 1:
+			if g.rng.Intn(4) == 0 {
+				return fmt.Sprintf("G%d", 1+g.rng.Intn(4))
+			}
 			return fmt.Sprintf("R%d", 1+g.rng.Intn(4))
 		case 2:
 			if sbfVar != "" {
@@ -261,7 +281,7 @@ func (g *progGen) intExpr(depth int, sbfVar, pktVar string) string {
 	case 1:
 		return fmt.Sprintf("-%s", g.intExpr(depth+1, sbfVar, pktVar))
 	case 2:
-		return g.pick("Q", "QU", "RQ") + ".COUNT"
+		return g.pick("Q", "QU", "RQ") + g.pick(".COUNT", ".BYTES")
 	case 3:
 		return "SUBFLOWS.COUNT"
 	case 4:
@@ -391,8 +411,12 @@ func (g *progGen) stmt(depth int) {
 		}
 		g.line(depth, "}")
 		g.depth--
-	case 3: // SET
-		g.line(depth, "SET(R%d, %s);", 1+g.rng.Intn(8), g.intExpr(0, "", ""))
+	case 3: // SET / GSET
+		if g.rng.Intn(4) == 0 {
+			g.line(depth, "GSET(G%d, %s);", 1+g.rng.Intn(8), g.intExpr(0, "", ""))
+		} else {
+			g.line(depth, "SET(R%d, %s);", 1+g.rng.Intn(8), g.intExpr(0, "", ""))
+		}
 	case 4: // PUSH pop
 		g.line(depth, "%s.PUSH(%s.POP());", g.sbfExpr(0), g.pick("Q", "QU", "RQ"))
 	case 5: // PUSH top

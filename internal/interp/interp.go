@@ -109,6 +109,16 @@ func (f *frame) qCount(qr queueRef) int64 {
 	return n
 }
 
+// qBytes sums the payload sizes of matching packets (queue.BYTES).
+func (f *frame) qBytes(qr queueRef) int64 {
+	var n int64
+	f.qEach(qr, func(p *runtime.PacketView) bool {
+		n += p.Ints[runtime.PktSize]
+		return true
+	})
+	return n
+}
+
 type frame struct {
 	info  *types.Info
 	env   *runtime.Env
@@ -158,6 +168,8 @@ func (f *frame) execStmt(s lang.Stmt) bool {
 		}
 	case *lang.SetStmt:
 		f.env.SetReg(s.Reg, f.eval(s.Value).i)
+	case *lang.GSetStmt:
+		f.env.SetGlobal(s.Reg, f.eval(s.Value).i)
 	case *lang.PushStmt:
 		target := f.eval(s.Target).sbf
 		pkt := f.eval(s.Arg).pkt
@@ -183,6 +195,8 @@ func (f *frame) eval(e lang.Expr) value {
 		return value{} // nil packet and nil subflow alike
 	case *lang.RegExpr:
 		return value{i: f.env.Reg(e.Index)}
+	case *lang.GlobalExpr:
+		return value{i: f.env.Global(e.Index)}
 	case *lang.Ident:
 		return f.slots[f.info.Uses[e].Slot]
 	case *lang.EntityExpr:
@@ -341,6 +355,8 @@ func (f *frame) evalMember(e *lang.MemberExpr) value {
 			return value{i: int64(len(recv.list))}
 		}
 		return value{i: f.qCount(recv.q)}
+	case types.MemberBytes:
+		return value{i: f.qBytes(recv.q)}
 	case types.MemberGet:
 		idx := f.eval(e.Args[0]).i
 		n := int64(len(recv.list))

@@ -77,6 +77,14 @@ type SetStmt struct {
 	Value  Expr
 }
 
+// GSetStmt is GSET(Gn, value); — writes a global register shared with
+// every connection attached to the same cross-connection state store.
+type GSetStmt struct {
+	SetPos Pos
+	Reg    int // 0-based global register index
+	Value  Expr
+}
+
 // PushStmt is target.PUSH(arg); — the only packet-moving side effect.
 type PushStmt struct {
 	Target Expr // subflow-typed
@@ -100,6 +108,7 @@ func (s *IfStmt) Position() Pos      { return s.IfPos }
 func (s *VarDecl) Position() Pos     { return s.VarPos }
 func (s *ForeachStmt) Position() Pos { return s.ForPos }
 func (s *SetStmt) Position() Pos     { return s.SetPos }
+func (s *GSetStmt) Position() Pos    { return s.SetPos }
 func (s *PushStmt) Position() Pos    { return s.PushAt }
 func (s *DropStmt) Position() Pos    { return s.DropPos }
 func (s *ReturnStmt) Position() Pos  { return s.RetPos }
@@ -109,6 +118,7 @@ func (*IfStmt) stmtNode()      {}
 func (*VarDecl) stmtNode()     {}
 func (*ForeachStmt) stmtNode() {}
 func (*SetStmt) stmtNode()     {}
+func (*GSetStmt) stmtNode()    {}
 func (*PushStmt) stmtNode()    {}
 func (*DropStmt) stmtNode()    {}
 func (*ReturnStmt) stmtNode()  {}
@@ -134,6 +144,12 @@ type NullLit struct {
 
 // RegExpr reads register Rn (0-based Index).
 type RegExpr struct {
+	Pos   Pos
+	Index int
+}
+
+// GlobalExpr reads shared global register Gn (0-based Index).
+type GlobalExpr struct {
 	Pos   Pos
 	Index int
 }
@@ -211,6 +227,7 @@ func (e *NumberLit) Position() Pos  { return e.Pos }
 func (e *BoolLit) Position() Pos    { return e.Pos }
 func (e *NullLit) Position() Pos    { return e.Pos }
 func (e *RegExpr) Position() Pos    { return e.Pos }
+func (e *GlobalExpr) Position() Pos { return e.Pos }
 func (e *Ident) Position() Pos      { return e.Pos }
 func (e *EntityExpr) Position() Pos { return e.Pos }
 func (e *UnaryExpr) Position() Pos  { return e.OpPos }
@@ -222,6 +239,7 @@ func (*NumberLit) exprNode()  {}
 func (*BoolLit) exprNode()    {}
 func (*NullLit) exprNode()    {}
 func (*RegExpr) exprNode()    {}
+func (*GlobalExpr) exprNode() {}
 func (*Ident) exprNode()      {}
 func (*EntityExpr) exprNode() {}
 func (*UnaryExpr) exprNode()  {}
@@ -297,6 +315,9 @@ func formatStmt(b *strings.Builder, s Stmt, depth int) {
 	case *SetStmt:
 		indent(b, depth)
 		fmt.Fprintf(b, "SET(R%d, %s);\n", s.Reg+1, FormatExpr(s.Value))
+	case *GSetStmt:
+		indent(b, depth)
+		fmt.Fprintf(b, "GSET(G%d, %s);\n", s.Reg+1, FormatExpr(s.Value))
 	case *PushStmt:
 		indent(b, depth)
 		fmt.Fprintf(b, "%s.PUSH(%s);\n", FormatExpr(s.Target), FormatExpr(s.Arg))
@@ -324,6 +345,8 @@ func FormatExpr(e Expr) string {
 		return "NULL"
 	case *RegExpr:
 		return fmt.Sprintf("R%d", e.Index+1)
+	case *GlobalExpr:
+		return fmt.Sprintf("G%d", e.Index+1)
 	case *Ident:
 		return e.Name
 	case *EntityExpr:

@@ -102,6 +102,15 @@ func isRegisterName(lit string) bool {
 	return lit[1] >= '1' && lit[1] <= '8'
 }
 
+// isGlobalRegisterName reports whether lit spells a shared global
+// register G1..G8.
+func isGlobalRegisterName(lit string) bool {
+	if len(lit) != 2 || lit[0] != 'G' {
+		return false
+	}
+	return lit[1] >= '1' && lit[1] <= '8'
+}
+
 // Next scans and returns the next token.
 func (l *Lexer) Next() Token {
 	l.skipSpaceAndComments()
@@ -119,6 +128,9 @@ func (l *Lexer) Next() Token {
 		lit := l.src[start:l.off]
 		if isRegisterName(lit) {
 			return Token{Kind: REG, Lit: lit, Pos: p}
+		}
+		if isGlobalRegisterName(lit) {
+			return Token{Kind: GREG, Lit: lit, Pos: p}
 		}
 		if k, ok := keywords[lit]; ok {
 			if k == NOT {

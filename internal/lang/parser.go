@@ -129,6 +129,8 @@ func (p *parser) parseStmt() Stmt {
 		return p.parseForeach()
 	case SET:
 		return p.parseSet()
+	case GSET:
+		return p.parseGSet()
 	case DROP:
 		return p.parseDrop()
 	case RETURN:
@@ -203,6 +205,21 @@ func (p *parser) parseSet() Stmt {
 	p.expect(RPAREN)
 	p.expect(SEMICOLON)
 	return &SetStmt{SetPos: setTok.Pos, Reg: idx, Value: val}
+}
+
+func (p *parser) parseGSet() Stmt {
+	setTok := p.expect(GSET)
+	p.expect(LPAREN)
+	reg := p.expect(GREG)
+	idx := 0
+	if len(reg.Lit) == 2 {
+		idx = int(reg.Lit[1] - '1')
+	}
+	p.expect(COMMA)
+	val := p.parseExpr()
+	p.expect(RPAREN)
+	p.expect(SEMICOLON)
+	return &GSetStmt{SetPos: setTok.Pos, Reg: idx, Value: val}
 }
 
 func (p *parser) parseDrop() Stmt {
@@ -366,6 +383,9 @@ func (p *parser) parsePrimary() Expr {
 	case REG:
 		p.next()
 		return &RegExpr{Pos: t.Pos, Index: int(t.Lit[1] - '1')}
+	case GREG:
+		p.next()
+		return &GlobalExpr{Pos: t.Pos, Index: int(t.Lit[1] - '1')}
 	case IDENT:
 		p.next()
 		return &Ident{Pos: t.Pos, Name: t.Lit}

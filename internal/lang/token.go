@@ -23,6 +23,7 @@ const (
 	IDENT  // sbf, skb, ...
 	NUMBER // 123
 	REG    // R1 .. R8
+	GREG   // G1 .. G8 (shared global registers)
 
 	// Punctuation.
 	LPAREN    // (
@@ -60,6 +61,7 @@ const (
 	FOREACH // FOREACH
 	IN      // IN
 	SET     // SET
+	GSET    // GSET (write a shared global register)
 	DROP    // DROP
 	RETURN  // RETURN
 	TRUE    // TRUE
@@ -79,6 +81,7 @@ var kindNames = map[Kind]string{
 	IDENT:     "IDENT",
 	NUMBER:    "NUMBER",
 	REG:       "REG",
+	GREG:      "GREG",
 	LPAREN:    "(",
 	RPAREN:    ")",
 	LBRACE:    "{",
@@ -108,6 +111,7 @@ var kindNames = map[Kind]string{
 	FOREACH:   "FOREACH",
 	IN:        "IN",
 	SET:       "SET",
+	GSET:      "GSET",
 	DROP:      "DROP",
 	RETURN:    "RETURN",
 	TRUE:      "TRUE",
@@ -137,6 +141,7 @@ var keywords = map[string]Kind{
 	"FOREACH":  FOREACH,
 	"IN":       IN,
 	"SET":      SET,
+	"GSET":     GSET,
 	"DROP":     DROP,
 	"RETURN":   RETURN,
 	"TRUE":     TRUE,
@@ -160,7 +165,7 @@ func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
 // Token is a lexical token with its source position and literal text.
 type Token struct {
 	Kind Kind
-	Lit  string // literal text for IDENT, NUMBER, REG
+	Lit  string // literal text for IDENT, NUMBER, REG, GREG
 	Pos  Pos
 }
 

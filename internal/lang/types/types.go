@@ -72,6 +72,7 @@ const (
 	MemberEmpty                   // list/queue.EMPTY -> bool
 	MemberCount                   // list/queue.COUNT -> int
 	MemberGet                     // subflowList.GET(int) -> subflow
+	MemberBytes                   // queue.BYTES -> int (sum of visible packet sizes)
 )
 
 // Member is the checker's resolution of one MemberExpr, consumed by all
@@ -116,6 +117,10 @@ type Info struct {
 	// touches, for introspection and the API layer.
 	RegsRead    [runtime.NumRegisters]bool
 	RegsWritten [runtime.NumRegisters]bool
+	// GlobalsRead/GlobalsWritten record which shared global registers
+	// the program touches (G1..G8 reads, GSET writes).
+	GlobalsRead    [runtime.NumGlobals]bool
+	GlobalsWritten [runtime.NumGlobals]bool
 }
 
 // TypeOf returns the checked type of e (Invalid if unknown).
@@ -264,6 +269,16 @@ func (c *checker) checkStmt(s lang.Stmt) {
 		if t != Int && t != Invalid {
 			c.errorf(s.Value.Position(), "SET value must be int, got %s", t)
 		}
+	case *lang.GSetStmt:
+		if s.Reg < 0 || s.Reg >= runtime.NumGlobals {
+			c.errorf(s.SetPos, "global register index out of range")
+		} else {
+			c.info.GlobalsWritten[s.Reg] = true
+		}
+		t := c.checkExpr(s.Value, false)
+		if t != Int && t != Invalid {
+			c.errorf(s.Value.Position(), "GSET value must be int, got %s", t)
+		}
 	case *lang.PushStmt:
 		tt := c.checkExpr(s.Target, false)
 		if tt != Subflow && tt != Invalid {
@@ -309,6 +324,11 @@ func (c *checker) typeExpr(e lang.Expr, effectRoot bool) Type {
 	case *lang.RegExpr:
 		if e.Index >= 0 && e.Index < runtime.NumRegisters {
 			c.info.RegsRead[e.Index] = true
+		}
+		return Int
+	case *lang.GlobalExpr:
+		if e.Index >= 0 && e.Index < runtime.NumGlobals {
+			c.info.GlobalsRead[e.Index] = true
 		}
 		return Int
 	case *lang.Ident:
@@ -493,6 +513,13 @@ func (c *checker) typeMember(e *lang.MemberExpr, effectRoot bool) Type {
 			m.Kind = MemberTop
 			m.Result = Packet
 			return Packet
+		case "BYTES":
+			if e.HasParens {
+				return fail("BYTES is a property, not a call")
+			}
+			m.Kind = MemberBytes
+			m.Result = Int
+			return Int
 		case "POP":
 			if !e.HasParens || len(e.Args) != 0 {
 				return fail("POP takes no arguments")

@@ -7,6 +7,7 @@ import (
 	"progmp/internal/netsim"
 	"progmp/internal/obs"
 	"progmp/internal/runtime"
+	"progmp/internal/xstate"
 )
 
 // Scheduler is the execution interface of the scheduling block: one
@@ -44,6 +45,13 @@ type Config struct {
 	// scheduling becomes purely ACK-clocked (ablation of the trigger
 	// model, Fig. 4).
 	DisableTSQWake bool
+	// Store attaches a cross-connection shared-state store: schedulers
+	// gain the global registers G1..G8 and the per-destination path
+	// statistics (XRTT, XLOST, XDELIVERED, XQUAR), and the connection
+	// publishes its own RTT/loss/delivery observations keyed by subflow
+	// name. Nil keeps the connection isolated — globals stay
+	// connection-local and X-properties read 0.
+	Store *xstate.Store
 }
 
 func (c *Config) applyDefaults() {
@@ -86,6 +94,7 @@ type Conn struct {
 
 	sched Scheduler
 	regs  [runtime.NumRegisters]int64
+	store *xstate.Store
 
 	subflows []*Subflow
 	receiver *Receiver
@@ -176,8 +185,12 @@ func NewConn(eng *netsim.Engine, cfg Config) *Conn {
 	}
 	c.arena = runtime.NewArena(&c.regs)
 	c.receiver = newReceiver(c, cfg.ReceiverMode, cfg.RcvBuf)
+	c.store = cfg.Store
 	return c
 }
+
+// Store returns the attached shared-state store (nil when detached).
+func (c *Conn) Store() *xstate.Store { return c.store }
 
 // Engine returns the simulation engine.
 func (c *Conn) Engine() *netsim.Engine { return c.eng }
@@ -338,6 +351,16 @@ func (c *Conn) AddSubflow(cfg SubflowConfig) (*Subflow, error) {
 		cwnd:          initialCwnd,
 		ssthresh:      1 << 20, // effectively unbounded until first loss
 		highestSacked: -1,
+		destID:        -1,
+	}
+	if c.store != nil {
+		// Destination identity is the subflow name: connections sharing a
+		// path (same name) aggregate their observations into one record.
+		name := cfg.Name
+		if name == "" {
+			name = fmt.Sprintf("sbf%d", s.id)
+		}
+		s.destID = c.store.DestID(name)
 	}
 	c.subflows = append(c.subflows, s)
 	c.receiver.addSubflow()
@@ -611,6 +634,14 @@ func (c *Conn) buildEnv() *runtime.Env {
 	sameClock := c.snapValid && now == c.lastNow
 	rwndFree := c.rwndFreeBytes()
 
+	// One epoch-consistent store snapshot per execution: every X-property
+	// and global read below sees the same coherent version. The load is a
+	// single atomic pointer read — no locks, no allocations.
+	var snap *xstate.Snapshot
+	if c.store != nil {
+		snap = c.store.Load()
+	}
+
 	// Subflow views are small and volatile (cwnd, RTT, in-flight move
 	// with every event), so they are always refilled.
 	n := 0
@@ -645,6 +676,15 @@ func (c *Conn) buildEnv() *runtime.Env {
 		v.Bools[runtime.SbfLossy] = s.inRecovery
 		v.Bools[runtime.SbfTSQThrottled] = s.tsqThrottled()
 		v.Bools[runtime.SbfIsBackup] = s.backup
+		v.Ints[runtime.SbfLinkQueued] = int64(s.link.Fwd.QueuedBytes())
+		if snap != nil {
+			if d := snap.Stats(s.destID); d != nil {
+				v.Ints[runtime.SbfXRTT] = d.SRTTUS
+				v.Ints[runtime.SbfXLost] = d.Lost
+				v.Ints[runtime.SbfXDelivered] = d.Delivered
+				v.Ints[runtime.SbfXQuar] = d.Quarantines
+			}
+		}
 	}
 
 	c.qSrc = pktSource{pkts: c.sendQ.pkts, now: now}
@@ -676,7 +716,14 @@ func (c *Conn) buildEnv() *runtime.Env {
 	c.snapValid = true
 
 	c.arena.BeginExec()
-	return c.arena.Env()
+	env := c.arena.Env()
+	if snap != nil {
+		// Seed the execution-local global file from the store snapshot.
+		// Without a store the arena array persists across executions, so
+		// globals degrade to connection-local registers.
+		*env.Globals = snap.Globals
+	}
+	return env
 }
 
 // popEntry records one committed POP for the restore pass.
@@ -763,6 +810,15 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 		c.queueList(e.q).insertBySeq(e.pkt)
 	}
 	c.popScratch = pops[:0]
+	// Publish the execution's GSET writes as one batched epoch. Only the
+	// dirty registers land, so concurrent connections writing disjoint
+	// globals do not clobber each other.
+	if c.store != nil {
+		if dirty := env.DirtyGlobals(); dirty != 0 {
+			c.store.SetGlobals(dirty, env.Globals)
+			env.ClearDirtyGlobals()
+		}
+	}
 	return progress
 }
 

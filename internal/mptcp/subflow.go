@@ -93,6 +93,10 @@ type Subflow struct {
 	// olia is per-subflow state for the OLIA congestion control.
 	olia oliaState
 
+	// destID is the shared-state store's interned destination id for
+	// this subflow's path (-1 when no store is attached).
+	destID int
+
 	// Stats.
 	BytesSent       int64
 	PktsSent        int64
@@ -367,6 +371,9 @@ func (s *Subflow) detectLosses() {
 func (s *Subflow) markLost(rec *txRecord, isRTO bool) {
 	rec.lost = true
 	s.trace(obs.EvLoss, rec.pkt.Seq, rec.sbfSeq, 0)
+	if st := s.conn.store; st != nil {
+		st.RecordLoss(s.destID, 1)
+	}
 	first := false
 	if !s.inRecovery {
 		s.inRecovery = true
@@ -443,6 +450,12 @@ func (s *Subflow) onRTO() {
 	s.RTOs++
 	s.mRTOs.Add(1)
 	s.trace(obs.EvRTO, s.outstanding[0].pkt.Seq, int64(s.rtoBackoff), 0)
+	// An RTO is the strongest path-degradation signal the sender sees;
+	// publish it as a quarantine signal so other connections steering by
+	// XQUAR avoid this destination.
+	if st := s.conn.store; st != nil {
+		st.RecordQuarantine(s.destID)
+	}
 	s.rtoBackoff++
 	s.inRecovery = false // force a fresh congestion response
 	oldest := s.outstanding[0]
@@ -488,6 +501,9 @@ func (s *Subflow) rttSample(sample time.Duration) {
 	s.rttCount++
 	s.rttSum += sample
 	s.mRTT.Observe(sample.Microseconds())
+	if st := s.conn.store; st != nil {
+		st.RecordRTT(s.destID, sample.Microseconds())
+	}
 	s.rto = s.srtt + 4*s.rttvar
 	if s.rto < s.conn.cfg.MinRTO {
 		s.rto = s.conn.cfg.MinRTO
@@ -499,6 +515,9 @@ func (s *Subflow) recordDelivered(bytes int) {
 	now := s.conn.eng.Now()
 	s.rateSamples = append(s.rateSamples, rateSample{at: now, bytes: bytes})
 	s.pruneRateSamples(now)
+	if st := s.conn.store; st != nil {
+		st.RecordDelivered(s.destID, int64(bytes))
+	}
 }
 
 func (s *Subflow) pruneRateSamples(now time.Duration) {

@@ -25,6 +25,7 @@ package runtime
 type Arena struct {
 	env      Env
 	regs     [NumRegisters]int64 // used when the caller passes nil regs
+	globals  [NumGlobals]int64   // execution-local copy of the shared globals
 	sbfStore []SubflowView
 	sbfPtrs  []*SubflowView
 	queues   [3]Queue
@@ -38,6 +39,7 @@ func NewArena(regs *[NumRegisters]int64) *Arena {
 		regs = &a.regs
 	}
 	a.env.Regs = regs
+	a.env.Globals = &a.globals
 	a.env.SendQ = &a.queues[QueueSend]
 	a.env.UnackedQ = &a.queues[QueueUnacked]
 	a.env.ReinjectQ = &a.queues[QueueReinject]

@@ -228,7 +228,13 @@ type Env struct {
 	UnackedQ     *Queue
 	ReinjectQ    *Queue
 	Regs         *[NumRegisters]int64
-	Actions      []Action
+	// Globals is the execution-local copy of the shared global register
+	// file (G1..G8). The substrate fills it from a store snapshot before
+	// an execution and publishes the registers marked in the dirty mask
+	// back to the store afterwards; the scheduler itself only ever
+	// touches this local array, keeping the hot path allocation-free.
+	Globals *[NumGlobals]int64
+	Actions []Action
 	// Site is the current decision site; back-ends set it immediately
 	// before emitting an action so the recorded Action carries the
 	// program location (source line or bytecode pc) that decided it.
@@ -240,6 +246,10 @@ type Env struct {
 	// PushCount then recounts once and re-caches.
 	pushes   int
 	pushSeen int
+
+	// dirtyGlobals has bit i set when global register i was written this
+	// execution; the substrate batches exactly those back to the store.
+	dirtyGlobals uint32
 }
 
 // NewEnv assembles an environment. Any nil queue is replaced by an
@@ -263,6 +273,7 @@ func NewEnv(subflows []*SubflowView, sendQ, unackedQ, reinjectQ *Queue, regs *[N
 		UnackedQ:     unackedQ,
 		ReinjectQ:    reinjectQ,
 		Regs:         regs,
+		Globals:      new([NumGlobals]int64),
 	}
 }
 
@@ -275,6 +286,7 @@ func (e *Env) Reset() {
 	e.Site = 0
 	e.pushes = 0
 	e.pushSeen = 0
+	e.dirtyGlobals = 0
 	e.SendQ.Reset()
 	e.UnackedQ.Reset()
 	e.ReinjectQ.Reset()
@@ -311,6 +323,36 @@ func (e *Env) SetReg(i int, v int64) {
 	}
 	e.Regs[i] = v
 }
+
+// Global reads global register i (0-based) from the execution-local
+// copy. Out-of-range reads yield 0; an environment without a globals
+// array reads all-zero.
+func (e *Env) Global(i int) int64 {
+	if i < 0 || i >= NumGlobals || e.Globals == nil {
+		return 0
+	}
+	return e.Globals[i]
+}
+
+// SetGlobal writes global register i in the execution-local copy and
+// marks it dirty. Like SetReg, the write is immediately visible to
+// subsequent reads in the same execution; cross-connection visibility
+// happens when the substrate publishes the dirty set to the store.
+func (e *Env) SetGlobal(i int, v int64) {
+	if i < 0 || i >= NumGlobals || e.Globals == nil {
+		return
+	}
+	e.Globals[i] = v
+	e.dirtyGlobals |= 1 << uint(i)
+}
+
+// DirtyGlobals returns the bitmask of global registers written this
+// execution (bit i ↔ register i).
+func (e *Env) DirtyGlobals() uint32 { return e.dirtyGlobals }
+
+// ClearDirtyGlobals resets the dirty mask after the substrate published
+// the writes.
+func (e *Env) ClearDirtyGlobals() { e.dirtyGlobals = 0 }
 
 // Pop marks p consumed from queue id and records the action. Popping a
 // nil or already-consumed packet is a graceful no-op returning false.

@@ -17,6 +17,10 @@ import "fmt"
 // scheduler instance keeps across executions (§3.3).
 const NumRegisters = 8
 
+// NumGlobals is the number of global registers (G1..G8) shared across
+// every connection attached to the same cross-connection state store.
+const NumGlobals = 8
+
 // MaxSubflows bounds the number of concurrently tracked subflows. Packet
 // views track per-subflow transmission with a bitmask indexed by subflow ID.
 const MaxSubflows = 64
@@ -61,6 +65,11 @@ const (
 	SbfID                                 // stable subflow identifier
 	SbfLostSkbs                           // segments currently marked lost
 	SbfRTO                                // retransmission timeout (µs)
+	SbfLinkQueued                         // bytes backlogged in the path's link transmit queue
+	SbfXRTT                               // cross-connection smoothed RTT for this destination (µs); 0 when unknown
+	SbfXLost                              // cross-connection loss events observed on this destination
+	SbfXDelivered                         // cross-connection delivered bytes on this destination
+	SbfXQuar                              // cross-connection quarantine signals recorded for this destination
 	sbfIntPropCount
 )
 
@@ -79,6 +88,11 @@ var sbfIntPropNames = [...]string{
 	SbfID:           "ID",
 	SbfLostSkbs:     "LOST_SKBS",
 	SbfRTO:          "RTO",
+	SbfLinkQueued:   "LINK_QUEUED",
+	SbfXRTT:         "XRTT",
+	SbfXLost:        "XLOST",
+	SbfXDelivered:   "XDELIVERED",
+	SbfXQuar:        "XQUAR",
 }
 
 // String returns the language-level spelling of the property.

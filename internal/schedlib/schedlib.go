@@ -451,6 +451,59 @@ IF (!Q.EMPTY) {
 }
 `
 
+// QAware is the occupancy-aware scheduler enabled by the shared-state
+// subsystem's environment extension: it ranks available subflows by a
+// composite of measured RTT and LINK_QUEUED, the bytes currently
+// sitting in the path's transmit queue, so a path whose queue is
+// filling loses attractiveness *before* its RTT estimate catches up.
+// Queued bytes are weighted at (R1 + 1) µs-equivalents per byte — with
+// R1 unset one queued byte counts like one microsecond of RTT (a path
+// draining ~1 MB/s breaks even), and the application can raise R1 to
+// penalize occupancy harder.
+const QAware = ReinjectPrelude + `
+IF (!Q.EMPTY) {
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    IF (!avail.EMPTY) {
+        avail.MIN(sbf => sbf.RTT + sbf.LINK_QUEUED * (R1 + 1)).PUSH(Q.POP());
+    }
+}
+`
+
+// JointFlow is the joint-flow scheduler over the cross-connection
+// shared-state store ("more than the sum of its parts"): it consults
+// the per-destination statistics other connections have fed — XQUAR
+// (quarantine/RTO signals), XLOST (loss events) and XRTT (the shared
+// smoothed RTT) — and steers traffic away from paths the fleet has
+// observed degrading, before this connection has sent a single packet
+// on them. Paths with any quarantine signal or more than R1 + 8 shared
+// loss events are shunned as long as any healthy destination exists —
+// even one that is momentarily cwnd-limited: in that case the
+// scheduler declines to push and lets the ACK clock re-trigger it,
+// instead of spilling onto the path the fleet flagged (backup-path
+// semantics, §3.4). Only when every subflow is degraded does it fall
+// back to minRTT over the availability filter rather than starve.
+// Among healthy paths the rank blends the connection's own RTT with
+// twice the shared estimate, so a fresh connection inherits the
+// fleet's view and an unobserved path (XRTT = 0) ranks by plain RTT.
+// Without an attached store every X-property reads 0, every subflow
+// counts as healthy, and the scheduler degrades to exactly minRTT.
+const JointFlow = ReinjectPrelude + `
+IF (!Q.EMPTY) {
+    VAR avail = SUBFLOWS.FILTER(sbf => !sbf.TSQ_THROTTLED AND !sbf.LOSSY
+        AND sbf.CWND > sbf.SKBS_IN_FLIGHT + sbf.QUEUED);
+    VAR healthy = avail.FILTER(sbf => sbf.XQUAR == 0 AND sbf.XLOST < R1 + 8);
+    IF (!healthy.EMPTY) {
+        healthy.MIN(sbf => sbf.RTT + 2 * sbf.XRTT).PUSH(Q.POP());
+    } ELSE {
+        VAR anyHealthy = SUBFLOWS.FILTER(sbf => sbf.XQUAR == 0 AND sbf.XLOST < R1 + 8);
+        IF (anyHealthy.EMPTY AND !avail.EMPTY) {
+            avail.MIN(sbf => sbf.RTT).PUSH(Q.POP());
+        }
+    }
+}
+`
+
 // All maps registry names to specifications for bulk loading.
 var All = map[string]string{
 	"minRTT":                 MinRTT,
@@ -470,6 +523,8 @@ var All = map[string]string{
 	"deadlineAware":          DeadlineAware,
 	"cwndRelaxTail":          CwndRelaxTail,
 	"tlsAware":               TLSAware,
+	"qaware":                 QAware,
+	"jointFlow":              JointFlow,
 }
 
 // Register conventions as named constants for API users.

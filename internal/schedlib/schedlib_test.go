@@ -488,6 +488,89 @@ IF (unsent != NULL) { SET(R8, 1); }`, env2)
 	}
 }
 
+func TestQAwarePenalizesOccupiedLinks(t *testing.T) {
+	// Subflow 0 has the lower RTT but a full transmit queue; with the
+	// occupancy term each queued byte counts like a microsecond, so the
+	// emptier, slower path wins.
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{
+			{ID: 0, RTT: 10000, Cwnd: 10, LinkQueued: 64000},
+			{ID: 1, RTT: 40000, Cwnd: 10, LinkQueued: 0},
+		},
+		Q: []envtest.PktSpec{{Seq: 0}},
+	}.Build()
+	exec(t, QAware, env)
+	ps := pushes(env)
+	if len(ps) != 1 || ps[0].Subflow != env.SubflowViews[1].Handle {
+		t.Fatalf("qaware must steer around the occupied link: %v", env.Actions)
+	}
+	// With empty queues it degrades to minRTT.
+	env2 := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{
+			{ID: 0, RTT: 10000, Cwnd: 10},
+			{ID: 1, RTT: 40000, Cwnd: 10},
+		},
+		Q: []envtest.PktSpec{{Seq: 0}},
+	}.Build()
+	exec(t, QAware, env2)
+	if ps := pushes(env2); len(ps) != 1 || ps[0].Subflow != env2.SubflowViews[0].Handle {
+		t.Fatalf("qaware with empty queues must pick minRTT: %v", env2.Actions)
+	}
+}
+
+func TestJointFlowShunsDegradedDestinations(t *testing.T) {
+	// Another connection observed quarantines on the fast path: shun it.
+	env := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{
+			{ID: 0, RTT: 10000, Cwnd: 10, XQuar: 1},
+			{ID: 1, RTT: 40000, Cwnd: 10},
+		},
+		Q: []envtest.PktSpec{{Seq: 0}},
+	}.Build()
+	exec(t, JointFlow, env)
+	ps := pushes(env)
+	if len(ps) != 1 || ps[0].Subflow != env.SubflowViews[1].Handle {
+		t.Fatalf("jointFlow must avoid the quarantined destination: %v", env.Actions)
+	}
+	// Shared loss events beyond the R1+8 bound shun the path too.
+	env2 := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{
+			{ID: 0, RTT: 10000, Cwnd: 10, XLost: 50},
+			{ID: 1, RTT: 40000, Cwnd: 10},
+		},
+		Q: []envtest.PktSpec{{Seq: 0}},
+	}.Build()
+	exec(t, JointFlow, env2)
+	if ps := pushes(env2); len(ps) != 1 || ps[0].Subflow != env2.SubflowViews[1].Handle {
+		t.Fatalf("jointFlow must avoid the lossy destination: %v", env2.Actions)
+	}
+	// Every destination degraded → fall back to minRTT over avail
+	// rather than starving.
+	env3 := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{
+			{ID: 0, RTT: 10000, Cwnd: 10, XQuar: 2},
+			{ID: 1, RTT: 40000, Cwnd: 10, XQuar: 1},
+		},
+		Q: []envtest.PktSpec{{Seq: 0}},
+	}.Build()
+	exec(t, JointFlow, env3)
+	if ps := pushes(env3); len(ps) != 1 || ps[0].Subflow != env3.SubflowViews[0].Handle {
+		t.Fatalf("jointFlow with no healthy path must fall back to minRTT: %v", env3.Actions)
+	}
+	// Without a store (all X-properties 0) it behaves like minRTT.
+	env4 := envtest.EnvSpec{
+		Subflows: []envtest.SbfSpec{
+			{ID: 0, RTT: 10000, Cwnd: 10},
+			{ID: 1, RTT: 40000, Cwnd: 10},
+		},
+		Q: []envtest.PktSpec{{Seq: 0}},
+	}.Build()
+	exec(t, JointFlow, env4)
+	if ps := pushes(env4); len(ps) != 1 || ps[0].Subflow != env4.SubflowViews[0].Handle {
+		t.Fatalf("jointFlow without shared state must degrade to minRTT: %v", env4.Actions)
+	}
+}
+
 func TestTLSAwareKeepsRecordsCoherent(t *testing.T) {
 	sched := core.MustLoad("tls", TLSAware, core.BackendCompiled)
 	var regs [runtime.NumRegisters]int64

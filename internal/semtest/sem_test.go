@@ -251,3 +251,32 @@ IF (!Q.EMPTY) {
 	})
 	expect(t, got, "POP2(RQ) PUSH2@1 POP9(Q) PUSH9@0")
 }
+
+func TestGlobalRegistersAndQueueBytes(t *testing.T) {
+	// G1..G8 read the execution-local copy of the shared global file;
+	// GSET writes it and marks the register dirty for publication.
+	// Q.BYTES sums the sizes of visible matching packets.
+	src := `
+GSET(G1, Q.BYTES + G2);
+SET(R1, G1);
+SET(R2, Q.FILTER(p => p.SIZE > 150).BYTES);`
+	_, env := run(t, src, func() *runtime.Env {
+		e := envtest.EnvSpec{
+			Q: []envtest.PktSpec{{Seq: 0, Size: 100}, {Seq: 1, Size: 200}},
+		}.Build()
+		e.Globals[1] = 7 // preset G2 without dirtying it
+		return e
+	})
+	if got := env.Global(0); got != 307 {
+		t.Errorf("G1 = %d, want 307 (Q.BYTES 300 + G2 7)", got)
+	}
+	if got := env.Reg(0); got != 307 {
+		t.Errorf("R1 = %d, want 307 (reads back the local GSET)", got)
+	}
+	if got := env.Reg(1); got != 200 {
+		t.Errorf("R2 = %d, want 200 (filtered BYTES)", got)
+	}
+	if got := env.DirtyGlobals(); got != 1 {
+		t.Errorf("dirty mask = %b, want only G1 dirty", got)
+	}
+}

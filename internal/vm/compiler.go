@@ -184,6 +184,9 @@ func (c *comp) stmt(s lang.Stmt) {
 	case *lang.SetStmt:
 		v := c.intExpr(s.Value)
 		c.emit(OpStoreReg, 0, v, 0, int64(s.Reg))
+	case *lang.GSetStmt:
+		v := c.intExpr(s.Value)
+		c.emit(OpStoreGlobal, 0, v, 0, int64(s.Reg))
 	case *lang.PushStmt:
 		target := c.sbfExpr(s.Target)
 		arg := c.pktExpr(s.Arg)
@@ -287,6 +290,10 @@ func (c *comp) intExpr(e lang.Expr) int {
 		dst := c.newv()
 		c.emit(OpLoadReg, dst, 0, 0, int64(e.Index))
 		return dst
+	case *lang.GlobalExpr:
+		dst := c.newv()
+		c.emit(OpLoadGlobal, dst, 0, 0, int64(e.Index))
+		return dst
 	case *lang.Ident:
 		return c.syms[c.info.Uses[e]]
 	case *lang.UnaryExpr:
@@ -336,6 +343,8 @@ func (c *comp) intExpr(e lang.Expr) int {
 				return dst
 			}
 			return c.queueCount(e.Recv)
+		case types.MemberBytes:
+			return c.queueBytes(e.Recv)
 		}
 	}
 	panic(fmt.Sprintf("vm: unhandled int expression %s", lang.FormatExpr(e)))
@@ -811,6 +820,18 @@ func (c *comp) queueCount(recv lang.Expr) int {
 	one := c.imm(1)
 	c.queueScan(recv, func(int) []int {
 		c.emit(OpAdd, n, n, one, 0)
+		return nil
+	})
+	return n
+}
+
+// queueBytes returns a vreg holding the byte total of matching packets.
+func (c *comp) queueBytes(recv lang.Expr) int {
+	n := c.imm(0)
+	c.queueScan(recv, func(pkt int) []int {
+		sz := c.newv()
+		c.emit(OpPktProp, sz, pkt, 0, int64(runtime.PktSize))
+		c.emit(OpAdd, n, n, sz, 0)
 		return nil
 	})
 	return n

@@ -68,6 +68,10 @@ const (
 	OpLoadReg  // dst = Regs[K]
 	OpStoreReg // Regs[K] = a
 
+	// Shared global register file (G1..G8), execution-local copy.
+	OpLoadGlobal  // dst = Globals[K]
+	OpStoreGlobal // Globals[K] = a (marks the register dirty for publication)
+
 	// Environment queries.
 	OpSbfCount    // dst = number of subflows
 	OpSbfRef      // dst = subflow handle for index a (no bounds check; compiler guards)
@@ -147,6 +151,8 @@ var opNames = [...]string{
 	OpReturn:      "return",
 	OpLoadReg:     "loadreg",
 	OpStoreReg:    "storereg",
+	OpLoadGlobal:  "loadglobal",
+	OpStoreGlobal: "storeglobal",
 	OpSbfCount:    "sbfcount",
 	OpSbfRef:      "sbfref",
 	OpSbfIntProp:  "sbfprop",
@@ -212,9 +218,9 @@ func (in Instr) String() string {
 		return fmt.Sprintf("%s r%d, r%d, %+d", in.Op, in.A, in.B, in.K)
 	case OpJsbz, OpJsbnz:
 		return fmt.Sprintf("%s r%d, #%d, %+d", in.Op, in.A, in.B, in.K)
-	case OpLoadReg, OpLoadSlot:
+	case OpLoadReg, OpLoadSlot, OpLoadGlobal:
 		return fmt.Sprintf("%s r%d, [%d]", in.Op, in.Dst, in.K)
-	case OpStoreReg, OpStoreSlot:
+	case OpStoreReg, OpStoreSlot, OpStoreGlobal:
 		return fmt.Sprintf("%s [%d], r%d", in.Op, in.K, in.A)
 	case OpSbfCount:
 		return fmt.Sprintf("%s r%d", in.Op, in.Dst)

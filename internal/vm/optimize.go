@@ -751,7 +751,7 @@ func coalesceMovs(ir []irIns) bool {
 // flow and OpReturn have effects beyond dst.
 func sideEffectFree(op Op) bool {
 	switch op {
-	case OpPop, OpPush, OpDrop, OpStoreReg, OpStoreSlot, OpReturn:
+	case OpPop, OpPush, OpDrop, OpStoreReg, OpStoreGlobal, OpStoreSlot, OpReturn:
 		return false
 	}
 	return !isJump(op)

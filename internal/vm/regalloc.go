@@ -61,6 +61,8 @@ var roles = map[Op]opRoles{
 	OpReturn:      {},
 	OpLoadReg:     {writesDst: true},
 	OpStoreReg:    {readsA: true},
+	OpLoadGlobal:  {writesDst: true},
+	OpStoreGlobal: {readsA: true},
 	OpSbfCount:    {writesDst: true},
 	OpSbfRef:      {readsA: true, writesDst: true},
 	OpSbfIntProp:  {readsA: true, writesDst: true},

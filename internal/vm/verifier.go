@@ -60,6 +60,10 @@ func Verify(p *Program) error {
 			if in.K < 0 || in.K >= runtime.NumRegisters {
 				return fmt.Errorf("instruction %d (%s): ProgMP register index out of range", i, in)
 			}
+		case OpLoadGlobal, OpStoreGlobal:
+			if in.K < 0 || in.K >= runtime.NumGlobals {
+				return fmt.Errorf("instruction %d (%s): global register index out of range", i, in)
+			}
 		case OpSbfIntProp:
 			if in.K < 0 || int(in.K) >= runtime.NumSubflowIntProps {
 				return fmt.Errorf("instruction %d (%s): subflow property out of range", i, in)

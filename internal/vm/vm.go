@@ -232,6 +232,10 @@ func (p *Program) Exec(env *runtime.Env) error {
 			regs[in.Dst] = env.Reg(int(in.K))
 		case OpStoreReg:
 			env.SetReg(int(in.K), regs[in.A])
+		case OpLoadGlobal:
+			regs[in.Dst] = env.Global(int(in.K))
+		case OpStoreGlobal:
+			env.SetGlobal(int(in.K), regs[in.A])
 		case OpSbfCount:
 			regs[in.Dst] = int64(len(env.SubflowViews))
 		case OpSbfRef:

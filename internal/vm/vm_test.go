@@ -323,6 +323,13 @@ func TestDifferentialThreeWay(t *testing.T) {
 		if *envI.Regs != *envV.Regs {
 			t.Fatalf("vm register divergence on:\n%s\ninterp: %v\nvm:     %v", src, *envI.Regs, *envV.Regs)
 		}
+		if *envI.Globals != *envV.Globals || envI.DirtyGlobals() != envV.DirtyGlobals() {
+			t.Fatalf("vm global divergence on:\n%s\ninterp: %v (dirty %b)\nvm:     %v (dirty %b)",
+				src, *envI.Globals, envI.DirtyGlobals(), *envV.Globals, envV.DirtyGlobals())
+		}
+		if *envI.Globals != *envC.Globals || envI.DirtyGlobals() != envC.DirtyGlobals() {
+			t.Fatalf("compiled closures global divergence on:\n%s", src)
+		}
 	}
 }
 

@@ -1,0 +1,307 @@
+// Package xstate is the cross-connection shared-state store: a small
+// in-memory database that MPTCP connections on the same host consult
+// and feed while scheduling. It holds two kinds of state:
+//
+//   - global registers G1..G8, shared by every attached connection —
+//     the cross-connection analogue of the per-connection registers
+//     R1..R8 (§3.3 of the paper), addressable from scheduler programs
+//     (GSET / G1..G8) and over the control plane;
+//   - per-destination path statistics — smoothed RTT, loss events,
+//     delivered bytes, and quarantine signals — keyed by path identity
+//     (the subflow/link name), so a connection can steer around a path
+//     that *other* connections have observed degrading ("More Than The
+//     Sum Of Its Parts": sharing path state across MPTCP connections).
+//
+// Concurrency model: RCU-style epoch snapshots. All state lives in an
+// immutable Snapshot published through an atomic pointer. Writers
+// serialize on a mutex, clone the current snapshot, mutate the clone,
+// bump the epoch, and publish with a single atomic store. Readers —
+// the scheduler hot path among them — perform one atomic load and then
+// read plain memory: wait-free, zero allocations, and torn reads are
+// structurally impossible because a snapshot is never mutated after
+// publication. Within one snapshot every value belongs to the same
+// epoch, so a scheduler execution sees a coherent cross-connection
+// view, exactly like its per-connection environment snapshot.
+//
+// Destination names are interned to dense indices at subflow-establish
+// time (DestID); the hot path addresses statistics by index, never by
+// string, so feeding the environment costs array reads only.
+package xstate
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"progmp/internal/obs"
+	"progmp/internal/runtime"
+)
+
+// rttAlpha is the EWMA weight (1/8, RFC 6298 style) used when merging
+// RTT samples from different connections into the shared estimate.
+const rttAlpha = 8
+
+// DestStats is the per-destination statistic record inside a snapshot.
+// Fields are plain values: a published snapshot is immutable, so they
+// may be read without synchronization.
+type DestStats struct {
+	// Name is the interned path identity (subflow/link name).
+	Name string `json:"name"`
+	// SRTTUS is the cross-connection smoothed RTT in microseconds;
+	// 0 until the first sample arrives.
+	SRTTUS int64 `json:"srtt_us"`
+	// Lost counts loss events observed on this destination.
+	Lost int64 `json:"lost"`
+	// Delivered is the cumulative delivered byte count.
+	Delivered int64 `json:"delivered"`
+	// Quarantines counts guard quarantine signals attributed to
+	// connections while scheduling over this destination.
+	Quarantines int64 `json:"quarantines"`
+	// Samples counts RTT samples merged into SRTTUS.
+	Samples int64 `json:"samples"`
+}
+
+// Snapshot is one immutable epoch of the store. Readers obtained it
+// from Store.Load and may read any field freely; they must never write.
+type Snapshot struct {
+	// Epoch increments on every published write. Two loads returning
+	// the same epoch are the identical snapshot.
+	Epoch uint64
+	// Globals is the shared global register file G1..G8.
+	Globals [runtime.NumGlobals]int64
+	// Dests holds per-destination statistics, indexed by the dense ids
+	// DestID hands out. The slice only ever grows across epochs.
+	Dests []DestStats
+}
+
+// Stats returns the statistics for destination id, or nil when the id
+// is unknown to this epoch (registered after the snapshot published).
+func (s *Snapshot) Stats(id int) *DestStats {
+	if s == nil || id < 0 || id >= len(s.Dests) {
+		return nil
+	}
+	return &s.Dests[id]
+}
+
+// Store is the shared-state store. The zero value is not ready; use
+// NewStore.
+type Store struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[Snapshot]
+	ids  map[string]int // destination name → dense index
+
+	// Optional metrics, set by Instrument; nil-safe handles.
+	mEpochs *obs.Counter
+	mGSets  *obs.Counter
+	mDests  *obs.Gauge
+}
+
+// NewStore creates an empty store at epoch 0.
+func NewStore() *Store {
+	s := &Store{ids: make(map[string]int)}
+	s.snap.Store(&Snapshot{})
+	return s
+}
+
+// Instrument registers the store's metrics with reg (nil-safe):
+// xstate.epochs (published writes), xstate.gsets (global-register
+// writes), xstate.dests (destinations tracked).
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mEpochs = reg.Counter("xstate.epochs")
+	s.mGSets = reg.Counter("xstate.gsets")
+	s.mDests = reg.Gauge("xstate.dests")
+	s.mDests.Set(int64(len(s.ids)))
+}
+
+// Load returns the current snapshot: one atomic load, safe from any
+// goroutine, never nil. The caller must treat it as read-only.
+func (s *Store) Load() *Snapshot {
+	return s.snap.Load()
+}
+
+// Epoch returns the current epoch.
+func (s *Store) Epoch() uint64 { return s.Load().Epoch }
+
+// publish installs next as the new snapshot. Callers hold s.mu and
+// must have fully initialized next (no further writes after this).
+func (s *Store) publish(next *Snapshot) {
+	next.Epoch = s.snap.Load().Epoch + 1
+	s.snap.Store(next)
+	s.mEpochs.Add(1)
+}
+
+// clone copies the current snapshot into a fresh one the caller may
+// mutate before publish. Callers hold s.mu.
+func (s *Store) clone() *Snapshot {
+	cur := s.snap.Load()
+	next := &Snapshot{Globals: cur.Globals}
+	if len(cur.Dests) > 0 {
+		next.Dests = make([]DestStats, len(cur.Dests))
+		copy(next.Dests, cur.Dests)
+	}
+	return next
+}
+
+// ---- Global registers ----
+
+// Global reads global register i (0-based); out of range reads 0.
+func (s *Store) Global(i int) int64 {
+	if i < 0 || i >= runtime.NumGlobals {
+		return 0
+	}
+	return s.Load().Globals[i]
+}
+
+// Globals returns the whole global register file of the current epoch.
+func (s *Store) Globals() [runtime.NumGlobals]int64 {
+	return s.Load().Globals
+}
+
+// SetGlobal writes global register i (0-based) and publishes a new
+// epoch. Out-of-range writes are graceful no-ops (no exceptions by
+// design, matching the register semantics of the model).
+func (s *Store) SetGlobal(i int, v int64) {
+	if i < 0 || i >= runtime.NumGlobals {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.clone()
+	next.Globals[i] = v
+	s.publish(next)
+	s.mGSets.Add(1)
+}
+
+// SetGlobals applies every write marked in the dirty bitmask (bit i ↔
+// register i) from vals in one published epoch. It is the batched form
+// the substrate uses to publish a scheduler execution's GSETs.
+func (s *Store) SetGlobals(dirty uint32, vals *[runtime.NumGlobals]int64) {
+	if dirty == 0 || vals == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.clone()
+	n := 0
+	for i := 0; i < runtime.NumGlobals; i++ {
+		if dirty&(1<<uint(i)) != 0 {
+			next.Globals[i] = vals[i]
+			n++
+		}
+	}
+	s.publish(next)
+	s.mGSets.Add(int64(n))
+}
+
+// ---- Destination registry ----
+
+// DestID interns a destination name, returning its dense index. The
+// first caller for a name registers it (publishing a new epoch with a
+// zero record); later callers get the same index. Indices are stable
+// for the store's lifetime.
+func (s *Store) DestID(name string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := len(s.ids)
+	s.ids[name] = id
+	next := s.clone()
+	next.Dests = append(next.Dests, DestStats{Name: name})
+	s.publish(next)
+	s.mDests.Set(int64(len(s.ids)))
+	return id
+}
+
+// LookupDest returns the dense index for name without registering it;
+// ok is false when the name is unknown.
+func (s *Store) LookupDest(name string) (id int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok = s.ids[name]
+	return id, ok
+}
+
+// NumDests returns the number of registered destinations.
+func (s *Store) NumDests() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ids)
+}
+
+// ---- Statistics feeds ----
+
+// mutateDest clones, applies fn to destination id's record, and
+// publishes. Unknown ids are ignored.
+func (s *Store) mutateDest(id int, fn func(*DestStats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.clone()
+	if id < 0 || id >= len(next.Dests) {
+		return
+	}
+	fn(&next.Dests[id])
+	s.publish(next)
+}
+
+// RecordRTT merges one RTT sample (µs) into destination id's shared
+// smoothed estimate: the first sample seeds it, later samples blend in
+// with weight 1/8 (RFC 6298 style), so estimates from many connections
+// converge without any one dominating.
+func (s *Store) RecordRTT(id int, rttUS int64) {
+	if rttUS <= 0 {
+		return
+	}
+	s.mutateDest(id, func(d *DestStats) {
+		if d.Samples == 0 {
+			d.SRTTUS = rttUS
+		} else {
+			d.SRTTUS += (rttUS - d.SRTTUS) / rttAlpha
+		}
+		d.Samples++
+	})
+}
+
+// RecordLoss counts n loss events on destination id.
+func (s *Store) RecordLoss(id int, n int64) {
+	if n <= 0 {
+		return
+	}
+	s.mutateDest(id, func(d *DestStats) { d.Lost += n })
+}
+
+// RecordDelivered adds bytes to destination id's delivered counter.
+func (s *Store) RecordDelivered(id int, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	s.mutateDest(id, func(d *DestStats) { d.Delivered += bytes })
+}
+
+// RecordQuarantine counts one quarantine signal on destination id.
+func (s *Store) RecordQuarantine(id int) {
+	s.mutateDest(id, func(d *DestStats) { d.Quarantines++ })
+}
+
+// ---- Inspection ----
+
+// All returns a copy of every destination record of the current epoch,
+// sorted by name for stable output. Intended for the control plane and
+// tests, not the hot path.
+func (s *Store) All() []DestStats {
+	snap := s.Load()
+	out := make([]DestStats, len(snap.Dests))
+	copy(out, snap.Dests)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String summarizes the store for diagnostics.
+func (s *Store) String() string {
+	snap := s.Load()
+	return fmt.Sprintf("xstate{epoch %d, %d dests}", snap.Epoch, len(snap.Dests))
+}

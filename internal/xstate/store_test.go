@@ -1,0 +1,231 @@
+package xstate
+
+import (
+	"sync"
+	"testing"
+
+	"progmp/internal/obs"
+	"progmp/internal/runtime"
+)
+
+func TestGlobals(t *testing.T) {
+	s := NewStore()
+	if got := s.Global(0); got != 0 {
+		t.Fatalf("fresh global = %d, want 0", got)
+	}
+	s.SetGlobal(0, 42)
+	s.SetGlobal(7, -7)
+	if got := s.Global(0); got != 42 {
+		t.Fatalf("G1 = %d, want 42", got)
+	}
+	if got := s.Global(7); got != -7 {
+		t.Fatalf("G8 = %d, want -7", got)
+	}
+	// Out-of-range access is a graceful no-op / zero.
+	s.SetGlobal(-1, 9)
+	s.SetGlobal(runtime.NumGlobals, 9)
+	if got := s.Global(runtime.NumGlobals); got != 0 {
+		t.Fatalf("out-of-range global = %d, want 0", got)
+	}
+	if e := s.Epoch(); e != 2 {
+		t.Fatalf("epoch = %d, want 2 (out-of-range writes must not publish)", e)
+	}
+}
+
+func TestSetGlobalsBatch(t *testing.T) {
+	s := NewStore()
+	vals := [runtime.NumGlobals]int64{10, 20, 30, 40, 50, 60, 70, 80}
+	s.SetGlobals(0b101, &vals) // G1 and G3
+	snap := s.Load()
+	if snap.Globals[0] != 10 || snap.Globals[2] != 30 {
+		t.Fatalf("batched globals = %v", snap.Globals)
+	}
+	if snap.Globals[1] != 0 {
+		t.Fatalf("G2 written despite clean bit: %d", snap.Globals[1])
+	}
+	if snap.Epoch != 1 {
+		t.Fatalf("batch must publish exactly one epoch, got %d", snap.Epoch)
+	}
+	s.SetGlobals(0, &vals) // empty mask: no publish
+	if s.Epoch() != 1 {
+		t.Fatalf("empty batch published an epoch")
+	}
+}
+
+func TestDestRegistryAndStats(t *testing.T) {
+	s := NewStore()
+	wifi := s.DestID("wifi")
+	lte := s.DestID("lte")
+	if wifi == lte {
+		t.Fatalf("distinct names interned to the same id")
+	}
+	if again := s.DestID("wifi"); again != wifi {
+		t.Fatalf("re-interning changed the id: %d != %d", again, wifi)
+	}
+	if id, ok := s.LookupDest("lte"); !ok || id != lte {
+		t.Fatalf("LookupDest(lte) = %d,%v", id, ok)
+	}
+	if _, ok := s.LookupDest("dsl"); ok {
+		t.Fatalf("LookupDest invented a destination")
+	}
+	if n := s.NumDests(); n != 2 {
+		t.Fatalf("NumDests = %d, want 2", n)
+	}
+
+	s.RecordRTT(wifi, 20000)
+	if d := s.Load().Stats(wifi); d.SRTTUS != 20000 || d.Samples != 1 {
+		t.Fatalf("first sample must seed srtt: %+v", d)
+	}
+	s.RecordRTT(wifi, 28000) // 20000 + (28000-20000)/8 = 21000
+	if d := s.Load().Stats(wifi); d.SRTTUS != 21000 {
+		t.Fatalf("ewma srtt = %d, want 21000", d.SRTTUS)
+	}
+	s.RecordRTT(wifi, 0) // non-positive samples ignored
+	if d := s.Load().Stats(wifi); d.Samples != 2 {
+		t.Fatalf("zero rtt sample was counted: %+v", d)
+	}
+
+	s.RecordLoss(lte, 3)
+	s.RecordDelivered(lte, 1500)
+	s.RecordQuarantine(lte)
+	d := s.Load().Stats(lte)
+	if d.Lost != 3 || d.Delivered != 1500 || d.Quarantines != 1 {
+		t.Fatalf("lte stats = %+v", d)
+	}
+
+	// Unknown ids are ignored, not fatal.
+	s.RecordLoss(99, 1)
+	s.RecordRTT(-1, 1000)
+
+	all := s.All()
+	if len(all) != 2 || all[0].Name != "lte" || all[1].Name != "wifi" {
+		t.Fatalf("All() = %+v", all)
+	}
+}
+
+// TestSnapshotImmutable asserts a loaded snapshot never changes under
+// later writes — the property the scheduler hot path relies on.
+func TestSnapshotImmutable(t *testing.T) {
+	s := NewStore()
+	id := s.DestID("wifi")
+	s.RecordRTT(id, 10000)
+	s.SetGlobal(0, 1)
+	old := s.Load()
+	oldEpoch, oldRTT, oldG := old.Epoch, old.Stats(id).SRTTUS, old.Globals[0]
+
+	s.RecordRTT(id, 90000)
+	s.SetGlobal(0, 2)
+
+	if old.Epoch != oldEpoch || old.Stats(id).SRTTUS != oldRTT || old.Globals[0] != oldG {
+		t.Fatalf("published snapshot mutated under later writes")
+	}
+	if cur := s.Load(); cur.Epoch <= oldEpoch {
+		t.Fatalf("writes did not advance the epoch: %d <= %d", cur.Epoch, oldEpoch)
+	}
+}
+
+// TestEpochConsistencyStress hammers the store with concurrent writers
+// while readers assert snapshot coherence: within one loaded snapshot
+// the two globals written together must always agree, and per-dest
+// statistics must be monotone across loads. Run under -race this is
+// the torn-snapshot detector demanded by the epoch model.
+func TestEpochConsistencyStress(t *testing.T) {
+	s := NewStore()
+	id := s.DestID("wifi")
+	const (
+		writers    = 4
+		readers    = 4
+		iterations = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var vals [runtime.NumGlobals]int64
+			for i := 0; i < iterations; i++ {
+				// Invariant under test: G1 and G2 are always published
+				// together with G2 == -G1.
+				v := int64(w*iterations + i + 1)
+				vals[0], vals[1] = v, -v
+				s.SetGlobals(0b11, &vals)
+				s.RecordRTT(id, 1000+int64(i%100))
+				s.RecordDelivered(id, 100)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastEpoch uint64
+			var lastDelivered int64
+			for i := 0; i < iterations*writers; i++ {
+				snap := s.Load()
+				if snap.Globals[0] != -snap.Globals[1] {
+					t.Errorf("torn snapshot: G1=%d G2=%d in epoch %d",
+						snap.Globals[0], snap.Globals[1], snap.Epoch)
+					return
+				}
+				if snap.Epoch < lastEpoch {
+					t.Errorf("epoch went backwards: %d after %d", snap.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = snap.Epoch
+				d := snap.Stats(id)
+				if d == nil {
+					t.Errorf("registered destination vanished")
+					return
+				}
+				if d.Delivered < lastDelivered {
+					t.Errorf("delivered went backwards: %d after %d", d.Delivered, lastDelivered)
+					return
+				}
+				lastDelivered = d.Delivered
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLoadZeroAlloc proves the reader side — what the scheduler hot
+// path does every execution — allocates nothing.
+func TestLoadZeroAlloc(t *testing.T) {
+	s := NewStore()
+	id := s.DestID("wifi")
+	s.RecordRTT(id, 12345)
+	s.SetGlobal(2, 7)
+	var sink int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		snap := s.Load()
+		sink += snap.Globals[2]
+		if d := snap.Stats(id); d != nil {
+			sink += d.SRTTUS + d.Lost + d.Delivered + d.Quarantines
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("store read path allocates: %v allocs/op", allocs)
+	}
+	_ = sink
+}
+
+func TestInstrument(t *testing.T) {
+	s := NewStore()
+	reg := &obs.Registry{}
+	s.Instrument(reg)
+	s.SetGlobal(0, 1)
+	s.DestID("wifi")
+	if v := reg.Counter("xstate.epochs").Value(); v != 2 {
+		t.Fatalf("xstate.epochs = %d, want 2", v)
+	}
+	if v := reg.Counter("xstate.gsets").Value(); v != 1 {
+		t.Fatalf("xstate.gsets = %d, want 1", v)
+	}
+	if v := reg.Gauge("xstate.dests").Value(); v != 1 {
+		t.Fatalf("xstate.dests = %d, want 1", v)
+	}
+	// Instrumenting with nil must be harmless.
+	s2 := NewStore()
+	s2.Instrument(nil)
+	s2.SetGlobal(0, 1)
+}

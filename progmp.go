@@ -34,8 +34,10 @@ import (
 	"progmp/internal/mptcp"
 	"progmp/internal/netsim"
 	"progmp/internal/obs"
+	"progmp/internal/runtime"
 	"progmp/internal/schedlib"
 	"progmp/internal/vm"
+	"progmp/internal/xstate"
 )
 
 // Backend selects the execution environment for scheduler programs
@@ -167,6 +169,13 @@ type ConnConfig struct {
 	// CongestionControl selects the algorithm by name: "lia"
 	// (default), "olia", or "reno". It overrides UncoupledReno.
 	CongestionControl string
+	// Store attaches the connection to a cross-connection shared-state
+	// store: its schedulers then read and write the shared globals
+	// G1..G8 and see the per-destination path statistics (XRTT, XLOST,
+	// XDELIVERED, XQUAR) other attached connections have fed. Nil keeps
+	// the connection isolated: globals stay connection-local and the
+	// X-properties read 0.
+	Store *SharedStore
 }
 
 // Network is a deterministic simulated network hosting MPTCP
@@ -240,7 +249,7 @@ func (n *Network) Dial(cfg ConnConfig, paths ...Path) (*Conn, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("progmp: a connection needs at least one path")
 	}
-	mcfg := mptcp.Config{MSS: cfg.MSS, RcvBuf: cfg.RcvBuf}
+	mcfg := mptcp.Config{MSS: cfg.MSS, RcvBuf: cfg.RcvBuf, Store: cfg.Store}
 	if cfg.UncoupledReno {
 		mcfg.CC = mptcp.Reno{}
 	}
@@ -463,6 +472,37 @@ func (c *Conn) EnablePathManager(cfg PathManagerConfig) *PathManager {
 // Inner exposes the underlying model connection for advanced
 // instrumentation (experiments, benchmarks).
 func (c *Conn) Inner() *mptcp.Conn { return c.inner }
+
+// ---- Cross-connection shared state ----
+
+// SharedStore is the cross-connection shared-state store (see
+// internal/xstate and docs/SHAREDSTATE.md): global registers G1..G8
+// shared by every attached connection, plus per-destination path
+// statistics — smoothed RTT, losses, delivered bytes, quarantine
+// signals — keyed by path name, so one connection can steer around a
+// path another connection observed degrading. Readers get immutable
+// epoch snapshots (one atomic load, zero allocations); safe for
+// concurrent use from any goroutine.
+type SharedStore = xstate.Store
+
+// SharedSnapshot is one immutable epoch of a SharedStore.
+type SharedSnapshot = xstate.Snapshot
+
+// DestStats is the per-destination statistics record of a SharedStore.
+type DestStats = xstate.DestStats
+
+// NumSharedGlobals is the size of the shared global register file
+// G1..G8, mirroring the per-connection registers R1..R8.
+const NumSharedGlobals = runtime.NumGlobals
+
+// NewSharedStore creates an empty shared-state store at epoch 0.
+// Attach it to connections via ConnConfig.Store; every connection
+// dialed with the same store shares one view.
+func NewSharedStore() *SharedStore { return xstate.NewStore() }
+
+// SharedStore returns the store the connection was dialed with (nil
+// when the connection is isolated).
+func (c *Conn) SharedStore() *SharedStore { return c.inner.Store() }
 
 // ---- Observability ----
 
