@@ -28,7 +28,7 @@ bench:
 # BENCH_*.json schema). bench-record refreshes the committed baseline
 # on the machine of record; bench-gate measures a fresh run and fails
 # on regression past the tolerances (allocs/op has none).
-BENCH_BASELINE ?= BENCH_8.json
+BENCH_BASELINE ?= BENCH_9.json
 
 bench-record:
 	$(GO) run ./cmd/progmp-bench -record $(BENCH_BASELINE)

@@ -30,6 +30,15 @@
 //	mpsim -xstate -conns 4 -scheduler jointFlow -ctl /tmp/mpsim.sock &
 //	progmpctl -s /tmp/mpsim.sock deststats
 //	progmpctl -s /tmp/mpsim.sock gset G1 8
+//
+// With -fleet N the run becomes a sharded soak (docs/FLEET.md): N
+// concurrent connections partitioned across per-core shards, each
+// shard a batched event loop over self-contained connection worlds,
+// reporting fleet p50/p99 scheduler-decision and delivery latency and
+// steady-state bytes/conn:
+//
+//	mpsim -fleet 100000
+//	mpsim -fleet 10000 -shards 4 -xstate -dest-groups 64 -metrics-http :9100
 package main
 
 import (
@@ -45,6 +54,8 @@ import (
 
 	"progmp"
 	"progmp/internal/ctl"
+	"progmp/internal/fleet"
+	"progmp/internal/mptcp"
 )
 
 type pathFlags []progmp.Path
@@ -105,9 +116,29 @@ func main() {
 	metricsInterval := flag.Duration("metrics-interval", 0, "sample aggregated fleet metrics every D of virtual time")
 	metricsOut := flag.String("metrics-out", "", "write the sampled metrics time-series as JSONL to FILE (implies -metrics-interval 100ms)")
 	metricsHTTP := flag.String("metrics-http", "", "serve the OpenMetrics exposition on host:port")
+	fleetN := flag.Int("fleet", 0, "run a sharded fleet soak with N concurrent connections instead of a single scenario")
+	shards := flag.Int("shards", 0, "fleet shard count (default GOMAXPROCS)")
+	fleetSend := flag.Int("fleet-send", 16<<10, "fleet per-burst transfer size in bytes")
+	destGroups := flag.Int("dest-groups", 0, "fleet destination-identity groups (spreads shared-store records; 0 = one identity per path)")
 	flag.Var(&paths, "path", "path spec name:rateBps:delay:loss:pref|backup (repeatable)")
 	flag.Parse()
 
+	if *fleetN > 0 {
+		// The 60s scenario default is a fleet-scale eternity; soak for
+		// 2s of virtual time unless -duration was given explicitly.
+		fleetDur := 2 * time.Second
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "duration" {
+				fleetDur = *duration
+			}
+		})
+		if err := runFleet(*scheduler, *backend, *fleetN, *shards, *fleetSend, *destGroups,
+			*seed, fleetDur, *xstate, *guard, *metricsHTTP); err != nil {
+			fmt.Fprintln(os.Stderr, "mpsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *chaos != "" {
 		if err := runChaos(*chaos, *seed, *scheduler, *backend); err != nil {
 			fmt.Fprintln(os.Stderr, "mpsim:", err)
@@ -165,6 +196,67 @@ func loadScheduler(scheduler, backend string) (*progmp.Scheduler, error) {
 		return nil, fmt.Errorf("unknown backend %q", backend)
 	}
 	return progmp.LoadSchedulerBackend(scheduler, src, be)
+}
+
+// runFleet drives the sharded fleet soak (internal/fleet): n
+// self-contained connection worlds across per-core shards, optional
+// shared-state store and guard supervision, the OpenMetrics
+// exposition served live off the shard loops' aggregated registries.
+func runFleet(scheduler, backend string, n, shards, sendBytes, destGroups int, seed int64, duration time.Duration, useStore, guard bool, metricsHTTP string) error {
+	// Fail fast on a bad scheduler/backend before building 100k worlds.
+	if _, err := loadScheduler(scheduler, backend); err != nil {
+		return err
+	}
+	agg := progmp.NewMetricsAggregator()
+	var store *progmp.SharedStore
+	if useStore {
+		store = progmp.NewSharedStore()
+	}
+	if metricsHTTP != "" {
+		// Exposition runs off the shard loops: Aggregate reads each
+		// shard registry with atomic loads, so serving during the soak
+		// never blocks a shard.
+		hsrv := ctl.NewServer(ctl.Options{Agg: agg})
+		hln, err := net.Listen("tcp", metricsHTTP)
+		if err != nil {
+			return err
+		}
+		go hsrv.ServeMetricsHTTP(hln)
+		defer hsrv.Close()
+		fmt.Printf("metrics http    http://%s/metrics\n", hln.Addr())
+	}
+	res, err := fleet.Run(fleet.Config{
+		Conns:      n,
+		Shards:     shards,
+		Seed:       seed,
+		Duration:   duration,
+		SendBytes:  sendBytes,
+		DestGroups: destGroups,
+		NewScheduler: func() (mptcp.Scheduler, error) {
+			return loadScheduler(scheduler, backend)
+		},
+		Program: scheduler,
+		Guard:   guard,
+		Store:   store,
+		Agg:     agg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet           %d conns, %d shard(s), %v virtual in %v wall\n",
+		res.Conns, res.Shards, res.VirtualDuration, res.Wall.Round(time.Millisecond))
+	fmt.Printf("scheduler       %s (%s backend, shared per shard)\n", scheduler, backend)
+	fmt.Printf("decision p50    %d ns   p99 %d ns\n", res.DecisionP50NS, res.DecisionP99NS)
+	fmt.Printf("delivery p50    %d us   p99 %d us\n", res.DeliveryP50US, res.DeliveryP99US)
+	fmt.Printf("bytes/conn      %d\n", res.BytesPerConn)
+	fmt.Printf("delivered       %d bytes in %d bursts (%d/%d conns fully acked)\n",
+		res.DeliveredBytes, res.Bursts, res.Acked, res.Conns)
+	fmt.Printf("events          %d\n", res.Events)
+	if store != nil {
+		fmt.Printf("shared state    epoch %d, %d live dest(s), %d evicted\n",
+			store.Epoch(), store.NumDests(), res.EvictedDests)
+	}
+	return nil
 }
 
 // runChaos soaks the scheduler through one (or every) chaos scenario
@@ -307,6 +399,15 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 		xreg := progmp.NewMetrics()
 		xc.Instrument(nil, xreg)
 		agg.Attach(progmp.MetricsLabels{Conn: fmt.Sprintf("c%d", i), Scheduler: scheduler}, xreg)
+		// Teardown wiring: once the secondary transfer fully drains, the
+		// connection leaves the fleet merge — the exposition stops
+		// carrying the finished source instead of serving it forever —
+		// and its shared-store destination references are released so
+		// idle records can be evicted.
+		xc.OnAllAcked(func() {
+			agg.Remove(xreg)
+			xc.ReleaseDests()
+		})
 		nw.At(0, func() { xc.SendWithIntent(send, prop) })
 		extras = append(extras, xc)
 	}
@@ -386,6 +487,10 @@ func run(scheduler, backend string, send int, prop, seed int64, duration time.Du
 			}
 		}
 		fmt.Printf("fleet           %d connections (%d secondary complete)\n", len(extras)+1, done)
+		// Completed secondaries leave the aggregation (see the teardown
+		// wiring above), so the live-source count proves the exposition
+		// stopped serving finished connections.
+		fmt.Printf("exposition      %d live source(s)\n", agg.NumSources())
 	}
 	if store != nil {
 		snap := store.Load()

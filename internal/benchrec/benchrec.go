@@ -25,6 +25,7 @@ import (
 
 	"progmp/internal/core"
 	"progmp/internal/experiments"
+	"progmp/internal/fleet"
 	"progmp/internal/mptcp"
 	"progmp/internal/netsim"
 	"progmp/internal/obs"
@@ -149,6 +150,51 @@ func bytesPerConn(seed int64, n int) int64 {
 	return per
 }
 
+// fleetExperiments runs a small sharded fleet soak (internal/fleet)
+// and reports its headline numbers: scheduler-decision latency
+// quantiles (wall ns — machine-dependent, gate with generous
+// tolerances), delivery latency quantiles (virtual time scaled to ns —
+// machine-independent), and the steady-state heap cost per connection
+// world. AllocsPerOp stays 0 by design: the soak's allocation count is
+// dominated by world construction and would make the exact allocation
+// gate flaky, while the hot path's zero-alloc property is already
+// pinned by hotpath_instrumented.
+func fleetExperiments(seed int64) ([]Experiment, error) {
+	res, err := fleet.Run(fleet.Config{
+		Conns:    2000,
+		Seed:     seed,
+		Duration: 500 * time.Millisecond,
+		NewScheduler: func() (mptcp.Scheduler, error) {
+			s, err := core.Load("minRTT", schedlib.All["minRTT"], core.BackendVM)
+			if err != nil {
+				return nil, err
+			}
+			return s, nil
+		},
+		Program: "minRTT",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Experiment{
+		{
+			Name:    "fleet_decision",
+			NsPerOp: float64(res.DecisionP50NS),
+			P50NS:   res.DecisionP50NS,
+			P99NS:   res.DecisionP99NS,
+		},
+		{
+			Name:  "fleet_delivery",
+			P50NS: res.DeliveryP50US * 1000,
+			P99NS: res.DeliveryP99US * 1000,
+		},
+		{
+			Name:         "fleet_conn_footprint",
+			BytesPerConn: res.BytesPerConn,
+		},
+	}, nil
+}
+
 // Measure runs the full experiment list. iters scales the Fig. 9
 // execution count (<= 0 selects 200000, the progmp-bench default).
 func Measure(seed int64, iters int) (Record, error) {
@@ -181,6 +227,11 @@ func Measure(seed int64, iters int) (Record, error) {
 		Name:         "conn_footprint",
 		BytesPerConn: bytesPerConn(seed, 64),
 	})
+	fleetExps, err := fleetExperiments(seed)
+	if err != nil {
+		return rec, err
+	}
+	rec.Experiments = append(rec.Experiments, fleetExps...)
 	return rec, nil
 }
 

@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"progmp/internal/core"
+	"progmp/internal/mptcp"
+	"progmp/internal/obs"
+	"progmp/internal/runtime"
+	"progmp/internal/schedlib"
+	"progmp/internal/xstate"
+)
+
+func vmScheduler(t *testing.T, name string) func() (mptcp.Scheduler, error) {
+	t.Helper()
+	return func() (mptcp.Scheduler, error) {
+		s, err := core.Load(name, schedlib.All[name], core.BackendVM)
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// TestShardCountInvariance pins the fleet's core determinism
+// property: a connection's trajectory depends only on the fleet seed
+// and its index, so the same seeded connection set delivers
+// byte-identically whether 1, 2 or 8 shards drive it.
+func TestShardCountInvariance(t *testing.T) {
+	run := func(shards int) Result {
+		res, err := Run(Config{
+			Conns:        64,
+			Shards:       shards,
+			Seed:         7,
+			Duration:     800 * time.Millisecond,
+			SendBytes:    16 << 10,
+			Think:        60 * time.Millisecond,
+			LossProb:     0.02, // exercise the per-connection rng
+			NewScheduler: vmScheduler(t, "minRTT"),
+			Program:      "minRTT",
+			Conservation: true,
+		})
+		if err != nil {
+			t.Fatalf("%d shards: %v", shards, err)
+		}
+		if len(res.ConservationViolations) > 0 {
+			t.Fatalf("%d shards: conservation violated: %v", shards, res.ConservationViolations)
+		}
+		if res.DeliveredBytes == 0 {
+			t.Fatalf("%d shards: nothing delivered", shards)
+		}
+		return res
+	}
+	base := run(1)
+	for _, shards := range []int{2, 8} {
+		got := run(shards)
+		if got.DeliveredBytes != base.DeliveredBytes || got.Bursts != base.Bursts || got.Acked != base.Acked {
+			t.Fatalf("fleet totals diverge: %d shards delivered=%d bursts=%d acked=%d, 1 shard delivered=%d bursts=%d acked=%d",
+				shards, got.DeliveredBytes, got.Bursts, got.Acked, base.DeliveredBytes, base.Bursts, base.Acked)
+		}
+		for i := range base.PerConn {
+			if got.PerConn[i] != base.PerConn[i] {
+				t.Fatalf("conn %d diverges across shard counts: %d shards %+v, 1 shard %+v",
+					i, shards, got.PerConn[i], base.PerConn[i])
+			}
+		}
+	}
+}
+
+// TestSliceSizeInvariance: the wheel's batching quantum is a
+// performance knob, never a semantic one.
+func TestSliceSizeInvariance(t *testing.T) {
+	run := func(slice time.Duration) Result {
+		res, err := Run(Config{
+			Conns:        16,
+			Shards:       2,
+			Seed:         11,
+			Duration:     500 * time.Millisecond,
+			Slice:        slice,
+			NewScheduler: vmScheduler(t, "minRTT"),
+			Conservation: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.ConservationViolations) > 0 {
+			t.Fatalf("slice %v: conservation violated: %v", slice, res.ConservationViolations)
+		}
+		return res
+	}
+	a, b := run(time.Millisecond), run(20*time.Millisecond)
+	if a.DeliveredBytes != b.DeliveredBytes {
+		t.Fatalf("slice size changed delivery: 1ms %d bytes, 20ms %d bytes", a.DeliveredBytes, b.DeliveredBytes)
+	}
+	for i := range a.PerConn {
+		if a.PerConn[i] != b.PerConn[i] {
+			t.Fatalf("conn %d diverges across slice sizes: %+v vs %+v", i, a.PerConn[i], b.PerConn[i])
+		}
+	}
+}
+
+// TestFleetSoakSmoke drives a small fleet end to end and checks the
+// reported metrics are coherent: every burst conserved, latencies
+// measured, per-shard sources aggregated.
+func TestFleetSoakSmoke(t *testing.T) {
+	agg := obs.NewAggregator()
+	store := xstate.NewStore()
+	res, err := Run(Config{
+		Conns:        200,
+		Shards:       4,
+		Seed:         3,
+		Duration:     600 * time.Millisecond,
+		NewScheduler: vmScheduler(t, "minRTT"),
+		Program:      "minRTT",
+		Store:        store,
+		Agg:          agg,
+		DestGroups:   8,
+		Conservation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ConservationViolations) > 0 {
+		t.Fatalf("conservation violated: %v", res.ConservationViolations)
+	}
+	if res.DeliveredBytes == 0 || res.Bursts < int64(res.Conns) {
+		t.Fatalf("soak barely ran: %+v", res)
+	}
+	if res.Acked == 0 {
+		t.Fatal("no connection fully acknowledged")
+	}
+	if res.DecisionP99NS == 0 {
+		t.Fatal("decision latency not measured")
+	}
+	if res.DeliveryP99US == 0 {
+		t.Fatal("delivery latency not measured")
+	}
+	if res.Events == 0 {
+		t.Fatal("engine events not counted")
+	}
+	if res.BytesPerConn <= 0 {
+		t.Fatalf("BytesPerConn = %d", res.BytesPerConn)
+	}
+	snap := agg.Aggregate()
+	if snap.NumSources != 4 {
+		t.Fatalf("aggregator sources = %d, want 4 shards", snap.NumSources)
+	}
+	// Every connection released its store references at retirement, so
+	// a zero-idle sweep reclaims every destination record.
+	if n := store.NumDests(); n == 0 {
+		t.Fatal("store never saw a destination")
+	}
+	store.EvictIdle(0)
+	if n := store.NumDests(); n != 0 {
+		t.Fatalf("%d dest records still referenced after the fleet retired", n)
+	}
+}
+
+// TestFleetGuardSmoke runs a supervised fleet: a scheduler that
+// panics on every execution must quarantine everywhere while the
+// fallback keeps bytes flowing.
+func TestFleetGuardSmoke(t *testing.T) {
+	res, err := Run(Config{
+		Conns:        8,
+		Shards:       2,
+		Seed:         5,
+		Duration:     400 * time.Millisecond,
+		NewScheduler: func() (mptcp.Scheduler, error) { return panicScheduler{}, nil },
+		Program:      "panicky",
+		Guard:        true,
+		Conservation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ConservationViolations) > 0 {
+		t.Fatalf("conservation violated: %v", res.ConservationViolations)
+	}
+	if res.DeliveredBytes == 0 {
+		t.Fatal("guarded fleet delivered nothing (fallback not engaged?)")
+	}
+}
+
+type panicScheduler struct{}
+
+func (panicScheduler) Exec(env *runtime.Env) { panic("deliberate") }
+
+func TestWheelWrapAround(t *testing.T) {
+	w := &wheel{slice: time.Millisecond}
+	// Due slice beyond one wrap hashes into an occupied bucket but must
+	// not fire until its own slice.
+	w.schedule(1, 3)
+	w.schedule(2, 3+wheelBuckets)
+	var fired []uint64
+	var ready []int32
+	for s := uint64(1); s <= 3+wheelBuckets; s++ {
+		ready = w.advance(ready[:0])
+		for _, c := range ready {
+			fired = append(fired, uint64(c)<<32|s)
+		}
+	}
+	want := []uint64{1<<32 | 3, 2<<32 | (3 + wheelBuckets)}
+	if len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("wheel fired %x, want %x", fired, want)
+	}
+}

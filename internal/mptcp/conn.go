@@ -95,6 +95,9 @@ type Conn struct {
 	sched Scheduler
 	regs  [runtime.NumRegisters]int64
 	store *xstate.Store
+	// destsReleased latches ReleaseDests so teardown paths may call it
+	// from several places without double-releasing store references.
+	destsReleased bool
 
 	subflows []*Subflow
 	receiver *Receiver
@@ -420,6 +423,24 @@ func (c *Conn) AllAcked() bool {
 // OnAllAcked registers a callback fired when the send buffer fully
 // drains (used for flow-completion-time measurements).
 func (c *Conn) OnAllAcked(fn func()) { c.onAllAcked = fn }
+
+// ReleaseDests drops the connection's shared-store destination
+// references (one per subflow, acquired at AddSubflow). Call it when
+// the connection finishes: the store only evicts idle per-destination
+// records once every referencing connection has released them, so a
+// fleet that retires connections without releasing leaks dest records
+// across churn. Idempotent; a no-op without an attached store.
+func (c *Conn) ReleaseDests() {
+	if c.store == nil || c.destsReleased {
+		return
+	}
+	c.destsReleased = true
+	for _, s := range c.subflows {
+		if s.destID >= 0 {
+			c.store.ReleaseDest(s.destID)
+		}
+	}
+}
 
 // rwndFreeBytes is the remaining receive window for new data:
 // advertised window minus the sequence space already in use between

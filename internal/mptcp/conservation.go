@@ -29,11 +29,12 @@ type ConservationChecker struct {
 // count (a wedged run could otherwise accumulate millions of entries).
 const maxRecordedViolations = 16
 
-// NewConservationChecker attaches a checker to conn. It must be the
-// only OnDeliver consumer (the receiver supports a single callback).
+// NewConservationChecker attaches a checker to conn. It chains onto
+// the delivery path (AddDeliveryHook), so it coexists with an
+// application OnDeliver consumer or the fleet engine's latency probes.
 func NewConservationChecker(conn *Conn) *ConservationChecker {
 	k := &ConservationChecker{conn: conn}
-	conn.Receiver().OnDeliver(func(seq int64, size int, at time.Duration) {
+	conn.Receiver().AddDeliveryHook(func(seq int64, size int, at time.Duration) {
 		if seq != k.next {
 			k.violate("delivery at %v: got seq %d, want %d", at, seq, k.next)
 		}

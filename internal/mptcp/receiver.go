@@ -97,9 +97,30 @@ func (r *Receiver) instrument(reg *obs.Registry) {
 }
 
 // OnDeliver registers the in-order delivery callback (the application
-// read path).
+// read path), replacing any previous one. Use AddDeliveryHook to
+// observe deliveries without claiming the slot.
 func (r *Receiver) OnDeliver(fn func(seq int64, size int, at time.Duration)) {
 	r.onDeliver = fn
+}
+
+// AddDeliveryHook chains fn onto the delivery callback: any previously
+// registered callback (OnDeliver consumer or earlier hook) still runs,
+// then fn. It lets observers — the fleet engine's latency probes, the
+// ConservationChecker — coexist on the single delivery path without
+// silently displacing each other.
+func (r *Receiver) AddDeliveryHook(fn func(seq int64, size int, at time.Duration)) {
+	if fn == nil {
+		return
+	}
+	prev := r.onDeliver
+	if prev == nil {
+		r.onDeliver = fn
+		return
+	}
+	r.onDeliver = func(seq int64, size int, at time.Duration) {
+		prev(seq, size, at)
+		fn(seq, size, at)
+	}
 }
 
 // NextMetaSeq exposes the in-order delivery frontier.

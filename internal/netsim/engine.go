@@ -73,6 +73,41 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed))}
 }
 
+// NewEngineCompact returns an engine backed by a splitmix64 randomness
+// source instead of math/rand's default ~5KB state table. Fleet runs
+// host one engine per connection, so at 100k connections the default
+// source alone costs ~500MB; splitmix64 is 8 bytes of state with
+// distribution quality more than sufficient for loss/jitter draws.
+// Determinism contract is per-constructor: a compact engine's draw
+// sequence differs from NewEngine's for the same seed, but is itself
+// fully reproducible.
+func NewEngineCompact(seed int64) *Engine {
+	return &Engine{rng: rand.New(&splitmix64{state: uint64(seed)})}
+}
+
+// splitmix64 is the 8-byte-state generator from Steele et al.'s
+// "Fast splittable pseudorandom number generators"; it implements
+// rand.Source64 so rand.Rand uses Uint64 directly.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Mix64 advances one splitmix64 step from seed: a cheap, well-mixed
+// way to derive independent per-connection seeds from a fleet seed.
+func Mix64(seed uint64) uint64 {
+	s := splitmix64{state: seed}
+	return s.Uint64()
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
@@ -116,6 +151,21 @@ func (e *Engine) Step() bool {
 		return true
 	}
 	return false
+}
+
+// NextEventAt peeks the timestamp of the next live event without
+// firing it, discarding cancelled heap heads on the way; ok is false
+// when no events remain. Batched drivers (the fleet shard loop) use it
+// to park a connection's engine until its next wakeup instead of
+// polling.
+func (e *Engine) NextEventAt() (at time.Duration, ok bool) {
+	for len(e.pq) > 0 && e.pq[0].cancelled {
+		heap.Pop(&e.pq)
+	}
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].at, true
 }
 
 // Run fires events until the queue drains.

@@ -76,19 +76,33 @@ func (a *Aggregator) Attach(labels Labels, reg *Registry) {
 
 // Detach removes every source backed by reg (e.g. a closed
 // connection). Safe on nil.
-func (a *Aggregator) Detach(reg *Registry) {
+func (a *Aggregator) Detach(reg *Registry) { a.Remove(reg) }
+
+// Remove deregisters every source backed by reg and reports whether
+// any source was removed. Wire it into connection teardown: a finished
+// connection whose registry stays attached keeps riding every fleet
+// merge and OpenMetrics exposition forever — at fleet scale that is
+// both a memory leak and a stale-series bug. Safe on nil. Concurrent
+// Aggregate calls that already snapshotted the source list still merge
+// the removed source once (copy-on-write semantics); every later call
+// no longer sees it.
+func (a *Aggregator) Remove(reg *Registry) bool {
 	if a == nil {
-		return
+		return false
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Copy-on-write like Attach: Aggregate iterates snapshots of this
+	// slice after releasing the lock, so never mutate the backing array.
 	kept := make([]Source, 0, len(a.sources))
 	for _, s := range a.sources {
 		if s.Registry != reg {
 			kept = append(kept, s)
 		}
 	}
+	removed := len(kept) != len(a.sources)
 	a.sources = kept
+	return removed
 }
 
 // NumSources reports the number of attached sources. Safe on nil.

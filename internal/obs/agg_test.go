@@ -246,3 +246,50 @@ func TestTimeSeriesDefaultCapacity(t *testing.T) {
 		t.Fatalf("default capacity = %d, want %d", got, DefaultTimeSeriesCapacity)
 	}
 }
+
+func TestAggregatorRemove(t *testing.T) {
+	a := NewAggregator()
+	r1, r2 := NewRegistry(), NewRegistry()
+	a.Attach(Labels{Conn: "c1"}, r1)
+	a.Attach(Labels{Conn: "c2"}, r2)
+	r1.Counter("conn.pushes").Add(10)
+	r2.Counter("conn.pushes").Add(32)
+
+	if !a.Remove(r2) {
+		t.Fatal("Remove(r2) = false, want true")
+	}
+	if a.Remove(r2) {
+		t.Fatal("second Remove(r2) = true, want false")
+	}
+	if n := a.NumSources(); n != 1 {
+		t.Fatalf("NumSources = %d after Remove, want 1", n)
+	}
+
+	// The merge and the exposition both drop the removed source: its
+	// labeled series is gone and its counters no longer contribute.
+	snap := a.Aggregate()
+	if got := snap.Counters["conn.pushes"]; got != 10 {
+		t.Fatalf("merged counter = %d after Remove, want 10", got)
+	}
+	text := RenderOpenMetrics(snap)
+	if strings.Contains(text, `conn="c2"`) {
+		t.Fatalf("exposition still carries removed source:\n%s", text)
+	}
+	if !strings.Contains(text, `conn="c1"`) {
+		t.Fatalf("exposition lost surviving source:\n%s", text)
+	}
+
+	// Removing a registry attached under several labels drops them all.
+	a.Attach(Labels{Conn: "c1", Path: "wifi"}, r1)
+	if !a.Remove(r1) {
+		t.Fatal("Remove(r1) = false, want true")
+	}
+	if n := a.NumSources(); n != 0 {
+		t.Fatalf("NumSources = %d, want 0", n)
+	}
+
+	var nilAgg *Aggregator
+	if nilAgg.Remove(r1) {
+		t.Fatal("nil Aggregator Remove = true, want false")
+	}
+}

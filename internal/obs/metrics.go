@@ -103,11 +103,12 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum()) / float64(n)
 }
 
-// Quantile approximates the q-quantile (0..1): the rank's bucket is
-// located and the value is linearly interpolated between the bucket's
-// bounds by the rank's position among the bucket's observations, so
-// tight latency distributions are not quantized to the next power of
-// two. Safe on nil.
+// Quantile approximates the q-quantile: the rank's bucket is located
+// and the value is linearly interpolated between the bucket's bounds by
+// the rank's position among the bucket's observations, so tight latency
+// distributions are not quantized to the next power of two. q is
+// clamped to [0, 1] (q <= 0 is the minimum, q >= 1 the maximum); an
+// empty histogram reports 0. Safe on nil.
 func (h *Histogram) Quantile(q float64) int64 {
 	if h == nil {
 		return 0
@@ -125,8 +126,19 @@ func (h *Histogram) Quantile(q float64) int64 {
 
 // quantileOf computes the interpolated q-quantile of a bucket array
 // with n total observations (shared by Histogram.Quantile and the
-// aggregator's merged histograms).
+// aggregator's merged histograms). q outside [0, 1] is clamped: a
+// negative q used to compute a negative rank (interpolating below the
+// bucket floor) and q > 1 a rank past every bucket (reporting the
+// 2^63-1 sentinel reserved for a corrupt bucket sum).
 func quantileOf(buckets *[histBuckets]int64, n int64, q float64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	// Round the rank rather than truncate so high quantiles of small
 	// populations (p999 of 3 observations) select the top sample.
 	rank := int64(q*float64(n-1) + 0.5)

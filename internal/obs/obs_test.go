@@ -266,3 +266,37 @@ func TestRegistryEach(t *testing.T) {
 	var nilReg *Registry
 	nilReg.Each(func(string, Metric) { t.Fatal("nil registry visited a metric") })
 }
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	qs := []float64{-0.1, 0, 0.5, 1, 1.1}
+
+	// Empty histogram: every quantile (clamped or not) is 0, never an
+	// index past the bucket array or the 2^63-1 sentinel.
+	empty := &Histogram{}
+	for _, q := range qs {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	// Single observation: all quantiles collapse onto the one sample's
+	// bucket. 100 lives in [64,128); q < 0 must not interpolate below
+	// the bucket floor and q > 1 must not run past the bucket array.
+	single := &Histogram{}
+	single.Observe(100)
+	for _, q := range qs {
+		got := single.Quantile(q)
+		if got < 64 || got >= 128 {
+			t.Fatalf("single-obs Quantile(%v) = %d, want in [64,128)", q, got)
+		}
+	}
+	// Out-of-range q clamps to the boundary quantile exactly.
+	if single.Quantile(-0.1) != single.Quantile(0) {
+		t.Fatalf("Quantile(-0.1) = %d, want Quantile(0) = %d",
+			single.Quantile(-0.1), single.Quantile(0))
+	}
+	if single.Quantile(1.1) != single.Quantile(1) {
+		t.Fatalf("Quantile(1.1) = %d, want Quantile(1) = %d",
+			single.Quantile(1.1), single.Quantile(1))
+	}
+}

@@ -71,7 +71,9 @@ type Snapshot struct {
 	// Globals is the shared global register file G1..G8.
 	Globals [runtime.NumGlobals]int64
 	// Dests holds per-destination statistics, indexed by the dense ids
-	// DestID hands out. The slice only ever grows across epochs.
+	// DestID hands out. Evicted slots are zeroed (Name == "") and
+	// reused by later registrations, so the slice length tracks the
+	// peak live destination count rather than the cumulative churn.
 	Dests []DestStats
 }
 
@@ -90,6 +92,14 @@ type Store struct {
 	mu   sync.Mutex
 	snap atomic.Pointer[Snapshot]
 	ids  map[string]int // destination name → dense index
+
+	// Eviction bookkeeping, indexed like Snapshot.Dests. refs counts
+	// live DestID acquisitions (released by ReleaseDest); lastUse is
+	// the epoch of the most recent acquire/release/feed; free lists
+	// evicted slots available for reuse.
+	refs    []int32
+	lastUse []uint64
+	free    []int
 
 	// Optional metrics, set by Instrument; nil-safe handles.
 	mEpochs *obs.Counter
@@ -200,21 +210,86 @@ func (s *Store) SetGlobals(dirty uint32, vals *[runtime.NumGlobals]int64) {
 
 // DestID interns a destination name, returning its dense index. The
 // first caller for a name registers it (publishing a new epoch with a
-// zero record); later callers get the same index. Indices are stable
-// for the store's lifetime.
+// zero record); later callers get the same index. Each call acquires
+// one reference; pair it with ReleaseDest at teardown or the record is
+// pinned forever and EvictIdle can never reclaim it. Indices are
+// stable while referenced; an evicted slot may be reassigned to a
+// different name by a later registration.
 func (s *Store) DestID(name string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if id, ok := s.ids[name]; ok {
+		s.refs[id]++
+		s.lastUse[id] = s.snap.Load().Epoch
 		return id
 	}
-	id := len(s.ids)
-	s.ids[name] = id
 	next := s.clone()
-	next.Dests = append(next.Dests, DestStats{Name: name})
+	var id int
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+		next.Dests[id] = DestStats{Name: name}
+	} else {
+		id = len(next.Dests)
+		next.Dests = append(next.Dests, DestStats{Name: name})
+		s.refs = append(s.refs, 0)
+		s.lastUse = append(s.lastUse, 0)
+	}
+	s.ids[name] = id
+	s.refs[id] = 1
 	s.publish(next)
+	s.lastUse[id] = next.Epoch
 	s.mDests.Set(int64(len(s.ids)))
 	return id
+}
+
+// ReleaseDest drops one reference to destination id (acquired by
+// DestID). The record and its statistics stay readable until EvictIdle
+// reclaims it, so short-lived reconnects to the same destination still
+// find the shared history. Unknown ids are ignored.
+func (s *Store) ReleaseDest(id int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id < 0 || id >= len(s.refs) {
+		return
+	}
+	if s.refs[id] > 0 {
+		s.refs[id]--
+	}
+	s.lastUse[id] = s.snap.Load().Epoch
+}
+
+// EvictIdle reclaims every unreferenced destination whose last use is
+// at least idleEpochs epochs old, returning the number evicted. One
+// epoch publishes for the whole sweep (none when nothing qualifies).
+// Evicted slots are zeroed in the snapshot and queued for reuse by the
+// next registration, bounding fleet-scale memory under destination
+// churn: without eviction every interned name lives for the store's
+// lifetime. Victims are processed in index order so churn workloads
+// reuse slots deterministically.
+func (s *Store) EvictIdle(idleEpochs uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load().Epoch
+	var victims []int
+	for name, id := range s.ids {
+		if s.refs[id] == 0 && cur-s.lastUse[id] >= idleEpochs {
+			victims = append(victims, id)
+			delete(s.ids, name)
+		}
+	}
+	if len(victims) == 0 {
+		return 0
+	}
+	sort.Ints(victims)
+	next := s.clone()
+	for _, id := range victims {
+		next.Dests[id] = DestStats{}
+		s.free = append(s.free, id)
+	}
+	s.publish(next)
+	s.mDests.Set(int64(len(s.ids)))
+	return len(victims)
 }
 
 // LookupDest returns the dense index for name without registering it;
@@ -246,6 +321,7 @@ func (s *Store) mutateDest(id int, fn func(*DestStats)) {
 	}
 	fn(&next.Dests[id])
 	s.publish(next)
+	s.lastUse[id] = next.Epoch
 }
 
 // RecordRTT merges one RTT sample (µs) into destination id's shared
@@ -289,13 +365,17 @@ func (s *Store) RecordQuarantine(id int) {
 
 // ---- Inspection ----
 
-// All returns a copy of every destination record of the current epoch,
-// sorted by name for stable output. Intended for the control plane and
-// tests, not the hot path.
+// All returns a copy of every live destination record of the current
+// epoch (evicted slots are skipped), sorted by name for stable output.
+// Intended for the control plane and tests, not the hot path.
 func (s *Store) All() []DestStats {
 	snap := s.Load()
-	out := make([]DestStats, len(snap.Dests))
-	copy(out, snap.Dests)
+	out := make([]DestStats, 0, len(snap.Dests))
+	for _, d := range snap.Dests {
+		if d.Name != "" {
+			out = append(out, d)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

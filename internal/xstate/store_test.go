@@ -1,6 +1,7 @@
 package xstate
 
 import (
+	"strconv"
 	"sync"
 	"testing"
 
@@ -229,3 +230,72 @@ func TestInstrument(t *testing.T) {
 	s2.Instrument(nil)
 	s2.SetGlobal(0, 1)
 }
+
+func TestDestEvictionUnderChurn(t *testing.T) {
+	s := NewStore()
+
+	// A referenced destination survives eviction no matter how idle.
+	pinned := s.DestID("pinned")
+	s.RecordRTT(pinned, 10000)
+	for i := 0; i < 64; i++ {
+		s.SetGlobal(0, int64(i)) // advance epochs
+	}
+	if n := s.EvictIdle(1); n != 0 {
+		t.Fatalf("evicted %d referenced dests, want 0", n)
+	}
+
+	// Released + idle long enough → evicted; the record disappears
+	// from the registry, the inspection view, and the snapshot slot.
+	s.ReleaseDest(pinned)
+	if n := s.EvictIdle(1000); n != 0 {
+		t.Fatalf("evicted %d not-yet-idle dests, want 0", n)
+	}
+	for i := 0; i < 8; i++ {
+		s.SetGlobal(0, int64(i))
+	}
+	if n := s.EvictIdle(8); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if _, ok := s.LookupDest("pinned"); ok {
+		t.Fatal("evicted dest still interned")
+	}
+	if all := s.All(); len(all) != 0 {
+		t.Fatalf("All() still lists evicted dest: %+v", all)
+	}
+	if d := s.Load().Stats(pinned); d == nil || d.Name != "" || d.SRTTUS != 0 {
+		t.Fatalf("evicted slot not zeroed: %+v", d)
+	}
+
+	// Churn: connections come and go across many distinct destinations,
+	// each released after use and swept periodically. Steady-state dest
+	// count — and the snapshot's backing slice — must stay bounded by
+	// the live set plus the idle window, not grow with total churn.
+	const churn = 500
+	for i := 0; i < churn; i++ {
+		id := s.DestID(destName(i))
+		s.RecordRTT(id, int64(1000+i))
+		s.ReleaseDest(id)
+		if i%4 == 3 {
+			s.EvictIdle(8)
+		}
+	}
+	s.EvictIdle(0)
+	if n := s.NumDests(); n != 0 {
+		t.Fatalf("steady-state dests = %d after full sweep, want 0", n)
+	}
+	if got := len(s.Load().Dests); got > 16 {
+		t.Fatalf("snapshot slice grew to %d slots under churn of %d, want <= 16 (slot reuse)", got, churn)
+	}
+
+	// Re-registering after eviction reuses a freed slot and starts from
+	// zero statistics.
+	id := s.DestID("fresh")
+	if id >= 16 {
+		t.Fatalf("re-registration did not reuse a freed slot: id %d", id)
+	}
+	if d := s.Load().Stats(id); d.Name != "fresh" || d.Samples != 0 {
+		t.Fatalf("reused slot carries stale stats: %+v", d)
+	}
+}
+
+func destName(i int) string { return "churn-" + strconv.Itoa(i) }

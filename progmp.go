@@ -394,6 +394,16 @@ func (c *Conn) Send(n int) { c.inner.Send(n, 0) }
 func (c *Conn) SendWithIntent(n int, prop int64) { c.inner.Send(n, prop) }
 
 // OnDeliver registers the receiver-side in-order delivery callback.
+// OnAllAcked registers a one-shot callback fired when the send buffer
+// fully drains (flow completion on the sender side). Re-register from
+// inside the callback to watch a later transfer.
+func (c *Conn) OnAllAcked(fn func()) { c.inner.OnAllAcked(fn) }
+
+// ReleaseDests drops the connection's shared-store destination
+// references so idle records can be evicted once every connection
+// using them has finished. Idempotent; a no-op without a store.
+func (c *Conn) ReleaseDests() { c.inner.ReleaseDests() }
+
 func (c *Conn) OnDeliver(fn func(seq int64, size int, at time.Duration)) {
 	c.inner.Receiver().OnDeliver(fn)
 }
