@@ -28,7 +28,7 @@ bench:
 # BENCH_*.json schema). bench-record refreshes the committed baseline
 # on the machine of record; bench-gate measures a fresh run and fails
 # on regression past the tolerances (allocs/op has none).
-BENCH_BASELINE ?= BENCH_9.json
+BENCH_BASELINE ?= BENCH_10.json
 
 bench-record:
 	$(GO) run ./cmd/progmp-bench -record $(BENCH_BASELINE)
@@ -47,10 +47,12 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis: the DSL admission gate over the
-# scheduler corpus and shipped examples, then the Go-convention passes.
+# scheduler corpus and shipped examples, then the Go invariant passes
+# (hotpath / deterministic / epochsafe / conventions — see
+# docs/ANALYSIS.md "Go-side invariant passes").
 lint:
 	$(GO) run ./cmd/progmp-vet -all examples/schedulers
-	$(GO) run ./tools/lint ./...
+	$(GO) run ./cmd/progmp-analyze ./...
 
 clean:
 	$(GO) clean ./...

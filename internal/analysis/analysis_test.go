@@ -349,3 +349,79 @@ func TestRejectErrorMessage(t *testing.T) {
 		}
 	}
 }
+
+func TestRuleNondeterministicRankConstant(t *testing.T) {
+	rep := AnalyzeSource(`
+VAR sbf = SUBFLOWS.MIN(s => 1);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleNondeterministicRank, 2)
+}
+
+func TestRuleNondeterministicRankRegisterOnly(t *testing.T) {
+	// The rank reads state, but none of it is per-subflow: every
+	// candidate still ranks equal.
+	rep := AnalyzeSource(`
+VAR sbf = SUBFLOWS.MAX(s => R1 + G2);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleNondeterministicRank, 2)
+}
+
+func TestRuleNondeterministicRankMSSOnly(t *testing.T) {
+	// MSS is filled from the connection configuration, identical on
+	// every subflow view, so a rank built only from it is a tie.
+	rep := AnalyzeSource(`
+VAR sbf = SUBFLOWS.MIN(s => s.MSS * 2);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectDiag(t, rep, RuleNondeterministicRank, 2)
+}
+
+func TestNondeterministicRankPerSubflowSilent(t *testing.T) {
+	// A genuine per-subflow read anywhere in the rank makes the
+	// selection well-defined — including mixed with invariant terms.
+	for _, src := range []string{
+		`VAR sbf = SUBFLOWS.MIN(s => s.RTT);
+IF (sbf != NULL) { sbf.PUSH(Q.TOP); }`,
+		`VAR sbf = SUBFLOWS.MAX(s => s.CWND - s.SKBS_IN_FLIGHT);
+IF (sbf != NULL) { sbf.PUSH(Q.TOP); }`,
+		`VAR sbf = SUBFLOWS.MIN(s => s.RTT + s.MSS + R1);
+IF (sbf != NULL) { sbf.PUSH(Q.TOP); }`,
+	} {
+		rep := AnalyzeSource(src, Options{})
+		expectNoDiag(t, rep, RuleNondeterministicRank)
+	}
+}
+
+func TestNondeterministicRankFilterSilent(t *testing.T) {
+	// FILTER predicates legitimately ignore the element in degenerate
+	// tests; the rule is scoped to MIN/MAX ranks.
+	rep := AnalyzeSource(`
+VAR sbf = SUBFLOWS.FILTER(s => R1 > 0).MIN(s => s.RTT);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectNoDiag(t, rep, RuleNondeterministicRank)
+}
+
+func TestRuleNondeterministicRankSuppressed(t *testing.T) {
+	rep := AnalyzeSource(`
+//vet:ignore nondeterministic-rank
+VAR sbf = SUBFLOWS.MIN(s => 1);
+IF (sbf != NULL) {
+    sbf.PUSH(Q.TOP);
+}
+`, Options{})
+	expectNoDiag(t, rep, RuleNondeterministicRank)
+	if rep.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", rep.Suppressed)
+	}
+}

@@ -107,6 +107,16 @@ const (
 	// reinjection queue RQ: packets suspected lost are never reinjected
 	// by this program (info — deliberate for some redundancy designs).
 	RuleRQIgnored = "rq-ignored"
+	// RuleNondeterministicRank flags MIN/MAX over the subflow list
+	// whose rank expression cannot tell the candidates apart: it never
+	// reads the lambda variable, or reads it only through properties
+	// that are connection-wide rather than per-subflow (MSS is filled
+	// from the connection configuration, so every view carries the same
+	// value). Every candidate then ranks equal and the selection
+	// degenerates to the implementation's tie-break — stable in this
+	// substrate (first in iteration order), but unspecified in a kernel
+	// port of the same specification (warning).
+	RuleNondeterministicRank = "nondeterministic-rank"
 	// RuleGlobalWriteStorm flags a GSET that executes unconditionally on
 	// every scheduling decision (not guarded by any IF; a FOREACH does
 	// not count as a guard). Every dirty global publishes a new epoch of
@@ -118,22 +128,23 @@ const (
 
 // RuleSeverity maps every rule id to its severity.
 var RuleSeverity = map[string]Severity{
-	RuleSyntax:           SevError,
-	RuleType:             SevError,
-	RuleUseBeforeDef:     SevError,
-	RuleSingleAssignment: SevError,
-	RulePurity:           SevError,
-	RuleNoPush:           SevWarning,
-	RuleDupPush:          SevWarning,
-	RulePopDiscard:       SevWarning,
-	RuleDeadBranch:       SevWarning,
-	RuleFalseFilter:      SevWarning,
-	RuleDivZero:          SevWarning,
-	RuleOverflow:         SevWarning,
-	RuleStepBudget:       SevWarning,
-	RuleUnreachable:      SevWarning,
-	RuleRQIgnored:        SevInfo,
-	RuleGlobalWriteStorm: SevWarning,
+	RuleSyntax:               SevError,
+	RuleType:                 SevError,
+	RuleUseBeforeDef:         SevError,
+	RuleSingleAssignment:     SevError,
+	RulePurity:               SevError,
+	RuleNoPush:               SevWarning,
+	RuleDupPush:              SevWarning,
+	RulePopDiscard:           SevWarning,
+	RuleDeadBranch:           SevWarning,
+	RuleFalseFilter:          SevWarning,
+	RuleDivZero:              SevWarning,
+	RuleOverflow:             SevWarning,
+	RuleStepBudget:           SevWarning,
+	RuleUnreachable:          SevWarning,
+	RuleRQIgnored:            SevInfo,
+	RuleNondeterministicRank: SevWarning,
+	RuleGlobalWriteStorm:     SevWarning,
 }
 
 // Diagnostic is one analyzer finding with a stable rule id and source

@@ -402,6 +402,60 @@ func (a *analyzer) isRootPop(e lang.Expr) bool {
 	return res != nil && res.Kind == types.MemberPop
 }
 
+// checkRank implements nondeterministic-rank: a MIN/MAX selection
+// over subflows is only meaningful when its rank can distinguish the
+// candidates of one connection.
+func (a *analyzer) checkRank(e *lang.MemberExpr) {
+	if len(e.Args) != 1 {
+		return
+	}
+	lam, ok := e.Args[0].(*lang.Lambda)
+	if !ok {
+		return
+	}
+	sym := a.info.Defs[lam]
+	if sym == nil {
+		return
+	}
+	if !a.rankDistinguishes(lam.Body, sym) {
+		a.diag(RuleNondeterministicRank, e.NamePos,
+			"%s rank cannot distinguish the subflows (it never reads a per-subflow property of %s): every candidate ranks equal and the pick falls to an unspecified tie-break", e.Name, lam.Param)
+	}
+}
+
+// rankDistinguishes reports whether the rank expression reads sym
+// through at least one property that varies per subflow. MSS is
+// connection-wide — every subflow view is filled from the connection
+// configuration — so a rank built only from it still ranks every
+// candidate equal.
+func (a *analyzer) rankDistinguishes(e lang.Expr, sym *types.Symbol) bool {
+	switch e := e.(type) {
+	case *lang.UnaryExpr:
+		return a.rankDistinguishes(e.X, sym)
+	case *lang.BinaryExpr:
+		return a.rankDistinguishes(e.X, sym) || a.rankDistinguishes(e.Y, sym)
+	case *lang.Lambda:
+		return a.rankDistinguishes(e.Body, sym)
+	case *lang.MemberExpr:
+		if id, ok := e.Recv.(*lang.Ident); ok && a.info.Uses[id] == sym {
+			m := a.info.Members[e]
+			if m == nil || m.Kind != types.MemberSbfInt || m.SbfInt != runtime.SbfMSS {
+				return true
+			}
+		}
+		if a.rankDistinguishes(e.Recv, sym) {
+			return true
+		}
+		for _, arg := range e.Args {
+			if a.rankDistinguishes(arg, sym) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
 // ---- Reference collection ----
 
 // refSet summarizes what an expression reads: symbols, registers,
@@ -642,6 +696,9 @@ func (a *analyzer) member(e *lang.MemberExpr) absVal {
 		return listVal(empty)
 	case types.MemberMin, types.MemberMax:
 		lambdaBody(types.ElemType(m.RecvType))
+		if m.RecvType == types.SubflowList {
+			a.checkRank(e)
+		}
 		return refVal(elemNull())
 	case types.MemberTop:
 		return refVal(elemNull())

@@ -40,10 +40,14 @@ func New(info *types.Info) *Compiled {
 }
 
 // Exec runs one scheduler execution against env.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (cp *Compiled) Exec(env *runtime.Env) {
 	st := cp.frames.Get().(*state)
 	st.env = env
 	for _, s := range cp.stmts {
+		//progmp:ignore hotpath statement closures are compiled cold; bodies use the checked Env API and are covered by TestExecZeroAllocSteadyState
 		if s(st) {
 			break
 		}

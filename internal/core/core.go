@@ -237,6 +237,9 @@ func (s *Scheduler) SetSynchronousSpecialization(on bool) {
 }
 
 // Exec runs one scheduler execution against env and updates statistics.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (s *Scheduler) Exec(env *runtime.Env) {
 	before := len(env.Actions)
 	switch s.backend {
@@ -269,6 +272,7 @@ func (s *Scheduler) execVM(env *runtime.Env) {
 		prog = s.specialized.Load()[n]
 	}
 	if prog == nil {
+		//progmp:ignore hotpath,deterministic cold miss path: deterministic runs use specializeSync; async installs change when the specialized program lands, never its semantics
 		prog = s.specializationMiss(n)
 	}
 	if prog == nil {
@@ -285,6 +289,7 @@ func (s *Scheduler) execVM(env *runtime.Env) {
 		if prog == s.vmProg {
 			// The generic program itself failed; re-running it would
 			// fail identically, so record the fault and execute nothing.
+			//progmp:ignore hotpath,deterministic cold fault path: executions only fail on budget overrun or mismatch
 			s.noteFallbackError(err)
 			return
 		}
@@ -294,6 +299,7 @@ func (s *Scheduler) execVM(env *runtime.Env) {
 			// queue (termination guarantee: a failed execution has no
 			// effects) and surface the fault instead of swallowing it.
 			env.Actions = env.Actions[:0]
+			//progmp:ignore hotpath,deterministic cold fault path: double execution failure
 			s.noteFallbackError(err)
 		}
 	}

@@ -257,11 +257,9 @@ func Run(cfg Config) (Result, error) {
 			if sum.Acked {
 				res.Acked++
 			}
-			if fc.check != nil {
-				res.ConservationViolations = append(res.ConservationViolations, fc.check.Violations()...)
-			}
 		}
 	}
+	res.ConservationViolations = collectViolations(shards, cfg.Conns)
 	snap := agg.Aggregate()
 	if h, ok := snap.Hists["conn.sched_exec_ns"]; ok {
 		res.DecisionP50NS, res.DecisionP99NS = h.P50, h.P99
@@ -273,13 +271,39 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
+// conservation is the slice of the checker's surface the result
+// assembly needs; tests substitute a fake to pin the violation
+// report's ordering without having to manufacture a real violation.
+type conservation interface{ Violations() []string }
+
+// collectViolations flattens every connection's conservation findings
+// in connection-index order. Shards run concurrently and shard
+// membership is an accident of the split, so appending in shard order
+// would make the report depend on the shard count; indexing by fc.idx
+// keeps it byte-identical for the same fleet however it is sharded.
+func collectViolations(shards []*shard, conns int) []string {
+	per := make([][]string, conns)
+	for _, sh := range shards {
+		for _, fc := range sh.conns {
+			if fc.check != nil {
+				per[fc.idx] = fc.check.Violations()
+			}
+		}
+	}
+	var out []string
+	for _, v := range per {
+		out = append(out, v...)
+	}
+	return out
+}
+
 // fleetConn is one connection world: a private engine, its links, and
 // the burst driver state.
 type fleetConn struct {
 	idx   int
 	eng   *netsim.Engine
 	conn  *mptcp.Conn
-	check *mptcp.ConservationChecker
+	check conservation
 
 	burstStart time.Duration
 	bursts     int
@@ -289,6 +313,8 @@ type fleetConn struct {
 // connSeed derives the connection's private seed from the fleet seed
 // and the connection index alone, so shard assignment can never alter
 // a trajectory.
+//
+//progmp:deterministic
 func connSeed(fleetSeed int64, idx int) int64 {
 	return int64(netsim.Mix64(uint64(fleetSeed)*0x9e3779b97f4a7c15 + uint64(idx)))
 }
@@ -296,6 +322,11 @@ func connSeed(fleetSeed int64, idx int) int64 {
 // buildConn constructs connection idx's world and files it with its
 // shard's driver state (registry handles, delivery probes, burst
 // schedule). The world depends only on cfg and idx.
+//
+// buildConn constructs deterministically from the connection seed
+// alone; the run-loop determinism zone (//progmp:deterministic) starts
+// at shard.run, and seed reproducibility of construction is covered by
+// TestFleetDeterminism.
 func buildConn(cfg *Config, idx int, sh *shard) (*fleetConn, error) {
 	eng := netsim.NewEngineCompact(connSeed(cfg.Seed, idx))
 	eng.Instrument(sh.reg)

@@ -205,3 +205,52 @@ func TestWheelWrapAround(t *testing.T) {
 		t.Fatalf("wheel fired %x, want %x", fired, want)
 	}
 }
+
+// fakeChecker seeds collectViolations with known findings without
+// having to manufacture a real conservation violation.
+type fakeChecker []string
+
+func (f fakeChecker) Violations() []string { return f }
+
+// TestViolationReportShardOrderInvariant pins the report's ordering:
+// violations read in connection-index order no matter how the fleet
+// was split across shards. Regression: the report used to be appended
+// in shard-walk order, so the same fleet produced differently-ordered
+// reports at different shard counts.
+func TestViolationReportShardOrderInvariant(t *testing.T) {
+	const n = 6
+	conns := make([]*fleetConn, n)
+	var want []string
+	for i := range conns {
+		v := fakeChecker{
+			"conn " + string(rune('0'+i)) + ": first",
+			"conn " + string(rune('0'+i)) + ": second",
+		}
+		conns[i] = &fleetConn{idx: i, check: v}
+		want = append(want, v...)
+	}
+	layouts := map[string][]*shard{
+		"1shard": {{conns: conns}},
+		"3shards": func() []*shard {
+			sh := []*shard{{}, {}, {}}
+			for i, fc := range conns {
+				sh[i%3].conns = append(sh[i%3].conns, fc)
+			}
+			return sh
+		}(),
+		"reversed": {{conns: []*fleetConn{conns[5], conns[3], conns[1]}},
+			{conns: []*fleetConn{conns[4], conns[2], conns[0]}}},
+	}
+	for name, shards := range layouts {
+		got := collectViolations(shards, n)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d violations, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: violation %d = %q, want %q (report must read in connection-index order)",
+					name, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -41,6 +41,9 @@ type wheel struct {
 // sliceOf maps an event time to the slice that services it (the first
 // slice whose RunUntil deadline is >= at), never earlier than the next
 // slice.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (w *wheel) sliceOf(at time.Duration) uint64 {
 	s := uint64((at + w.slice - 1) / w.slice)
 	if s <= w.cur {
@@ -50,22 +53,31 @@ func (w *wheel) sliceOf(at time.Duration) uint64 {
 }
 
 // schedule files conn at absolute slice due.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (w *wheel) schedule(conn int32, due uint64) {
 	b := &w.buckets[due%wheelBuckets]
+	//progmp:ignore hotpath amortized: bucket capacity is retained across wheel wraps
 	*b = append(*b, wheelEntry{conn: conn, due: due})
 }
 
 // advance moves to the next slice and returns the connections due in
 // it. Entries hashed into the bucket for a later wrap are kept (in
 // place, preserving insertion order) for their own slice.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (w *wheel) advance(ready []int32) []int32 {
 	w.cur++
 	b := &w.buckets[w.cur%wheelBuckets]
 	kept := (*b)[:0]
 	for _, e := range *b {
 		if e.due == w.cur {
+			//progmp:ignore hotpath amortized: the caller recycles the ready batch across slices
 			ready = append(ready, e.conn)
 		} else {
+			//progmp:ignore hotpath in-place: kept re-files into the bucket's own storage
 			kept = append(kept, e)
 		}
 	}
@@ -114,6 +126,8 @@ func newShard(id int, cfg *Config, sched mptcp.Scheduler) *shard {
 // retire marks a connection done (its engine drained): its shared-
 // store destination references are released so idle sweeps can
 // reclaim the records.
+//
+//progmp:deterministic
 func (sh *shard) retire(fc *fleetConn) {
 	if fc.retired {
 		return
@@ -126,6 +140,8 @@ func (sh *shard) retire(fc *fleetConn) {
 // run drives the shard's connections to the horizon: per slice, pop
 // the due batch off the wheel, advance each engine with one RunUntil,
 // and re-file each at its next event.
+//
+//progmp:deterministic
 func (sh *shard) run() {
 	sh.gConns.Set(int64(len(sh.conns)))
 	horizon, slice := sh.cfg.Duration, sh.cfg.Slice

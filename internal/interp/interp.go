@@ -31,6 +31,9 @@ func New(info *types.Info) *Interpreter {
 }
 
 // Exec runs one scheduler execution against env.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (it *Interpreter) Exec(env *runtime.Env) {
 	f := it.frames.Get().(*frame)
 	f.env = env
@@ -85,6 +88,7 @@ func (f *frame) qEach(qr queueRef, fn func(*runtime.PacketView) bool) {
 				return true // skip, continue walking
 			}
 		}
+		//progmp:ignore hotpath callback literal is checked inline at each call site
 		return fn(p)
 	})
 }
@@ -221,6 +225,7 @@ func (f *frame) eval(e lang.Expr) value {
 	case *lang.MemberExpr:
 		return f.evalMember(e)
 	}
+	//progmp:ignore hotpath cold panic: admitted programs have no unhandled expressions
 	panic(fmt.Sprintf("interp: unhandled expression %T", e))
 }
 
@@ -273,6 +278,7 @@ func (f *frame) evalBinary(e *lang.BinaryExpr) value {
 		}
 		return value{b: eq}
 	}
+	//progmp:ignore hotpath cold panic: admitted programs have no unhandled operators
 	panic(fmt.Sprintf("interp: unhandled binary op %s", e.Op))
 }
 
@@ -322,6 +328,7 @@ func (f *frame) evalMember(e *lang.MemberExpr) value {
 			for _, sbf := range recv.list {
 				f.slots[sym.Slot] = value{sbf: sbf}
 				if f.eval(lam.Body).b {
+					//progmp:ignore hotpath amortized: pooled frame retains arena capacity
 					f.sbfLists = append(f.sbfLists, sbf)
 				}
 			}
@@ -331,7 +338,9 @@ func (f *frame) evalMember(e *lang.MemberExpr) value {
 		// copied so chains through queue variables stay intact.
 		qr := recv.q
 		start := len(f.preds)
+		//progmp:ignore hotpath amortized: pooled frame retains arena capacity
 		f.preds = append(f.preds, qr.preds...)
+		//progmp:ignore hotpath amortized: pooled frame retains arena capacity
 		f.preds = append(f.preds, predEntry{lam: lam, slot: sym.Slot})
 		return value{q: queueRef{base: qr.base, preds: f.preds[start:len(f.preds):len(f.preds)]}}
 	case types.MemberMin, types.MemberMax:
@@ -367,6 +376,7 @@ func (f *frame) evalMember(e *lang.MemberExpr) value {
 		idx = ((idx % n) + n) % n
 		return value{sbf: recv.list[idx]}
 	}
+	//progmp:ignore hotpath cold panic: admitted programs have no unhandled members
 	panic(fmt.Sprintf("interp: unhandled member %s", e.Name))
 }
 

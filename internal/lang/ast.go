@@ -233,6 +233,9 @@ func (e *EntityExpr) Position() Pos { return e.Pos }
 func (e *UnaryExpr) Position() Pos  { return e.OpPos }
 func (e *BinaryExpr) Position() Pos { return e.X.Position() }
 func (e *Lambda) Position() Pos     { return e.ParamPos }
+
+//progmp:hotpath
+//progmp:deterministic
 func (e *MemberExpr) Position() Pos { return e.NamePos }
 
 func (*NumberLit) exprNode()  {}

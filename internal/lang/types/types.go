@@ -124,6 +124,9 @@ type Info struct {
 }
 
 // TypeOf returns the checked type of e (Invalid if unknown).
+//
+//progmp:hotpath
+//progmp:deterministic
 func (info *Info) TypeOf(e lang.Expr) Type { return info.ExprTypes[e] }
 
 // CheckError aggregates type errors with positions.

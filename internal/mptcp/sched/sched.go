@@ -24,6 +24,7 @@ func available(s *runtime.SubflowView) bool {
 func minRTTOf(views []*runtime.SubflowView, keep func(*runtime.SubflowView) bool) *runtime.SubflowView {
 	var best *runtime.SubflowView
 	for _, v := range views {
+		//progmp:ignore hotpath callback literal is checked inline at each call site
 		if keep != nil && !keep(v) {
 			continue
 		}
@@ -56,6 +57,9 @@ func reinject(env *runtime.Env) {
 type MinRTT struct{}
 
 // Exec runs one scheduling decision.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (MinRTT) Exec(env *runtime.Env) {
 	reinject(env)
 	if env.SendQ.Empty() {
@@ -89,28 +93,43 @@ func (MinRTT) Exec(env *runtime.Env) {
 type RoundRobin struct{}
 
 // Exec runs one scheduling decision.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (RoundRobin) Exec(env *runtime.Env) {
-	var sbfs []*runtime.SubflowView
+	// Select the k-th eligible subflow by scanning twice instead of
+	// collecting eligibles into a slice: a per-execution []*SubflowView
+	// here allocated on every decision (caught by progmp-analyze).
+	var n int64
 	for _, s := range env.SubflowViews {
 		if !s.Bools[runtime.SbfTSQThrottled] && !s.Bools[runtime.SbfLossy] {
-			sbfs = append(sbfs, s)
+			n++
 		}
 	}
 	const reg = 7 // R8
-	if env.Reg(reg) >= int64(len(sbfs)) {
+	if env.Reg(reg) >= n {
 		env.SetReg(reg, 0)
 	}
 	if env.SendQ.Empty() {
 		return
 	}
 	idx := env.Reg(reg)
-	n := int64(len(sbfs))
 	if n > 0 {
-		sbf := sbfs[((idx%n)+n)%n]
-		if sbf.Ints[runtime.SbfCwnd] > sbf.Ints[runtime.SbfSkbsInFlight]+sbf.Ints[runtime.SbfQueued] {
-			pkt := env.SendQ.Top()
-			env.Pop(runtime.QueueSend, pkt)
-			env.Push(sbf, pkt)
+		want := ((idx % n) + n) % n
+		var seen int64
+		for _, s := range env.SubflowViews {
+			if s.Bools[runtime.SbfTSQThrottled] || s.Bools[runtime.SbfLossy] {
+				continue
+			}
+			if seen == want {
+				if s.Ints[runtime.SbfCwnd] > s.Ints[runtime.SbfSkbsInFlight]+s.Ints[runtime.SbfQueued] {
+					pkt := env.SendQ.Top()
+					env.Pop(runtime.QueueSend, pkt)
+					env.Push(s, pkt)
+				}
+				break
+			}
+			seen++
 		}
 	}
 	env.SetReg(reg, idx+1)
@@ -121,6 +140,9 @@ func (RoundRobin) Exec(env *runtime.Env) {
 type Redundant struct{}
 
 // Exec runs one scheduling decision.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (Redundant) Exec(env *runtime.Env) {
 	for _, sbf := range env.SubflowViews {
 		// The redundant scheduler gates on the congestion window only

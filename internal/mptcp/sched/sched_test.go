@@ -112,3 +112,39 @@ func TestNativeRoundRobinCycles(t *testing.T) {
 		t.Errorf("round robin did not cycle: %v", targets)
 	}
 }
+
+// TestNativeSchedulersZeroAlloc pins the //progmp:hotpath contract on
+// the native reference schedulers: a steady-state execution allocates
+// nothing. Regression: RoundRobin used to collect eligible subflows
+// into a fresh slice per decision.
+func TestNativeSchedulersZeroAlloc(t *testing.T) {
+	scheds := []struct {
+		name string
+		s    interface{ Exec(*runtime.Env) }
+	}{
+		{"minRTT", MinRTT{}},
+		{"roundRobin", RoundRobin{}},
+		{"redundant", Redundant{}},
+	}
+	for _, tc := range scheds {
+		t.Run(tc.name, func(t *testing.T) {
+			env := envtest.EnvSpec{
+				Subflows: []envtest.SbfSpec{
+					{ID: 0, RTT: 10000, Cwnd: 8},
+					{ID: 1, RTT: 30000, Cwnd: 8},
+					{ID: 2, RTT: 20000, Cwnd: 8, TSQ: true},
+				},
+				Q:  []envtest.PktSpec{{Seq: 0}, {Seq: 1}},
+				RQ: []envtest.PktSpec{{Seq: 2}},
+			}.Build()
+			tc.s.Exec(env) // warm-up sizes the action queue
+			allocs := testing.AllocsPerRun(200, func() {
+				env.Reset()
+				tc.s.Exec(env)
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: %.1f allocs per execution, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

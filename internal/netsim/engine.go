@@ -48,6 +48,8 @@ type Timer struct{ ev *event }
 
 // Stop cancels the timer; firing a stopped timer is a no-op. Stop is
 // idempotent and safe on an already-fired timer.
+//
+//progmp:deterministic
 func (t *Timer) Stop() {
 	if t != nil && t.ev != nil {
 		t.ev.cancelled = true
@@ -103,12 +105,17 @@ func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
 
 // Mix64 advances one splitmix64 step from seed: a cheap, well-mixed
 // way to derive independent per-connection seeds from a fleet seed.
+//
+//progmp:deterministic
 func Mix64(seed uint64) uint64 {
 	s := splitmix64{state: seed}
 	return s.Uint64()
 }
 
 // Now returns the current virtual time.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Engine) Now() time.Duration { return e.now }
 
 // Instrument resolves engine metric handles from reg: engine.events
@@ -122,6 +129,8 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // At schedules fn at absolute virtual time t (clamped to now).
+//
+//progmp:deterministic
 func (e *Engine) At(t time.Duration, fn func()) *Timer {
 	if t < e.now {
 		t = e.now
@@ -133,11 +142,15 @@ func (e *Engine) At(t time.Duration, fn func()) *Timer {
 }
 
 // After schedules fn d after the current time.
+//
+//progmp:deterministic
 func (e *Engine) After(d time.Duration, fn func()) *Timer {
 	return e.At(e.now+d, fn)
 }
 
 // Step fires the next event; it reports false when no events remain.
+//
+//progmp:deterministic
 func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
 		ev := heap.Pop(&e.pq).(*event)
@@ -158,6 +171,8 @@ func (e *Engine) Step() bool {
 // when no events remain. Batched drivers (the fleet shard loop) use it
 // to park a connection's engine until its next wakeup instead of
 // polling.
+//
+//progmp:deterministic
 func (e *Engine) NextEventAt() (at time.Duration, ok bool) {
 	for len(e.pq) > 0 && e.pq[0].cancelled {
 		heap.Pop(&e.pq)
@@ -169,6 +184,8 @@ func (e *Engine) NextEventAt() (at time.Duration, ok bool) {
 }
 
 // Run fires events until the queue drains.
+//
+//progmp:deterministic
 func (e *Engine) Run() {
 	for e.Step() {
 	}
@@ -176,6 +193,8 @@ func (e *Engine) Run() {
 
 // RunUntil fires events with timestamps <= deadline and then advances
 // the clock to the deadline.
+//
+//progmp:deterministic
 func (e *Engine) RunUntil(deadline time.Duration) {
 	for {
 		// Peek for the next non-cancelled event.

@@ -198,11 +198,15 @@ func (p *Path) Config() PathConfig { return p.cfg }
 
 // QueuedBytes reports the transmit backlog in bytes at the current
 // rate (an approximation during rate changes).
+//
+//progmp:hotpath
+//progmp:deterministic
 func (p *Path) QueuedBytes() int {
 	now := p.eng.Now()
 	if p.busyUntil <= now {
 		return 0
 	}
+	//progmp:ignore hotpath rate curves are pure arithmetic closures captured at path construction
 	rate := p.cfg.Rate(now)
 	if rate <= 0 {
 		return p.cfg.QueueBytes

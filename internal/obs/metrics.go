@@ -15,6 +15,9 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n. Safe on nil.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -22,6 +25,9 @@ func (c *Counter) Add(n int64) {
 }
 
 // Value returns the current count. Safe on nil (returns 0).
+//
+//progmp:hotpath
+//progmp:deterministic
 func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
@@ -33,6 +39,9 @@ func (c *Counter) Value() int64 {
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v. Safe on nil.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -69,6 +78,9 @@ func bucketOf(v int64) int {
 }
 
 // Observe records one value. Safe on nil.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

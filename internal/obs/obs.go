@@ -173,6 +173,8 @@ func NewTracer(capacity int) *Tracer {
 // and one that loses EvictAfter events in a row without draining a
 // single frame is evicted: its channel closes, and a CTL_SUB_EVICT
 // event is recorded so the stall is attributable in the trace.
+//
+//progmp:hotpath
 func (t *Tracer) Record(ev Event) {
 	if t == nil {
 		return
@@ -214,6 +216,7 @@ func (t *Tracer) evictLocked(s *Subscription, at time.Duration) {
 	s.evicted.Store(true)
 	for i, sub := range t.subs {
 		if sub == s {
+			//progmp:ignore hotpath in-place shrink: len never grows past cap
 			t.subs = append(t.subs[:i], t.subs[i+1:]...)
 			break
 		}
@@ -340,6 +343,8 @@ func (s *Subscription) Close() {
 
 // NextExecID returns a fresh scheduler-execution id (ids start at 1;
 // 0 means "outside any execution"). Safe on nil.
+//
+//progmp:hotpath
 func (t *Tracer) NextExecID() uint64 {
 	if t == nil {
 		return 0

@@ -52,15 +52,23 @@ func NewArena(regs *[NumRegisters]int64) *Arena {
 
 // Env returns the arena's environment. The pointer is stable for the
 // arena's lifetime; contents change with every Bind*/BeginExec.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (a *Arena) Env() *Env { return &a.env }
 
 // BindSubflows sizes the subflow view set for the next execution and
 // returns the views for the caller to fill. Views are recycled, so the
 // caller must overwrite every field of every returned view.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (a *Arena) BindSubflows(n int) []*SubflowView {
 	if n > len(a.sbfStore) {
 		newCap := n + 8
+		//progmp:ignore hotpath cold growth: storage is recycled once sized for the subflow count
 		a.sbfStore = make([]SubflowView, newCap)
+		//progmp:ignore hotpath cold growth: storage is recycled once sized for the subflow count
 		a.sbfPtrs = make([]*SubflowView, newCap)
 		for i := range a.sbfStore {
 			a.sbfPtrs[i] = &a.sbfStore[i]
@@ -76,6 +84,9 @@ func (a *Arena) BindSubflows(n int) []*SubflowView {
 // order with the same property values — letting already-materialized
 // views carry over; pass false whenever in doubt. A length change
 // always invalidates regardless of reuse.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (a *Arena) BindQueue(id QueueID, src QueueSource, n int, reuse bool) {
 	if id < QueueSend || id > QueueReinject {
 		return
@@ -85,6 +96,9 @@ func (a *Arena) BindQueue(id QueueID, src QueueSource, n int, reuse bool) {
 
 // BeginExec readies the environment for one execution: the action queue
 // empties (capacity retained) and all pop state clears. O(1).
+//
+//progmp:hotpath
+//progmp:deterministic
 func (a *Arena) BeginExec() {
 	a.env.Reset()
 }

@@ -8,6 +8,12 @@ package runtime
 // earlier snapshot are still present) and must describe a substrate
 // that does not change for the remainder of the execution.
 type QueueSource interface {
+	// MaterializePacket fills v with packet i's current state. The
+	// directive is a proof obligation on every implementation: queue
+	// reads happen inside scheduler executions.
+	//
+	//progmp:hotpath
+	//progmp:deterministic
 	MaterializePacket(i int, v *PacketView)
 }
 
@@ -79,9 +85,13 @@ func (q *Queue) bind(id QueueID, src QueueSource, n int, reuse bool) {
 		// pointing into the old store, which is fine: snapshots are only
 		// referenced within their own execution.
 		newCap := n + n/2 + 8
+		//progmp:ignore hotpath cold growth: backing arrays are recycled once sized for the queue
 		q.store = make([]PacketView, newCap)
+		//progmp:ignore hotpath cold growth: backing arrays are recycled once sized for the queue
 		q.pkts = make([]*PacketView, newCap)
+		//progmp:ignore hotpath cold growth: backing arrays are recycled once sized for the queue
 		q.matGen = make([]uint32, newCap)
+		//progmp:ignore hotpath cold growth: backing arrays are recycled once sized for the queue
 		q.popGen = make([]uint32, newCap)
 		for i := range q.store {
 			q.pkts[i] = &q.store[i]
@@ -104,20 +114,35 @@ func (q *Queue) bind(id QueueID, src QueueSource, n int, reuse bool) {
 }
 
 // ID returns the queue's identity.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) ID() QueueID { return q.id }
 
 // Len returns the number of packets still visible in the queue.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) Len() int { return q.n - q.nPopped }
 
 // Empty reports whether no packets remain visible.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) Empty() bool { return q.Len() == 0 }
 
 // popped reports whether position i was consumed this execution.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) popped(i int) bool { return q.popGen[i] == q.gen }
 
 // Top returns the first visible packet, or nil when empty. The scan
 // cursor only ever advances (pops are irrevocable within an execution),
 // so Top is amortized O(1).
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) Top() *PacketView {
 	for q.topHint < q.n && q.popped(q.topHint) {
 		q.topHint++
@@ -132,11 +157,15 @@ func (q *Queue) Top() *PacketView {
 // stops the walk. This is the primitive the declarative operations
 // (FILTER/MIN/MAX) build on; views materialize only as the walk
 // reaches them, so an early stop leaves the tail untouched.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) All(fn func(*PacketView) bool) {
 	for i := q.topHint; i < q.n; i++ {
 		if q.popped(i) {
 			continue
 		}
+		//progmp:ignore hotpath callback literal is checked inline at each hot-path call site
 		if !fn(q.At(i)) {
 			return
 		}
@@ -146,6 +175,9 @@ func (q *Queue) All(fn func(*PacketView) bool) {
 // Reset clears pop state so the same snapshot can be executed again.
 // Materialized views stay valid: generation counters make the clear
 // O(1) regardless of queue length.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) Reset() {
 	q.gen++
 	if q.gen == 0 { // wraparound: stamps in popGen could collide
@@ -162,6 +194,9 @@ func (q *Queue) Reset() {
 // regardless of pop state, or nil when out of range. Positions are
 // stable for the whole execution; the bytecode VM encodes packet
 // handles as (queue, position) pairs.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) At(i int) *PacketView {
 	if i < 0 || i >= q.n {
 		return nil
@@ -176,6 +211,9 @@ func (q *Queue) At(i int) *PacketView {
 
 // NextVisible returns the position of the first not-yet-popped packet
 // strictly after position `after` (start with -1), or -1 when none.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) NextVisible(after int) int {
 	i := after + 1
 	if i < q.topHint {
@@ -194,6 +232,9 @@ func (q *Queue) NextVisible(after int) int {
 // runtime implements with the augmented queue_position pointer. The
 // common case — a view owned by this queue — is O(1) via the view's
 // recorded position; a foreign view degrades to a scan.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (q *Queue) PopPacket(p *PacketView) bool {
 	if p == nil {
 		return false
@@ -281,6 +322,9 @@ func NewEnv(subflows []*SubflowView, sendQ, unackedQ, reinjectQ *Queue, regs *[N
 // same snapshot (overhead benchmarks, compressed executions).
 // Registers are preserved, and so is the Actions capacity — in steady
 // state no append in the hot path allocates.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) Reset() {
 	e.Actions = e.Actions[:0]
 	e.Site = 0
@@ -293,6 +337,9 @@ func (e *Env) Reset() {
 }
 
 // Queue returns the view for id.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) Queue(id QueueID) *Queue {
 	switch id {
 	case QueueSend:
@@ -307,6 +354,9 @@ func (e *Env) Queue(id QueueID) *Queue {
 
 // Reg reads register i (0-based). Out-of-range reads yield 0: the model
 // has no exceptions by design.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) Reg(i int) int64 {
 	if i < 0 || i >= NumRegisters {
 		return 0
@@ -317,6 +367,9 @@ func (e *Env) Reg(i int) int64 {
 // SetReg writes register i. Register writes take effect immediately and
 // are visible to subsequent reads in the same execution (the round-robin
 // scheduler of §3.4 depends on this).
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) SetReg(i int, v int64) {
 	if i < 0 || i >= NumRegisters {
 		return
@@ -327,6 +380,9 @@ func (e *Env) SetReg(i int, v int64) {
 // Global reads global register i (0-based) from the execution-local
 // copy. Out-of-range reads yield 0; an environment without a globals
 // array reads all-zero.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) Global(i int) int64 {
 	if i < 0 || i >= NumGlobals || e.Globals == nil {
 		return 0
@@ -338,6 +394,9 @@ func (e *Env) Global(i int) int64 {
 // marks it dirty. Like SetReg, the write is immediately visible to
 // subsequent reads in the same execution; cross-connection visibility
 // happens when the substrate publishes the dirty set to the store.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) SetGlobal(i int, v int64) {
 	if i < 0 || i >= NumGlobals || e.Globals == nil {
 		return
@@ -348,19 +407,29 @@ func (e *Env) SetGlobal(i int, v int64) {
 
 // DirtyGlobals returns the bitmask of global registers written this
 // execution (bit i ↔ register i).
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) DirtyGlobals() uint32 { return e.dirtyGlobals }
 
 // ClearDirtyGlobals resets the dirty mask after the substrate published
 // the writes.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) ClearDirtyGlobals() { e.dirtyGlobals = 0 }
 
 // Pop marks p consumed from queue id and records the action. Popping a
 // nil or already-consumed packet is a graceful no-op returning false.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) Pop(id QueueID, p *PacketView) bool {
 	q := e.Queue(id)
 	if q == nil || !q.PopPacket(p) {
 		return false
 	}
+	//progmp:ignore hotpath amortized: Actions capacity is retained across executions by BeginExec
 	e.Actions = append(e.Actions, Action{Kind: ActionPop, Queue: id, Packet: p.Handle, Site: e.Site})
 	if e.pushSeen == len(e.Actions)-1 {
 		e.pushSeen = len(e.Actions)
@@ -370,10 +439,14 @@ func (e *Env) Pop(id QueueID, p *PacketView) bool {
 
 // Push records a PUSH of p on sbf. Pushing a nil packet or to a nil
 // subflow is a graceful no-op (stale-reference safety by design).
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) Push(sbf *SubflowView, p *PacketView) {
 	if sbf == nil || p == nil {
 		return
 	}
+	//progmp:ignore hotpath amortized: Actions capacity is retained across executions by BeginExec
 	e.Actions = append(e.Actions, Action{Kind: ActionPush, Packet: p.Handle, Subflow: sbf.Handle, Site: e.Site})
 	if e.pushSeen == len(e.Actions)-1 {
 		e.pushes++
@@ -382,10 +455,14 @@ func (e *Env) Push(sbf *SubflowView, p *PacketView) {
 }
 
 // Drop records discarding p. Dropping nil is a graceful no-op.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) Drop(p *PacketView) {
 	if p == nil {
 		return
 	}
+	//progmp:ignore hotpath amortized: Actions capacity is retained across executions by BeginExec
 	e.Actions = append(e.Actions, Action{Kind: ActionDrop, Packet: p.Handle, Site: e.Site})
 	if e.pushSeen == len(e.Actions)-1 {
 		e.pushSeen = len(e.Actions)
@@ -397,6 +474,9 @@ func (e *Env) Drop(p *PacketView) {
 // may make progress (compressed executions, §4.1). The count is
 // maintained incrementally; it only falls back to a recount after the
 // Actions slice was modified behind the environment's back.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (e *Env) PushCount() int {
 	if e.pushSeen != len(e.Actions) {
 		n := 0

@@ -189,6 +189,9 @@ type PacketView struct {
 }
 
 // SentOn reports whether the packet was ever transmitted on sbf.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (p *PacketView) SentOn(sbf *SubflowView) bool {
 	if p == nil || sbf == nil {
 		return false
@@ -212,6 +215,9 @@ type SubflowView struct {
 
 // HasWindowFor reports whether the receive window can accommodate p
 // (HAS_WINDOW_FOR in the language). A nil packet has no window.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (s *SubflowView) HasWindowFor(p *PacketView) bool {
 	if s == nil || p == nil {
 		return false

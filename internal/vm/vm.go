@@ -38,11 +38,15 @@ const spillStackSlots = 16
 // backward jump on every iteration. This keeps the budget exact to
 // within one pass over the program while removing a compare from every
 // dispatched instruction.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (p *Program) Exec(env *runtime.Env) error {
 	if p.SpecializedSubflows >= 0 && len(env.SubflowViews) != p.SpecializedSubflows {
 		return ErrSpecializationMismatch
 	}
 	if len(env.SubflowViews) > runtime.MaxSubflows {
+		//progmp:ignore hotpath cold rejection path, never taken in steady state
 		return fmt.Errorf("vm: %d subflows exceed the supported maximum %d", len(env.SubflowViews), runtime.MaxSubflows)
 	}
 	var regs [NumPhysRegs]int64
@@ -52,6 +56,7 @@ func (p *Program) Exec(env *runtime.Env) error {
 		if p.SpillSlots <= spillStackSlots {
 			spills = spillBuf[:p.SpillSlots]
 		} else {
+			//progmp:ignore hotpath cold path: real programs spill <= spillStackSlots values
 			spills = make([]int64, p.SpillSlots)
 		}
 	}
@@ -291,6 +296,7 @@ func (p *Program) Exec(env *runtime.Env) error {
 			// must account for every dispatched instruction, including
 			// the one that faulted.
 			p.StepCounter.Add(int64(steps))
+			//progmp:ignore hotpath cold fault path: verified programs never reach an invalid opcode
 			return fmt.Errorf("vm: invalid opcode %d at pc %d", int(in.Op), pc)
 		}
 	}

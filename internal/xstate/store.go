@@ -45,6 +45,8 @@ const rttAlpha = 8
 // DestStats is the per-destination statistic record inside a snapshot.
 // Fields are plain values: a published snapshot is immutable, so they
 // may be read without synchronization.
+//
+//progmp:epochshared
 type DestStats struct {
 	// Name is the interned path identity (subflow/link name).
 	Name string `json:"name"`
@@ -64,6 +66,8 @@ type DestStats struct {
 
 // Snapshot is one immutable epoch of the store. Readers obtained it
 // from Store.Load and may read any field freely; they must never write.
+//
+//progmp:epochshared
 type Snapshot struct {
 	// Epoch increments on every published write. Two loads returning
 	// the same epoch are the identical snapshot.
@@ -79,6 +83,9 @@ type Snapshot struct {
 
 // Stats returns the statistics for destination id, or nil when the id
 // is unknown to this epoch (registered after the snapshot published).
+//
+//progmp:hotpath
+//progmp:deterministic
 func (s *Snapshot) Stats(id int) *DestStats {
 	if s == nil || id < 0 || id >= len(s.Dests) {
 		return nil
@@ -128,6 +135,9 @@ func (s *Store) Instrument(reg *obs.Registry) {
 
 // Load returns the current snapshot: one atomic load, safe from any
 // goroutine, never nil. The caller must treat it as read-only.
+//
+//progmp:hotpath
+//progmp:deterministic
 func (s *Store) Load() *Snapshot {
 	return s.snap.Load()
 }
@@ -137,6 +147,8 @@ func (s *Store) Epoch() uint64 { return s.Load().Epoch }
 
 // publish installs next as the new snapshot. Callers hold s.mu and
 // must have fully initialized next (no further writes after this).
+//
+//progmp:publish
 func (s *Store) publish(next *Snapshot) {
 	next.Epoch = s.snap.Load().Epoch + 1
 	s.snap.Store(next)
@@ -145,6 +157,8 @@ func (s *Store) publish(next *Snapshot) {
 
 // clone copies the current snapshot into a fresh one the caller may
 // mutate before publish. Callers hold s.mu.
+//
+//progmp:publish
 func (s *Store) clone() *Snapshot {
 	cur := s.snap.Load()
 	next := &Snapshot{Globals: cur.Globals}
@@ -153,6 +167,20 @@ func (s *Store) clone() *Snapshot {
 		copy(next.Dests, cur.Dests)
 	}
 	return next
+}
+
+// cloneGlobalsOnly copies the current snapshot for a write that only
+// touches the global register file. Dests is aliased, not copied:
+// published snapshots are immutable, so an epoch that leaves every
+// destination record untouched may share the previous epoch's backing
+// array. This keeps the per-GSET publish cost independent of the number
+// of tracked destinations. Callers hold s.mu and must not write through
+// next.Dests.
+//
+//progmp:publish
+func (s *Store) cloneGlobalsOnly() *Snapshot {
+	cur := s.snap.Load()
+	return &Snapshot{Globals: cur.Globals, Dests: cur.Dests}
 }
 
 // ---- Global registers ----
@@ -173,13 +201,15 @@ func (s *Store) Globals() [runtime.NumGlobals]int64 {
 // SetGlobal writes global register i (0-based) and publishes a new
 // epoch. Out-of-range writes are graceful no-ops (no exceptions by
 // design, matching the register semantics of the model).
+//
+//progmp:publish
 func (s *Store) SetGlobal(i int, v int64) {
 	if i < 0 || i >= runtime.NumGlobals {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	next := s.clone()
+	next := s.cloneGlobalsOnly()
 	next.Globals[i] = v
 	s.publish(next)
 	s.mGSets.Add(1)
@@ -188,13 +218,15 @@ func (s *Store) SetGlobal(i int, v int64) {
 // SetGlobals applies every write marked in the dirty bitmask (bit i ↔
 // register i) from vals in one published epoch. It is the batched form
 // the substrate uses to publish a scheduler execution's GSETs.
+//
+//progmp:publish
 func (s *Store) SetGlobals(dirty uint32, vals *[runtime.NumGlobals]int64) {
 	if dirty == 0 || vals == nil {
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	next := s.clone()
+	next := s.cloneGlobalsOnly()
 	n := 0
 	for i := 0; i < runtime.NumGlobals; i++ {
 		if dirty&(1<<uint(i)) != 0 {
@@ -215,6 +247,8 @@ func (s *Store) SetGlobals(dirty uint32, vals *[runtime.NumGlobals]int64) {
 // pinned forever and EvictIdle can never reclaim it. Indices are
 // stable while referenced; an evicted slot may be reassigned to a
 // different name by a later registration.
+//
+//progmp:publish
 func (s *Store) DestID(name string) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -247,6 +281,8 @@ func (s *Store) DestID(name string) int {
 // DestID). The record and its statistics stay readable until EvictIdle
 // reclaims it, so short-lived reconnects to the same destination still
 // find the shared history. Unknown ids are ignored.
+//
+//progmp:deterministic
 func (s *Store) ReleaseDest(id int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -267,11 +303,15 @@ func (s *Store) ReleaseDest(id int) {
 // churn: without eviction every interned name lives for the store's
 // lifetime. Victims are processed in index order so churn workloads
 // reuse slots deterministically.
+//
+//progmp:publish
+//progmp:deterministic
 func (s *Store) EvictIdle(idleEpochs uint64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.snap.Load().Epoch
 	var victims []int
+	//progmp:ignore deterministic iteration order is invisible: victims are sorted before any effect
 	for name, id := range s.ids {
 		if s.refs[id] == 0 && cur-s.lastUse[id] >= idleEpochs {
 			victims = append(victims, id)
@@ -312,6 +352,8 @@ func (s *Store) NumDests() int {
 
 // mutateDest clones, applies fn to destination id's record, and
 // publishes. Unknown ids are ignored.
+//
+//progmp:publish
 func (s *Store) mutateDest(id int, fn func(*DestStats)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -328,6 +370,8 @@ func (s *Store) mutateDest(id int, fn func(*DestStats)) {
 // smoothed estimate: the first sample seeds it, later samples blend in
 // with weight 1/8 (RFC 6298 style), so estimates from many connections
 // converge without any one dominating.
+//
+//progmp:publish
 func (s *Store) RecordRTT(id int, rttUS int64) {
 	if rttUS <= 0 {
 		return
@@ -343,6 +387,8 @@ func (s *Store) RecordRTT(id int, rttUS int64) {
 }
 
 // RecordLoss counts n loss events on destination id.
+//
+//progmp:publish
 func (s *Store) RecordLoss(id int, n int64) {
 	if n <= 0 {
 		return
@@ -351,6 +397,8 @@ func (s *Store) RecordLoss(id int, n int64) {
 }
 
 // RecordDelivered adds bytes to destination id's delivered counter.
+//
+//progmp:publish
 func (s *Store) RecordDelivered(id int, bytes int64) {
 	if bytes <= 0 {
 		return
@@ -359,6 +407,8 @@ func (s *Store) RecordDelivered(id int, bytes int64) {
 }
 
 // RecordQuarantine counts one quarantine signal on destination id.
+//
+//progmp:publish
 func (s *Store) RecordQuarantine(id int) {
 	s.mutateDest(id, func(d *DestStats) { d.Quarantines++ })
 }

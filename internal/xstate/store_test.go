@@ -299,3 +299,46 @@ func TestDestEvictionUnderChurn(t *testing.T) {
 }
 
 func destName(i int) string { return "churn-" + strconv.Itoa(i) }
+
+// TestGlobalsOnlyPublishAliasesDests pins the globals-fast-path
+// representation choice: an epoch that only writes the register file
+// shares the previous epoch's Dests backing array (snapshots are
+// immutable, so aliasing is safe), while a destination write still
+// clones. Regression: SetGlobal/SetGlobals used to copy every record,
+// making a GSET publish O(destinations).
+func TestGlobalsOnlyPublishAliasesDests(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 64; i++ {
+		s.DestID("dest" + strconv.Itoa(i))
+	}
+	before := s.Load()
+	s.SetGlobal(0, 1)
+	after := s.Load()
+	if len(after.Dests) == 0 || &after.Dests[0] != &before.Dests[0] {
+		t.Fatalf("globals-only publish cloned Dests (epoch %d -> %d)", before.Epoch, after.Epoch)
+	}
+	var vals [runtime.NumGlobals]int64
+	vals[3] = 9
+	s.SetGlobals(1<<3, &vals)
+	if got := s.Load(); &got.Dests[0] != &before.Dests[0] {
+		t.Fatalf("batched globals publish cloned Dests")
+	}
+	// A destination write must still clone: the new epoch's records
+	// change, and the already-published snapshot must not see that.
+	id, _ := s.LookupDest("dest0")
+	s.RecordRTT(id, 5000)
+	cur := s.Load()
+	if &cur.Dests[0] == &before.Dests[0] {
+		t.Fatalf("destination write aliased the published snapshot's Dests")
+	}
+	if before.Stats(id).SRTTUS != 0 {
+		t.Fatalf("published snapshot mutated by a later destination write")
+	}
+
+	// The publish cost is a snapshot header, independent of how many
+	// destinations the store tracks.
+	allocs := testing.AllocsPerRun(100, func() { s.SetGlobal(1, 2) })
+	if allocs > 2 {
+		t.Fatalf("globals-only publish costs %.0f allocs/op with 64 dests, want <= 2", allocs)
+	}
+}

@@ -1,0 +1,159 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// The conventions passes migrated from tools/lint, now resolved
+// through go/types: an aliased Registry receiver, a renamed obs
+// import, a wrapped constructor returning *obs.Registry, or a metric
+// name spelled as a named string constant are all seen — the old
+// syntactic matcher keyed on the spelling "obs.Event" and ".Counter"
+// and missed every one of those.
+
+const obsPkgPath = "progmp/internal/obs"
+
+// isObsEvent reports whether t is obs.Event, through any alias.
+func isObsEvent(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == obsPkgPath && obj.Name() == "Event"
+}
+
+func runEventKind(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || lit.Type == nil {
+				return true
+			}
+			t := p.Pkg.Info.TypeOf(lit)
+			if t == nil || !isObsEvent(t) {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					// Positional literal: Kind is set by position, but
+					// the form is fragile against field reordering;
+					// require keys.
+					p.Reportf(lit.Pos(), "obs.Event literal uses positional fields; use Kind: ... form")
+					return true
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
+					return true
+				}
+			}
+			p.Reportf(lit.Pos(), "obs.Event literal does not set Kind; a zero Kind records as NONE and defeats trace filtering")
+			return true
+		})
+	}
+}
+
+// metricRegistrars are the obs.Registry constructor methods the
+// metric passes govern, by method name.
+var metricRegistrars = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// metricCalls visits every (*obs.Registry).Counter/Gauge/Histogram
+// call whose name argument has a constant prefix, however the
+// receiver or the name is spelled.
+func metricCalls(p *Pass, f *ast.File, visit func(call *ast.CallExpr, method, name string, exact bool)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		kind, callee, _ := resolveCall(p.Pkg.Info, call)
+		if kind != callStatic || callee == nil || !metricRegistrars[callee.Name()] {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil ||
+			named.Obj().Pkg().Path() != obsPkgPath || named.Obj().Name() != "Registry" {
+			return true
+		}
+		name, exact, ok := stringPrefix(p.Pkg.Info, call.Args[0])
+		if !ok {
+			return true
+		}
+		visit(call, callee.Name(), name, exact)
+		return true
+	})
+}
+
+// stringPrefix extracts the constant prefix of a metric-name
+// argument. With type info this covers named constants and constant
+// folding, not just literals: a whole-expression constant is exact,
+// and `constantPrefix + dynamicSuffix` yields the prefix (dynamic
+// suffixes like subflow keys are fine — the namespace prefix is what
+// the convention governs).
+func stringPrefix(info *types.Info, e ast.Expr) (name string, exact, ok bool) {
+	if tv, found := info.Types[e]; found && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true, true
+	}
+	if bin, isBin := ast.Unparen(e).(*ast.BinaryExpr); isBin && bin.Op == token.ADD {
+		name, _, ok = stringPrefix(info, bin.X)
+		return name, false, ok
+	}
+	return "", false, false
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*\.?$`)
+
+func runMetricName(p *Pass) {
+	for _, f := range p.Files {
+		metricCalls(p, f, func(call *ast.CallExpr, method, name string, exact bool) {
+			if !metricNameRE.MatchString(name) {
+				p.Reportf(call.Args[0].Pos(),
+					"metric name %q is not dot-separated lower_snake (want e.g. \"conn.pushes\")", name)
+				return
+			}
+			if exact && !strings.Contains(name, ".") {
+				p.Reportf(call.Args[0].Pos(),
+					"metric name %q has no namespace; prefix it like \"conn.%s\"", name, name)
+			}
+		})
+	}
+}
+
+func runMetricKind(p *Pass) {
+	type firstUse struct {
+		method string
+		pos    token.Pos
+	}
+	seen := map[string]firstUse{}
+	for _, f := range p.Files {
+		metricCalls(p, f, func(call *ast.CallExpr, method, name string, exact bool) {
+			// Concatenated names are not statically comparable; only
+			// exact names participate in conflict detection.
+			if !exact {
+				return
+			}
+			if prev, ok := seen[name]; ok {
+				if prev.method != method {
+					p.Reportf(call.Pos(),
+						"metric %q registered as %s here but as %s at %s; the second registration is a detached no-op",
+						name, method, prev.method, p.Suite.Fset.Position(prev.pos))
+				}
+				return
+			}
+			seen[name] = firstUse{method: method, pos: call.Pos()}
+		})
+	}
+}

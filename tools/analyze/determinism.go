@@ -1,0 +1,147 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detBannedFuncs are ambient-nondeterminism sources a deterministic
+// zone must never reach: wall clocks and scheduler-dependent timers,
+// and GOMAXPROCS/host-shape probes.
+var detBannedFuncs = map[string]string{
+	"time.Now":           "reads the wall clock",
+	"time.Since":         "reads the wall clock",
+	"time.Until":         "reads the wall clock",
+	"time.Sleep":         "depends on the runtime scheduler",
+	"time.After":         "depends on the runtime scheduler",
+	"time.AfterFunc":     "depends on the runtime scheduler",
+	"time.Tick":          "depends on the runtime scheduler",
+	"time.NewTimer":      "depends on the runtime scheduler",
+	"time.NewTicker":     "depends on the runtime scheduler",
+	"runtime.GOMAXPROCS": "output must not depend on core count",
+	"runtime.NumCPU":     "output must not depend on core count",
+	"runtime.NumGoroutine": "output must not depend on goroutine " +
+		"scheduling",
+}
+
+// runDeterministic checks //progmp:deterministic zones: annotated
+// functions and, transitively, their same-package callees must not
+// reach wall clocks, globally-seeded randomness, map iteration, or
+// scheduling-dependent constructs. Module-internal cross-package
+// calls must target functions that are themselves annotated
+// deterministic; standard-library calls outside the ban list are
+// trusted. Dynamic and interface calls are trusted — the netsim
+// event loop dispatches the workload through function values, and
+// determinism there is the ordered heap plus the seeded RNG, both of
+// which this pass verifies at the source.
+func runDeterministic(p *Pass) {
+	t := newTraversal(p)
+	for _, root := range t.roots(func(d Directives) bool { return d.Deterministic }) {
+		w := &detWalk{t: t, root: root}
+		w.checkFunc(root)
+	}
+}
+
+type detWalk struct {
+	t    *traversal
+	root *types.Func
+}
+
+func (w *detWalk) reportf(pos token.Pos, fn *types.Func, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if fn != w.root {
+		msg += fmt.Sprintf(" (deterministic zone via %s)", w.root.Name())
+	}
+	w.t.pass.Reportf(pos, "%s", msg)
+}
+
+func (w *detWalk) checkFunc(fn *types.Func) {
+	if w.t.visited[fn] {
+		return
+	}
+	w.t.visited[fn] = true
+	decl := w.t.decls[fn]
+	if decl == nil {
+		return
+	}
+	w.checkBody(fn, decl.Body)
+}
+
+func (w *detWalk) checkBody(fn *types.Func, body *ast.BlockStmt) {
+	info := w.t.pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Literals defined inside a deterministic zone are part
+			// of it, wherever they end up being invoked.
+			return true
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Map); ok {
+				if !w.t.pass.suppressedAt(n.Pos()) {
+					w.reportf(n.Pos(), fn, "map iteration order is randomized per run")
+				}
+			}
+			return true
+		case *ast.SelectStmt:
+			w.reportf(n.Pos(), fn, "select arbitration depends on the runtime scheduler")
+			return true
+		case *ast.GoStmt:
+			w.reportf(n.Pos(), fn, "spawning a goroutine introduces scheduling nondeterminism")
+			return true
+		case *ast.CallExpr:
+			w.checkCall(fn, n)
+			return true
+		}
+		return true
+	})
+}
+
+func (w *detWalk) checkCall(fn *types.Func, call *ast.CallExpr) {
+	p := w.t.pass
+	if p.suppressedAt(call.Pos()) {
+		return
+	}
+	kind, callee, _ := resolveCall(p.Pkg.Info, call)
+	if kind != callStatic {
+		return
+	}
+	name := fullName(callee)
+	if reason, banned := detBannedFuncs[name]; banned {
+		w.reportf(call.Pos(), fn, "%s %s", name, reason)
+		return
+	}
+	pkgPath := ""
+	if callee.Pkg() != nil {
+		pkgPath = callee.Pkg().Path()
+	}
+	switch pkgPath {
+	case "math/rand", "math/rand/v2":
+		// Methods on an explicitly seeded *rand.Rand (and the
+		// constructors that make one) are deterministic; the
+		// package-level draws share a global seed.
+		sig, _ := callee.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && callee.Name() != "New" && callee.Name() != "NewSource" &&
+			callee.Name() != "NewPCG" && callee.Name() != "NewChaCha8" {
+			w.reportf(call.Pos(), fn, "global %s.%s draws from the shared process-wide seed", pkgPath, callee.Name())
+		}
+		return
+	case "crypto/rand":
+		w.reportf(call.Pos(), fn, "crypto/rand is nondeterministic by construction")
+		return
+	}
+	if p.Suite.FuncDirectives(callee).Deterministic {
+		return
+	}
+	if callee.Pkg() == p.Pkg.Types {
+		if _, ok := w.t.decls[callee]; ok {
+			w.checkFunc(callee)
+		}
+		return
+	}
+	if p.Suite.isModulePath(pkgPath) {
+		w.reportf(call.Pos(), fn, "call to %s leaves the deterministic zone (annotate it //progmp:deterministic or suppress with a reason)", describe(callee))
+	}
+	// Standard-library calls outside the ban list are trusted.
+}

@@ -1,0 +1,163 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runEpochSafe enforces the RCU/epoch discipline on shared state:
+//
+//  1. Fields of a //progmp:epochshared type may only be written
+//     through a pointer inside a function annotated //progmp:publish
+//     (the serialized clone-and-publish path). Published snapshots
+//     are immutable; any other pointer write is a data race with
+//     lock-free readers. Writes to by-value copies are fine and are
+//     not flagged.
+//
+//  2. A struct field must not mix sync/atomic access with plain
+//     writes: if &x.f is passed to an atomic function anywhere in the
+//     package, every plain write to f is flagged.
+func runEpochSafe(p *Pass) {
+	writes := map[*types.Var][]ast.Expr{} // plain writes per field
+	atomics := map[*types.Var]bool{}      // fields used via sync/atomic
+
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			inPublish := fn != nil && p.Suite.FuncDirectives(fn).Publish
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						p.checkSharedWrite(lhs, inPublish)
+						if f := p.fieldOf(lhs); f != nil {
+							writes[f] = append(writes[f], lhs)
+						}
+					}
+				case *ast.IncDecStmt:
+					p.checkSharedWrite(n.X, inPublish)
+					if f := p.fieldOf(n.X); f != nil {
+						writes[f] = append(writes[f], n.X)
+					}
+				case *ast.CallExpr:
+					if f := p.atomicArgField(n); f != nil {
+						atomics[f] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for f := range atomics {
+		for _, w := range writes[f] {
+			p.Reportf(w.Pos(), "field %s is accessed via sync/atomic elsewhere in this package; plain write races with it", f.Name())
+		}
+	}
+}
+
+// checkSharedWrite reports a pointer write into an epochshared type
+// outside a publish function.
+func (p *Pass) checkSharedWrite(lhs ast.Expr, inPublish bool) {
+	tn := p.sharedWriteTarget(lhs)
+	if tn == nil || inPublish {
+		return
+	}
+	p.Reportf(lhs.Pos(), "write to epoch-shared %s outside a //progmp:publish function", tn.Name())
+}
+
+// sharedWriteTarget reports the //progmp:epochshared type a write to
+// lhs would mutate through a pointer or slice alias, or nil if the
+// write cannot reach shared state (e.g. a by-value copy).
+func (p *Pass) sharedWriteTarget(lhs ast.Expr) *types.TypeName {
+	info := p.Pkg.Info
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.StarExpr:
+		// *ptr = v overwrites the pointee wholesale.
+		if tn := p.epochSharedNamed(info.TypeOf(e)); tn != nil {
+			return tn
+		}
+	case *ast.SelectorExpr:
+		// base.f = v writes shared state when base is a pointer to
+		// (or a chain rooted in a pointer to) an epochshared type.
+		if t := info.TypeOf(e.X); t != nil {
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				if tn := p.epochSharedNamed(ptr.Elem()); tn != nil {
+					return tn
+				}
+			}
+		}
+		return p.sharedWriteTarget(e.X)
+	case *ast.IndexExpr:
+		// sl[i] = v (or sl[i].f = v via the selector case above)
+		// aliases shared backing when the element type is epochshared.
+		if t := info.TypeOf(e.X); t != nil {
+			var elem types.Type
+			switch u := t.Underlying().(type) {
+			case *types.Slice:
+				elem = u.Elem()
+			case *types.Array:
+				elem = u.Elem()
+			}
+			if tn := p.epochSharedNamed(elem); tn != nil {
+				return tn
+			}
+		}
+		return p.sharedWriteTarget(e.X)
+	}
+	return nil
+}
+
+func (p *Pass) epochSharedNamed(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	tn := named.Obj()
+	if p.Suite.TypeDirectives(tn).EpochShared {
+		return tn
+	}
+	return nil
+}
+
+// fieldOf resolves lhs to a struct-field object, for the
+// atomic-mixing check.
+func (p *Pass) fieldOf(lhs ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := p.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// atomicArgField reports the struct field whose address is passed to
+// a sync/atomic function in this call, if any.
+func (p *Pass) atomicArgField(call *ast.CallExpr) *types.Var {
+	kind, callee, _ := resolveCall(p.Pkg.Info, call)
+	if kind != callStatic || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+		return nil
+	}
+	for _, arg := range call.Args {
+		u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || u.Op != token.AND {
+			continue
+		}
+		if f := p.fieldOf(u.X); f != nil {
+			return f
+		}
+	}
+	return nil
+}
